@@ -1,0 +1,35 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each benchmark module regenerates one artifact of the paper (a figure,
+table, or listing) or measures one claim.  The ``report`` helper prints
+labelled rows so ``pytest benchmarks/ --benchmark-only -s`` shows the
+regenerated artifacts next to the timing tables.
+"""
+
+import pytest
+
+from repro import OntoAccess
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+
+def report(title, lines):
+    print(f"\n### {title}")
+    for line in lines:
+        print(f"    {line}")
+
+
+@pytest.fixture
+def fresh_mediator():
+    db = build_database()
+    return OntoAccess(db, build_mapping(db))
+
+
+@pytest.fixture
+def seeded_mediator():
+    db = build_database()
+    seed_feasibility_data(db)
+    return OntoAccess(db, build_mapping(db))

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Enterprise data-exchange scenario (paper Section 1's motivation).
+
+Two departments run *different relational schemas* for the same domain.
+Because both expose their data through OntoAccess with mappings onto the
+same shared ontology (FOAF/DC/ONT), they can exchange updates purely on
+the semantic level: department A exports entities as RDF, department B
+imports them via SPARQL/Update — "RDF and a shared ontology can be used to
+exchange data even if the individual relational schemata do not match."
+
+Run:  python examples/enterprise_sync.py
+"""
+
+from repro import Database, OntoAccess, generate_mapping
+from repro.rdf import DC, FOAF, Namespace, ONT
+from repro.sparql.update_ast import InsertData, UpdateRequest
+from repro.workloads.publication import build_database, build_mapping
+
+PREFIXES = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+"""
+
+
+def department_a() -> OntoAccess:
+    """Department A: the paper's publication schema."""
+    db = build_database()
+    mediator = OntoAccess(db, build_mapping(db))
+    mediator.update(
+        PREFIXES
+        + """INSERT DATA {
+            ex:team1 foaf:name "Software Engineering" ; ont:teamCode "SEAL" .
+            ex:author1 foaf:firstName "Matthias" ;
+                       foaf:family_name "Hert" ;
+                       foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+                       ont:team ex:team1 .
+            ex:author2 foaf:firstName "Gerald" ;
+                       foaf:family_name "Reif" ;
+                       ont:team ex:team1 .
+        }"""
+    )
+    return mediator
+
+
+def department_b() -> OntoAccess:
+    """Department B: a *different* schema for the same domain — people and
+    groups, with other table/column names — mapped onto the same ontology."""
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE research_group (
+            gid INTEGER PRIMARY KEY,
+            label VARCHAR(200),
+            short_code VARCHAR(20)
+        );
+        CREATE TABLE person (
+            pid INTEGER PRIMARY KEY,
+            given_name VARCHAR(100),
+            surname VARCHAR(100) NOT NULL,
+            mail VARCHAR(200),
+            grp INTEGER REFERENCES research_group(gid)
+        );
+        """
+    )
+    mapping = generate_mapping(
+        db,
+        uri_prefix="http://example.org/db/",
+        class_overrides={
+            "person": FOAF.Person,
+            "research_group": FOAF.Group,
+        },
+        property_overrides={
+            ("person", "given_name"): FOAF.firstName,
+            ("person", "surname"): FOAF.family_name,
+            ("person", "mail"): FOAF.mbox,
+            ("person", "grp"): ONT.team,
+            ("research_group", "label"): FOAF.name,
+            ("research_group", "short_code"): ONT.teamCode,
+        },
+        value_pattern_overrides={("person", "mail"): "mailto:%%mail%%"},
+        uri_pattern_overrides={
+            # Shared instance URIs: both departments agree on the URI scheme
+            # even though table names differ.
+            "person": "author%%pid%%",
+            "research_group": "team%%gid%%",
+        },
+    )
+    return OntoAccess(db, mapping)
+
+
+def main() -> None:
+    dept_a = department_a()
+    dept_b = department_b()
+
+    print("Department A (publication schema):")
+    print(f"   tables: {dept_a.db.schema.table_names()}")
+    print("Department B (HR schema):")
+    print(f"   tables: {dept_b.db.schema.table_names()}")
+
+    # A exports its people/groups as RDF on the shared ontology.
+    exported = dept_a.dump()
+    print(f"\nA exports {len(exported)} triples")
+
+    # B imports the exchanged graph through its own mediator: the same
+    # triples land in completely different tables/columns.
+    request = UpdateRequest(operations=(InsertData(tuple(exported)),))
+    result = dept_b.update(request)
+    print(f"B translated the import into {result.statements_executed()} SQL "
+          "statements:")
+    for line in result.sql():
+        print("   " + line)
+
+    # Verify on the relational level that the data arrived in B's schema.
+    rows = dept_b.db.query(
+        "SELECT p.surname, g.label FROM person p "
+        "JOIN research_group g ON p.grp = g.gid ORDER BY p.surname"
+    )
+    print("\nB's relational view of the imported data:")
+    for surname, label in rows:
+        print(f"   {surname:>6} works in {label}")
+
+    # And on the semantic level both stores now answer the same query.
+    query = (
+        PREFIXES
+        + "SELECT ?n WHERE { ?x foaf:family_name ?n . } ORDER BY ?n"
+    )
+    names_a = [r[0].lexical for r in dept_a.query(query).rows()]
+    names_b = [r[0].lexical for r in dept_b.query(query).rows()]
+    print(f"\nsame SPARQL query on A: {names_a}")
+    print(f"same SPARQL query on B: {names_b}")
+    assert names_a == names_b
+    print("departments agree ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""The paper's feasibility study (Section 7), end to end.
+
+Prints Table 1 (the use-case mapping overview) and then replays every
+listing: the SPARQL/Update operations 9, 13, 15, 17, and the MODIFY of
+Listing 11, each followed by the SQL the mediator generates — the same SQL
+the paper shows in Listings 10, 14, 16, 18, and 12's translation.
+
+Run:  python examples/feasibility_study.py
+"""
+
+from repro import OntoAccess
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    table1_rows,
+)
+
+PREFIXES = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dc:   <http://purl.org/dc/elements/1.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+"""
+
+LISTING_13 = PREFIXES + """
+INSERT DATA {
+    ex:team4 foaf:name "Database Technology" ;
+             ont:teamCode "DBTG" .
+}
+"""
+
+LISTING_15 = PREFIXES + """
+INSERT DATA {
+    ex:pub12 dc:title "Relational..." ;
+        ont:pubYear "2009" ;
+        ont:pubType ex:pubtype4 ;
+        dc:publisher ex:publisher3 ;
+        dc:creator ex:author6 .
+
+    ex:author6 foaf:title "Mr" ;
+        foaf:firstName "Matthias" ;
+        foaf:family_name "Hert" ;
+        foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+        ont:team ex:team5 .
+
+    ex:team5 foaf:name "Software Engineering" ;
+        ont:teamCode "SEAL" .
+
+    ex:pubtype4 ont:type "inproceedings" .
+
+    ex:publisher3 ont:name "Springer" .
+}
+"""
+
+LISTING_17 = PREFIXES + """
+DELETE DATA {
+    ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> .
+}
+"""
+
+LISTING_11 = PREFIXES + """
+MODIFY
+DELETE { ?x foaf:mbox ?mbox . }
+INSERT { ?x foaf:mbox <mailto:hert@example.com> . }
+WHERE {
+    ?x rdf:type foaf:Person ;
+       foaf:firstName "Matthias" ;
+       foaf:family_name "Hert" ;
+       foaf:mbox ?mbox .
+}
+"""
+
+
+def banner(text: str) -> None:
+    print("\n" + "=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def run(mediator: OntoAccess, label: str, request: str) -> None:
+    banner(label)
+    print(request.strip())
+    result = mediator.update(request)
+    print("\n-- translated SQL (executed in one transaction):")
+    for line in result.sql():
+        print("   " + line)
+
+
+def main() -> None:
+    db = build_database()
+    mediator = OntoAccess(db, build_mapping(db))
+
+    banner("Table 1: Use case mapping overview")
+    print(f"{'table -> class':<34} attribute -> property")
+    print("-" * 72)
+    for left, right in table1_rows(mediator.mapping):
+        print(f"{left:<34} {right}")
+
+    run(mediator, "Listing 13 -> Listing 14 (single-table INSERT DATA)", LISTING_13)
+    run(
+        mediator,
+        "Listing 15 -> Listing 16 (complete dataset, FK-sorted INSERTs)",
+        LISTING_15,
+    )
+    run(mediator, "Listing 17 -> Listing 18 (attribute DELETE DATA)", LISTING_17)
+
+    # Listing 17 removed the email; restore it so the MODIFY of Listing 11
+    # has its one result binding, as in the paper's standalone example.
+    mediator.update(
+        PREFIXES
+        + "INSERT DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }"
+    )
+
+    banner("Listing 11 -> Listing 12 (MODIFY via Algorithm 2)")
+    print(LISTING_11.strip())
+    result = mediator.update(LISTING_11)
+    op = result.operations[0]
+    print(f"\n-- WHERE clause evaluated via translated SQL: {op.used_sql_select}")
+    print(f"-- result bindings: {op.bindings}")
+    print("-- per-binding SQL (redundant delete optimized away):")
+    for line in result.sql():
+        print("   " + line)
+
+    banner("Final database state")
+    for table in ("team", "pubtype", "publisher", "publication", "author",
+                  "publication_author"):
+        print(f"   {table}: {db.row_count(table)} row(s)")
+    row = db.get_row_by_pk("author", (6,))
+    print(f"   author6 email is now: {row['email']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""OntoAccess reproduction: updating relational data via SPARQL/Update.
+
+Reproduces Hert, Reif, Gall — "Updating Relational Data via SPARQL/Update"
+(EDBT 2010) as a pure-Python library, including every substrate: an RDF
+stack, a SPARQL query/update engine, a relational database engine, the R3M
+mapping language, and the OntoAccess mediator.
+
+Quickstart::
+
+    from repro import OntoAccess
+    from repro.workloads.publication import build_database, build_mapping
+
+    db = build_database()
+    oa = OntoAccess(db, build_mapping(db))
+    oa.update('''
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX ont:  <http://example.org/ontology#>
+        PREFIX ex:   <http://example.org/db/>
+        INSERT DATA { ex:team4 foaf:name "Database Technology" ;
+                               ont:teamCode "DBTG" . }
+    ''')
+"""
+
+from .core.mediator import OntoAccess, OperationResult, UpdateResult
+from .errors import (
+    MappingError,
+    ReproError,
+    TranslationError,
+    UnsupportedPatternError,
+)
+from .rdb.engine import Database
+from .rdf.graph import Graph
+from .r3m.model import DatabaseMapping
+from .r3m.generator import generate_mapping
+from .r3m.parser import parse_mapping
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DatabaseMapping",
+    "Graph",
+    "MappingError",
+    "OntoAccess",
+    "OperationResult",
+    "ReproError",
+    "TranslationError",
+    "UnsupportedPatternError",
+    "UpdateResult",
+    "generate_mapping",
+    "parse_mapping",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Baselines: native triple store and the unsorted-translation ablation."""
+
+from .triplestore import MappingAwareTripleStore, NativeTripleStore
+from .unsorted import UnsortedOntoAccess, shuffled_statement_order
+
+__all__ = [
+    "MappingAwareTripleStore",
+    "NativeTripleStore",
+    "UnsortedOntoAccess",
+    "shuffled_statement_order",
+]

@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands
+
+``demo``
+    Run the paper's feasibility study end to end (Table 1 + listings).
+``serve``
+    Start the HTTP endpoint on the publication use case (or a schema file).
+``update`` / ``query``
+    Execute a SPARQL/Update request or SPARQL query from a file or stdin
+    against a schema+data script, printing translated SQL / results.
+``dump``
+    Print the mapped database as Turtle.
+``mapping``
+    Auto-generate and print the R3M mapping for a schema (``--validate``
+    checks an existing mapping document against the schema).
+
+The CLI wires files to the library; all semantics live in the packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.mediator import OntoAccess
+from .errors import ReproError, TranslationError
+from .rdb.engine import Database
+from .rdf.graph import Graph
+from .rdf.serialize import to_turtle
+from .r3m.generator import generate_mapping
+from .r3m.parser import parse_mapping
+from .r3m.serialize import mapping_to_turtle
+from .r3m.validator import validate_mapping
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OntoAccess: update relational data via SPARQL/Update",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="run the paper's feasibility study")
+
+    serve = sub.add_parser("serve", help="start the HTTP endpoint")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8034)
+    _add_schema_args(serve)
+
+    update = sub.add_parser("update", help="execute a SPARQL/Update request")
+    update.add_argument(
+        "request", nargs="?", help="file with the request ('-' or omitted = stdin)"
+    )
+    update.add_argument(
+        "--dry-run", action="store_true",
+        help="translate only; print SQL without executing",
+    )
+    _add_schema_args(update)
+
+    query = sub.add_parser("query", help="execute a SPARQL query")
+    query.add_argument(
+        "query", nargs="?", help="file with the query ('-' or omitted = stdin)"
+    )
+    _add_schema_args(query)
+
+    dump = sub.add_parser("dump", help="dump the mapped database as Turtle")
+    _add_schema_args(dump)
+
+    mapping = sub.add_parser(
+        "mapping", help="generate or validate an R3M mapping"
+    )
+    mapping.add_argument(
+        "--validate", metavar="MAPPING.TTL",
+        help="validate this mapping document against the schema",
+    )
+    _add_schema_args(mapping)
+    return parser
+
+
+def _add_schema_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--schema", metavar="SCHEMA.SQL",
+        help="SQL script creating the schema (default: the paper's "
+        "publication use case)",
+    )
+    parser.add_argument(
+        "--data", metavar="DATA.SQL",
+        help="SQL script loading initial data",
+    )
+    parser.add_argument(
+        "--mapping", metavar="MAPPING.TTL", dest="mapping_file",
+        help="R3M mapping document (default: auto-generated / the paper's "
+        "Table 1 mapping for the default schema)",
+    )
+
+
+def _read(path: Optional[str]) -> str:
+    if path is None or path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _build_mediator(args) -> OntoAccess:
+    if args.schema:
+        db = Database()
+        db.execute_script(_read(args.schema))
+    else:
+        from .workloads.publication import build_database
+
+        db = build_database()
+    if getattr(args, "data", None):
+        db.execute_script(_read(args.data))
+    if args.mapping_file:
+        mapping = parse_mapping(_read(args.mapping_file))
+    elif args.schema:
+        mapping = generate_mapping(db)
+    else:
+        from .workloads.publication import build_mapping
+
+        mapping = build_mapping(db)
+    return OntoAccess(db, mapping)
+
+
+def main(argv: Optional[List[str]] = None, stdout=None) -> int:
+    out = stdout or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args, out) -> int:
+    return {
+        "demo": _cmd_demo,
+        "serve": _cmd_serve,
+        "update": _cmd_update,
+        "query": _cmd_query,
+        "dump": _cmd_dump,
+        "mapping": _cmd_mapping,
+    }[args.command](args, out)
+
+
+def _cmd_demo(args, out) -> int:
+    from .workloads.publication import (
+        build_database,
+        build_mapping,
+        table1_rows,
+    )
+
+    db = build_database()
+    mediator = OntoAccess(db, build_mapping(db))
+    print("Table 1: use case mapping overview", file=out)
+    for left, right in table1_rows(mediator.mapping):
+        print(f"  {left:<32} {right}", file=out)
+    from .workloads.operations import (
+        PREFIXES,
+        insert_full_publication_op,
+    )
+
+    request = insert_full_publication_op(12, 6, 5, 4, 3)
+    print("\nListing-15-style request:", file=out)
+    result = mediator.update(request)
+    print("translated SQL:", file=out)
+    for line in result.sql():
+        print("  " + line, file=out)
+    print(f"\n{len(mediator.dump())} triples in the mediated graph", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from .server.endpoint import OntoAccessEndpoint
+
+    mediator = _build_mediator(args)
+    endpoint = OntoAccessEndpoint(mediator, host=args.host, port=args.port)
+    endpoint.start()
+    print(f"OntoAccess endpoint at {endpoint.url}", file=out)
+    print("POST /update, POST /query, GET /dump, GET /mapping", file=out)
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        endpoint.stop()
+    return 0
+
+
+def _cmd_update(args, out) -> int:
+    mediator = _build_mediator(args)
+    request = _read(args.request)
+    if args.dry_run:
+        for line in mediator.translate_sql(request):
+            print(line, file=out)
+        return 0
+    try:
+        result = mediator.update(request)
+    except TranslationError as exc:
+        from .core.feedback import error_graph
+
+        print(to_turtle(error_graph(exc)), file=out)
+        return 1
+    for line in result.sql():
+        print(line, file=out)
+    print(f"-- {result.statements_executed()} statement(s) executed", file=out)
+    return 0
+
+
+def _cmd_query(args, out) -> int:
+    mediator = _build_mediator(args)
+    result = mediator.query(_read(args.query))
+    if isinstance(result, bool):
+        print("true" if result else "false", file=out)
+    elif isinstance(result, Graph):
+        print(to_turtle(result), file=out)
+    else:
+        from .server.protocol import render_select_result
+
+        print(render_select_result(result), end="", file=out)
+    return 0
+
+
+def _cmd_dump(args, out) -> int:
+    mediator = _build_mediator(args)
+    print(to_turtle(mediator.dump()), file=out)
+    return 0
+
+
+def _cmd_mapping(args, out) -> int:
+    if args.schema:
+        db = Database()
+        db.execute_script(_read(args.schema))
+    else:
+        from .workloads.publication import build_database
+
+        db = build_database()
+    if args.validate:
+        mapping = parse_mapping(_read(args.validate))
+        problems = validate_mapping(mapping, db, raise_on_error=False)
+        if problems:
+            for problem in problems:
+                print(f"PROBLEM: {problem}", file=out)
+            return 1
+        print("mapping is consistent with the schema", file=out)
+        return 0
+    if args.mapping_file:
+        mapping = parse_mapping(_read(args.mapping_file))
+    elif args.schema:
+        mapping = generate_mapping(db)
+    else:
+        from .workloads.publication import build_mapping
+
+        mapping = build_mapping(db)
+    print(mapping_to_turtle(mapping), file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,398 @@
+"""Shared pieces of the SPARQL/Update-to-SQL translation (Algorithm 1).
+
+Provides the per-step building blocks the INSERT DATA and DELETE DATA
+drivers compose:
+
+* :func:`group_by_subject` — step 1: group triples by equal subjects;
+* :class:`EntityRef` / :func:`identify_entity` — step 2: identify the
+  target table and primary-key values from a subject URI;
+* value conversion between RDF terms and SQL values according to the
+  mapping and column types (used by steps 3 and 4);
+* classification of a subject group's triples into type / attribute /
+  link-table triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TranslationError, TypeMismatchError
+from ..rdb.catalog import Column, Table
+from ..rdb.engine import Database
+from ..rdb.types import BooleanType, DateType, FloatType, IntegerType, SQLType
+from ..rdf.namespace import RDF
+from ..rdf.terms import (
+    XSD_BOOLEAN,
+    XSD_DATE,
+    XSD_DATETIME,
+    XSD_DOUBLE,
+    XSD_FLOAT,
+    XSD_INTEGER,
+    BNode,
+    Literal,
+    Object,
+    Term,
+    Triple,
+    URIRef,
+)
+from ..r3m.model import AttributeMapping, DatabaseMapping, LinkTableMapping, TableMapping
+
+__all__ = [
+    "EntityRef",
+    "SubjectGroup",
+    "group_by_subject",
+    "identify_entity",
+    "classify_group",
+    "term_to_sql_value",
+    "sql_value_to_term",
+    "coerce_pattern_values",
+]
+
+
+def group_by_subject(triples: Tuple[Triple, ...]) -> List[Tuple[Term, List[Triple]]]:
+    """Algorithm 1 step 1: group triples by equal subject, preserving the
+    order in which subjects first appear."""
+    groups: Dict[Term, List[Triple]] = {}
+    for triple in triples:
+        groups.setdefault(triple.subject, []).append(triple)
+    return list(groups.items())
+
+
+@dataclass
+class EntityRef:
+    """A subject resolved to a table and primary-key values (step 2)."""
+
+    uri: URIRef
+    table: TableMapping
+    #: URI-pattern attribute values coerced to their column types.
+    key_values: Dict[str, Any]
+
+    def pk_tuple(self, db: Database) -> Tuple[Any, ...]:
+        schema_table = db.table(self.table.table_name)
+        return tuple(self.key_values[c] for c in schema_table.primary_key)
+
+    def exists(self, db: Database) -> bool:
+        return self.current_row(db) is not None
+
+    def current_row(self, db: Database) -> Optional[Dict[str, Any]]:
+        return db.get_row_by_pk(self.table.table_name, self.pk_tuple(db))
+
+
+def identify_entity(
+    mapping: DatabaseMapping, db: Database, subject: Term
+) -> EntityRef:
+    """Resolve a subject URI to (table, key values) or raise.
+
+    Blank-node subjects cannot be mapped to rows (no key information), so
+    they are rejected with a rich error — the paper's mapping mints URIs
+    for every entity.
+    """
+    if isinstance(subject, BNode):
+        raise TranslationError(
+            f"blank node subject {subject} cannot be mapped to a table row; "
+            "use an instance URI matching a uriPattern",
+            code=TranslationError.UNKNOWN_SUBJECT,
+            details={"subject": str(subject)},
+        )
+    if not isinstance(subject, URIRef):
+        raise TranslationError(
+            f"subject must be a URI, got {subject!r}",
+            code=TranslationError.UNKNOWN_SUBJECT,
+            details={"subject": str(subject)},
+        )
+    candidates = mapping.identify_candidates(subject)
+    if not candidates:
+        raise TranslationError(
+            f"subject {subject.value} matches no uriPattern in the mapping",
+            code=TranslationError.UNKNOWN_SUBJECT,
+            details={"subject": subject.value},
+        )
+    # Most specific pattern whose extracted values fit the column types
+    # wins (e.g. "pubtype4" structurally matches pub%%id%% too, but
+    # "type4" is no INTEGER, so the pubtype table is the only valid match).
+    last_error: Optional[TranslationError] = None
+    for table_mapping, raw_values in candidates:
+        try:
+            key_values = coerce_pattern_values(
+                db, table_mapping, raw_values, subject
+            )
+        except TranslationError as exc:
+            last_error = exc
+            continue
+        return EntityRef(uri=subject, table=table_mapping, key_values=key_values)
+    assert last_error is not None
+    raise last_error
+
+
+def coerce_pattern_values(
+    db: Database,
+    table_mapping: TableMapping,
+    raw_values: Dict[str, str],
+    subject: URIRef,
+) -> Dict[str, Any]:
+    """Coerce URI-pattern-extracted strings to the column types."""
+    schema_table = db.table(table_mapping.table_name)
+    coerced: Dict[str, Any] = {}
+    for attr, raw in raw_values.items():
+        column = schema_table.column(attr)
+        try:
+            coerced[attr] = column.sql_type.coerce(raw, attr)
+        except TypeMismatchError as exc:
+            raise TranslationError(
+                f"URI {subject.value}: pattern value {raw!r} is invalid for "
+                f"{table_mapping.table_name}.{attr}: {exc}",
+                code=TranslationError.TYPE_MISMATCH,
+                details={
+                    "subject": subject.value,
+                    "table": table_mapping.table_name,
+                    "attribute": attr,
+                    "value": raw,
+                },
+            ) from exc
+    return coerced
+
+
+@dataclass
+class SubjectGroup:
+    """One subject's triples, classified for translation (steps 2-3)."""
+
+    entity: EntityRef
+    #: declared rdf:type objects (usually zero or one)
+    types: List[Term] = field(default_factory=list)
+    #: attribute triples: (attribute mapping, object term)
+    attribute_values: List[Tuple[AttributeMapping, Object]] = field(
+        default_factory=list
+    )
+    #: link-table triples: (link mapping, object term)
+    link_values: List[Tuple[LinkTableMapping, Object]] = field(default_factory=list)
+
+
+def classify_group(
+    mapping: DatabaseMapping,
+    db: Database,
+    subject: Term,
+    triples: List[Triple],
+) -> SubjectGroup:
+    """Steps 2-3 (structural part): identify the table and classify each
+    triple as type / attribute / link, rejecting unknown properties."""
+    entity = identify_entity(mapping, db, subject)
+    group = SubjectGroup(entity=entity)
+    table = entity.table
+
+    for triple in triples:
+        predicate = triple.predicate
+        if predicate == RDF.type:
+            group.types.append(triple.object)
+            if triple.object != table.maps_to_class:
+                raise TranslationError(
+                    f"subject {entity.uri.value} is mapped to table "
+                    f"{table.table_name!r} (class {table.maps_to_class}), but "
+                    f"the request types it as {triple.object}",
+                    code=TranslationError.CLASS_MISMATCH,
+                    details={
+                        "subject": entity.uri.value,
+                        "table": table.table_name,
+                        "expected": str(table.maps_to_class),
+                        "actual": str(triple.object),
+                    },
+                )
+            continue
+        link = mapping.link_for_property(predicate)
+        if link is not None:
+            if link.subject_table() != table.table_name:
+                raise TranslationError(
+                    f"property {predicate} links instances of "
+                    f"{link.subject_table()!r}, not {table.table_name!r}",
+                    code=TranslationError.UNKNOWN_PROPERTY,
+                    details={
+                        "subject": entity.uri.value,
+                        "property": str(predicate),
+                        "table": table.table_name,
+                    },
+                )
+            group.link_values.append((link, triple.object))
+            continue
+        attribute = table.attribute_for_property(predicate)
+        if attribute is None:
+            raise TranslationError(
+                f"property {predicate} is not mapped for table "
+                f"{table.table_name!r}",
+                code=TranslationError.UNKNOWN_PROPERTY,
+                details={
+                    "subject": entity.uri.value,
+                    "property": str(predicate),
+                    "table": table.table_name,
+                },
+            )
+        group.attribute_values.append((attribute, triple.object))
+    return group
+
+
+# ---------------------------------------------------------------------------
+# value conversion
+# ---------------------------------------------------------------------------
+
+def term_to_sql_value(
+    mapping: DatabaseMapping,
+    db: Database,
+    table: TableMapping,
+    attribute: AttributeMapping,
+    obj: Object,
+) -> Any:
+    """Convert a triple object into the SQL value for an attribute.
+
+    Data properties take the literal's lexical value coerced to the column
+    type; object properties take the primary-key value extracted from the
+    object URI via the referenced table's URI pattern.
+    """
+    column = db.table(table.table_name).column(attribute.attribute_name)
+    if attribute.is_object_property:
+        referenced = attribute.references()
+        if referenced is None:
+            raise TranslationError(
+                f"attribute {table.table_name}.{attribute.attribute_name} is "
+                "an object property without a foreign key",
+                code=TranslationError.UNSUPPORTED,
+            )
+        return _object_uri_to_key(mapping, db, referenced, obj, table, attribute)
+
+    if isinstance(obj, URIRef):
+        # Data attribute holding URI-valued terms (e.g. foaf:mbox →
+        # email): extract the stored value through the value pattern, or
+        # store the full URI string when no pattern is declared.
+        if attribute.value_pattern is not None:
+            extracted = attribute.value_pattern.match(obj)
+            if extracted is None:
+                raise TranslationError(
+                    f"value {obj.value} does not match the value pattern "
+                    f"{attribute.value_pattern.pattern!r} of "
+                    f"{table.table_name}.{attribute.attribute_name}",
+                    code=TranslationError.TYPE_MISMATCH,
+                    details={
+                        "table": table.table_name,
+                        "attribute": attribute.attribute_name,
+                        "value": obj.value,
+                    },
+                )
+            raw_value = extracted[attribute.value_pattern.attributes[0]]
+        else:
+            raw_value = obj.value
+        try:
+            return column.sql_type.coerce(raw_value, attribute.attribute_name)
+        except TypeMismatchError as exc:
+            raise TranslationError(
+                f"URI value {obj.value} cannot be stored in "
+                f"{table.table_name}.{attribute.attribute_name}: {exc}",
+                code=TranslationError.TYPE_MISMATCH,
+                details={
+                    "table": table.table_name,
+                    "attribute": attribute.attribute_name,
+                    "value": obj.value,
+                },
+            ) from exc
+    if not isinstance(obj, Literal):
+        raise TranslationError(
+            f"property {attribute.property} is a data property; expected a "
+            f"literal object, got {obj.n3() if isinstance(obj, Term) else obj!r}",
+            code=TranslationError.TYPE_MISMATCH,
+            details={
+                "table": table.table_name,
+                "attribute": attribute.attribute_name,
+                "property": str(attribute.property),
+            },
+        )
+    try:
+        return column.sql_type.coerce(obj.to_python(), attribute.attribute_name)
+    except (TypeMismatchError, ValueError) as exc:
+        raise TranslationError(
+            f"literal {obj.n3()} cannot be stored in "
+            f"{table.table_name}.{attribute.attribute_name}: {exc}",
+            code=TranslationError.TYPE_MISMATCH,
+            details={
+                "table": table.table_name,
+                "attribute": attribute.attribute_name,
+                "value": obj.lexical,
+            },
+        ) from exc
+
+
+def _object_uri_to_key(
+    mapping: DatabaseMapping,
+    db: Database,
+    referenced_table: str,
+    obj: Object,
+    table: TableMapping,
+    attribute: AttributeMapping,
+) -> Any:
+    if not isinstance(obj, URIRef):
+        raise TranslationError(
+            f"property {attribute.property} is an object property; expected "
+            f"an instance URI, got {obj.n3() if isinstance(obj, Term) else obj!r}",
+            code=TranslationError.TYPE_MISMATCH,
+            details={
+                "table": table.table_name,
+                "attribute": attribute.attribute_name,
+            },
+        )
+    target = mapping.table(referenced_table)
+    values = target.uri_pattern.match(obj)
+    if values is None:
+        raise TranslationError(
+            f"object {obj.value} does not match the uriPattern of the "
+            f"referenced table {referenced_table!r}",
+            code=TranslationError.FK_TARGET_MISSING,
+            details={
+                "object": obj.value,
+                "referenced_table": referenced_table,
+            },
+        )
+    coerced = coerce_pattern_values(db, target, values, obj)
+    schema_table = db.table(referenced_table)
+    pk = schema_table.primary_key
+    if len(pk) != 1:
+        raise TranslationError(
+            f"referenced table {referenced_table!r} must have a single-column "
+            "primary key for object-property mapping",
+            code=TranslationError.UNSUPPORTED,
+        )
+    return coerced[pk[0]]
+
+
+def sql_value_to_term(
+    mapping: DatabaseMapping,
+    table: TableMapping,
+    attribute: AttributeMapping,
+    value: Any,
+    column: Column,
+) -> Optional[Term]:
+    """Convert a stored SQL value back to a triple object (dump/query path).
+
+    Returns None for NULL (no triple).  Numeric/boolean/date columns emit
+    typed literals; string columns emit plain literals, matching the form
+    the paper's listings use.
+    """
+    if value is None:
+        return None
+    if attribute.is_object_property:
+        target = mapping.table(attribute.references())
+        return target.uri_pattern.format({target.uri_pattern.attributes[0]: value})
+    if attribute.value_pattern is not None:
+        return attribute.value_pattern.format(
+            {attribute.value_pattern.attributes[0]: value}
+        )
+    return literal_for_column(column.sql_type, value)
+
+
+def literal_for_column(sql_type: SQLType, value: Any) -> Literal:
+    """Canonical literal form for a column type (shared with baselines)."""
+    if isinstance(sql_type, IntegerType):
+        return Literal(str(int(value)), datatype=XSD_INTEGER)
+    if isinstance(sql_type, FloatType):
+        return Literal(repr(float(value)), datatype=XSD_DOUBLE)
+    if isinstance(sql_type, BooleanType):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(sql_type, DateType):
+        datatype = XSD_DATETIME if ("T" in str(value) or " " in str(value)) else XSD_DATE
+        return Literal(str(value), datatype=datatype)
+    return Literal(str(value))

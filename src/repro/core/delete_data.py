@@ -1,0 +1,265 @@
+"""DELETE DATA → SQL translation (paper Section 5.1, Algorithm 1).
+
+"If the data in the operation represents only a subset of the data in the
+database, the operation is translated to a SQL UPDATE statement that sets
+all mentioned attributes to NULL ... Only if the data in the request
+operation equals all remaining (i.e., non-null) data in the database, the
+resulting SQL statement is a DELETE that removes the complete row."
+
+Checks performed before SQL generation:
+
+* the entity must exist and every triple to delete must actually hold
+  (value comparison after coercion, so ``"2009"`` matches the INTEGER
+  2009);
+* a partial delete must not NULL-out an attribute with a NOT NULL
+  constraint — that is only possible by deleting the whole row;
+* deleting the ``rdf:type`` triple is only valid as part of a complete
+  row deletion (relationally, an entity cannot lose its class).
+
+Link-table triples translate to ``DELETE`` on the link table restricted to
+the subject/object key pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import TranslationError
+from ..rdb.engine import Database
+from ..rdf.terms import Object, Triple, URIRef
+from ..r3m.model import DatabaseMapping, LinkTableMapping
+from ..sql import ast
+from .common import (
+    EntityRef,
+    SubjectGroup,
+    classify_group,
+    coerce_pattern_values,
+    group_by_subject,
+    term_to_sql_value,
+)
+from .sorting import sort_statements
+
+__all__ = ["translate_delete_data"]
+
+
+def translate_delete_data(
+    mapping: DatabaseMapping,
+    db: Database,
+    triples: Tuple[Triple, ...],
+) -> List[ast.Statement]:
+    """Translate a DELETE DATA payload to sorted SQL statements."""
+    statements: List[ast.Statement] = []
+    for subject, group_triples in group_by_subject(triples):
+        group = classify_group(mapping, db, subject, group_triples)
+        statements.extend(_translate_group(mapping, db, group))
+    return sort_statements(statements, db.schema)
+
+
+def _translate_group(
+    mapping: DatabaseMapping, db: Database, group: SubjectGroup
+) -> List[ast.Statement]:
+    entity = group.entity
+    statements: List[ast.Statement] = []
+
+    for link, obj in group.link_values:
+        statements.append(_link_delete(mapping, db, link, entity, obj))
+
+    if not group.attribute_values and not group.types:
+        return statements
+
+    current = entity.current_row(db)
+    if current is None:
+        raise TranslationError(
+            f"entity {entity.uri.value} does not exist in table "
+            f"{entity.table.table_name!r}",
+            code=TranslationError.ENTITY_MISSING,
+            details={
+                "subject": entity.uri.value,
+                "table": entity.table.table_name,
+            },
+        )
+
+    deleted_attrs = _verify_triples_hold(mapping, db, group, current)
+
+    if _covers_all_remaining_data(db, group, current, deleted_attrs):
+        statements.append(
+            ast.Delete(
+                table=entity.table.table_name,
+                where=_pk_condition(db, entity),
+            )
+        )
+        return statements
+
+    # Partial delete → UPDATE ... SET attr = NULL.
+    if group.types:
+        raise TranslationError(
+            f"cannot delete the rdf:type triple of {entity.uri.value} while "
+            "other data remains: a row cannot lose its table",
+            code=TranslationError.CONSTRAINT_VIOLATION,
+            details={
+                "subject": entity.uri.value,
+                "table": entity.table.table_name,
+            },
+        )
+    schema_table = db.table(entity.table.table_name)
+    assignments = []
+    for name, old_value in deleted_attrs.items():
+        column = schema_table.column(name)
+        if column.not_null or schema_table.is_primary_key(name):
+            raise TranslationError(
+                f"cannot set NOT NULL attribute "
+                f"{entity.table.table_name}.{name} to NULL; delete the "
+                "complete entity instead",
+                code=TranslationError.NOT_NULL_DELETE,
+                details={
+                    "subject": entity.uri.value,
+                    "table": entity.table.table_name,
+                    "attribute": name,
+                },
+            )
+        assignments.append(ast.Assignment(name, ast.Null()))
+    # WHERE pk AND attr = old-value, the guarded form of Listing 18.
+    condition = _pk_condition(db, entity)
+    for name, old_value in deleted_attrs.items():
+        condition = ast.BinaryOp(
+            "AND",
+            condition,
+            ast.BinaryOp("=", ast.ColumnRef(name), ast.Literal(old_value)),
+        )
+    statements.append(
+        ast.Update(
+            table=entity.table.table_name,
+            assignments=tuple(assignments),
+            where=condition,
+        )
+    )
+    return statements
+
+
+def _verify_triples_hold(
+    mapping: DatabaseMapping,
+    db: Database,
+    group: SubjectGroup,
+    current: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Check every attribute triple is present; return {attr: old value}."""
+    entity = group.entity
+    deleted: Dict[str, Any] = {}
+    for attribute, obj in group.attribute_values:
+        value = term_to_sql_value(mapping, db, entity.table, attribute, obj)
+        name = attribute.attribute_name
+        existing = current.get(name)
+        if existing is None or existing != value:
+            raise TranslationError(
+                f"triple to delete does not hold: "
+                f"{entity.table.table_name}.{name} of {entity.uri.value} is "
+                f"{existing!r}, not {value!r}",
+                code=TranslationError.TRIPLE_MISSING,
+                details={
+                    "subject": entity.uri.value,
+                    "table": entity.table.table_name,
+                    "attribute": name,
+                    "expected": value,
+                    "actual": existing,
+                },
+            )
+        deleted[name] = value
+    return deleted
+
+
+def _covers_all_remaining_data(
+    db: Database,
+    group: SubjectGroup,
+    current: Dict[str, Any],
+    deleted_attrs: Dict[str, Any],
+) -> bool:
+    """Does the request delete *all* non-null mapped data of the row?
+
+    Key attributes carried by the URI pattern don't count (they exist as
+    long as the row does), and only attributes mapped to properties can be
+    expressed as triples at all.
+    """
+    entity = group.entity
+    pattern_attrs = set(entity.table.uri_pattern.attributes)
+    remaining = {
+        a.attribute_name
+        for a in entity.table.mapped_attributes()
+        if current.get(a.attribute_name) is not None
+        and a.attribute_name not in pattern_attrs
+    }
+    # The rdf:type triple is implied by the row's existence, so it does not
+    # enter the comparison; "equals all remaining (i.e., non-null) data"
+    # is plain set equality over the mapped non-key attributes.
+    return remaining == set(deleted_attrs)
+
+
+def _link_delete(
+    mapping: DatabaseMapping,
+    db: Database,
+    link: LinkTableMapping,
+    entity: EntityRef,
+    obj: Object,
+) -> ast.Delete:
+    if not isinstance(obj, URIRef):
+        raise TranslationError(
+            f"link property {link.property} requires an instance URI object",
+            code=TranslationError.TYPE_MISMATCH,
+            details={"property": str(link.property)},
+        )
+    target = mapping.table(link.object_table())
+    raw = target.uri_pattern.match(obj)
+    if raw is None:
+        raise TranslationError(
+            f"object {obj.value} does not match the uriPattern of "
+            f"{link.object_table()!r}",
+            code=TranslationError.FK_TARGET_MISSING,
+            details={"object": obj.value},
+        )
+    coerced = coerce_pattern_values(db, target, raw, obj)
+    object_key = tuple(
+        coerced[c] for c in db.table(link.object_table()).primary_key
+    )[0]
+    subject_key = entity.pk_tuple(db)[0]
+
+    subject_attr = link.subject_attribute.attribute_name
+    object_attr = link.object_attribute.attribute_name
+    table_data = db.table_data(link.table_name)
+    exists = any(
+        table_data.rows[rowid].get(object_attr) == object_key
+        for rowid in table_data.find_by_value(subject_attr, subject_key)
+    )
+    if not exists:
+        raise TranslationError(
+            f"link triple to delete does not hold: no "
+            f"{link.table_name} row with {subject_attr}={subject_key}, "
+            f"{object_attr}={object_key}",
+            code=TranslationError.TRIPLE_MISSING,
+            details={
+                "table": link.table_name,
+                "subject_key": subject_key,
+                "object_key": object_key,
+            },
+        )
+    return ast.Delete(
+        table=link.table_name,
+        where=ast.BinaryOp(
+            "AND",
+            ast.BinaryOp("=", ast.ColumnRef(subject_attr), ast.Literal(subject_key)),
+            ast.BinaryOp("=", ast.ColumnRef(object_attr), ast.Literal(object_key)),
+        ),
+    )
+
+
+def _pk_condition(db: Database, entity: EntityRef) -> ast.Expression:
+    schema_table = db.table(entity.table.table_name)
+    condition: Optional[ast.Expression] = None
+    for column in schema_table.primary_key:
+        clause = ast.BinaryOp(
+            "=", ast.ColumnRef(column), ast.Literal(entity.key_values[column])
+        )
+        condition = clause if condition is None else ast.BinaryOp("AND", condition, clause)
+    if condition is None:
+        raise TranslationError(
+            f"table {entity.table.table_name!r} has no primary key"
+        )
+    return condition

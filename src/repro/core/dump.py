@@ -1,0 +1,90 @@
+"""RDB → RDF dump: materialize the mapped database as a graph.
+
+Implements the read direction of the mapping (paper Section 4): "each row
+in a database table is mapped to a set of RDF triples.  One triple
+identifies the entity ... as an instance of the class the corresponding
+table is mapped to.  Then, there is in general one triple for each table
+attribute that relates the instance to a data value or another instance."
+Link-table rows become single object-property triples.
+
+The dump serves three roles: the read-access path for small databases, the
+fallback evaluation target for SPARQL patterns outside the translatable
+fragment, and the *oracle* in equivalence tests (mediated updates must
+leave the database in a state whose dump matches the native triple store).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..rdb.engine import Database
+from ..rdf.graph import Graph
+from ..rdf.namespace import RDF
+from ..rdf.terms import Triple
+from ..r3m.model import DatabaseMapping, LinkTableMapping, TableMapping
+from .common import sql_value_to_term
+
+__all__ = ["dump_database", "dump_table", "entity_uri"]
+
+
+def dump_database(mapping: DatabaseMapping, db: Database) -> Graph:
+    """Materialize every mapped table into a fresh graph."""
+    graph = Graph()
+    for table_mapping in mapping.tables.values():
+        for triple in dump_table(mapping, db, table_mapping):
+            graph.add(triple)
+    for link in mapping.link_tables.values():
+        for triple in _dump_link_table(mapping, db, link):
+            graph.add(triple)
+    return graph
+
+
+def dump_table(
+    mapping: DatabaseMapping, db: Database, table_mapping: TableMapping
+) -> Iterator[Triple]:
+    """Yield the triples of one table's rows."""
+    schema_table = db.table(table_mapping.table_name)
+    table_data = db.table_data(table_mapping.table_name)
+    for _, row in table_data.scan():
+        uri = table_mapping.uri_pattern.format(row)
+        yield Triple(uri, RDF.type, table_mapping.maps_to_class)
+        for attribute in table_mapping.mapped_attributes():
+            column = schema_table.column(attribute.attribute_name)
+            term = sql_value_to_term(
+                mapping, table_mapping, attribute, row.get(attribute.attribute_name), column
+            )
+            if term is not None:
+                yield Triple(uri, attribute.property, term)
+
+
+def _dump_link_table(
+    mapping: DatabaseMapping, db: Database, link: LinkTableMapping
+) -> Iterator[Triple]:
+    subject_table = mapping.table(link.subject_table())
+    object_table = mapping.table(link.object_table())
+    table_data = db.table_data(link.table_name)
+    subject_attr = link.subject_attribute.attribute_name
+    object_attr = link.object_attribute.attribute_name
+    subject_key = subject_table.uri_pattern.attributes[0]
+    object_key = object_table.uri_pattern.attributes[0]
+    for _, row in table_data.scan():
+        s_value = row.get(subject_attr)
+        o_value = row.get(object_attr)
+        if s_value is None or o_value is None:
+            continue
+        yield Triple(
+            subject_table.uri_pattern.format({subject_key: s_value}),
+            link.property,
+            object_table.uri_pattern.format({object_key: o_value}),
+        )
+
+
+def entity_uri(
+    mapping: DatabaseMapping, table_name: str, key_value
+) -> Optional[object]:
+    """Mint the instance URI for a row key (convenience for callers)."""
+    table_mapping = mapping.tables.get(table_name)
+    if table_mapping is None:
+        return None
+    attr = table_mapping.uri_pattern.attributes[0]
+    return table_mapping.uri_pattern.format({attr: key_value})

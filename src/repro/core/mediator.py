@@ -1,0 +1,327 @@
+"""The OntoAccess mediator: the public facade of the reproduction.
+
+Ties the mapping (R3M), the translation algorithms (Sections 5.1/5.2), the
+relational engine, the query path, and the feedback protocol together::
+
+    from repro import OntoAccess
+    from repro.workloads.publication import build_database, build_mapping
+
+    db = build_database()
+    oa = OntoAccess(db, build_mapping(db))
+    result = oa.update('''
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX ont:  <http://example.org/ontology#>
+        PREFIX ex:   <http://example.org/db/>
+        INSERT DATA {
+            ex:team4 foaf:name "Database Technology" ;
+                     ont:teamCode "DBTG" .
+        }
+    ''')
+    result.sql()  # ["INSERT INTO team (id, name, code) VALUES (4, ...);"]
+
+Every SPARQL/Update operation executes inside one database transaction
+("all generated SQL statements that correspond to a single SPARQL/Update
+operation are executed within the context of one database transaction to
+ensure the atomicity of the SPARQL/Update operation", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..errors import DatabaseError, IntegrityError, TranslationError
+from ..rdb.engine import Database
+from ..rdf.graph import Graph
+from ..rdf.namespace import PrefixMap
+from ..r3m.model import DatabaseMapping
+from ..r3m.validator import validate_mapping
+from ..sparql.query_ast import Query
+from ..sparql.update_ast import (
+    Clear,
+    DeleteData,
+    InsertData,
+    Modify,
+    UpdateOperation,
+    UpdateRequest,
+)
+from ..sparql.update_parser import parse_update
+from ..sql import ast
+from ..sql.render import render
+from .delete_data import translate_delete_data
+from .dump import dump_database
+from .feedback import confirmation_graph, error_graph
+from .insert_data import translate_insert_data
+from .modify import ModifyPlan, bindings_for_pattern, plan_binding, plan_modify
+from .query import QueryOutcome, execute_query
+
+__all__ = ["OntoAccess", "OperationResult", "UpdateResult"]
+
+
+@dataclass
+class OperationResult:
+    """Outcome of one translated + executed update operation."""
+
+    kind: str  # 'insert-data' | 'delete-data' | 'modify' | 'clear'
+    statements: List[ast.Statement] = field(default_factory=list)
+    rows_affected: int = 0
+    bindings: int = 0
+    #: True when a MODIFY evaluated its WHERE via translated SQL
+    used_sql_select: Optional[bool] = None
+
+    def sql(self) -> List[str]:
+        return [render(s) for s in self.statements]
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of a whole SPARQL/Update request."""
+
+    operations: List[OperationResult] = field(default_factory=list)
+
+    def sql(self) -> List[str]:
+        return [line for op in self.operations for line in op.sql()]
+
+    def statements_executed(self) -> int:
+        return sum(len(op.statements) for op in self.operations)
+
+    def feedback(self) -> Graph:
+        """The RDF confirmation message for this result."""
+        return confirmation_graph(
+            statements_executed=self.statements_executed(),
+            operations=len(self.operations),
+        )
+
+
+class OntoAccess:
+    """Mediator between SPARQL/Update clients and a relational database."""
+
+    def __init__(
+        self,
+        db: Database,
+        mapping: DatabaseMapping,
+        validate: bool = True,
+        optimize_modify: bool = True,
+        force_query_fallback: bool = False,
+    ) -> None:
+        self.db = db
+        self.mapping = mapping
+        self.optimize_modify = optimize_modify
+        self.force_query_fallback = force_query_fallback
+        if validate:
+            validate_mapping(mapping, db)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        request: Union[str, UpdateRequest],
+        prefixes: Optional[PrefixMap] = None,
+    ) -> UpdateResult:
+        """Translate and execute a SPARQL/Update request.
+
+        Raises :class:`~repro.errors.TranslationError` when a request is
+        invalid from the RDB perspective; nothing is persisted for the
+        failing operation (one transaction per operation).
+        """
+        if isinstance(request, str):
+            request = parse_update(request, prefixes=prefixes)
+        result = UpdateResult()
+        for operation in request.operations:
+            result.operations.append(self._execute_operation(operation))
+        return result
+
+    def try_update(
+        self,
+        request: Union[str, UpdateRequest],
+        prefixes: Optional[PrefixMap] = None,
+    ) -> Graph:
+        """Update and return the RDF feedback graph (never raises for
+        translation/constraint errors) — the HTTP endpoint's behaviour."""
+        try:
+            return self.update(request, prefixes=prefixes).feedback()
+        except TranslationError as exc:
+            return error_graph(exc)
+
+    def translate(
+        self,
+        request: Union[str, UpdateRequest],
+        prefixes: Optional[PrefixMap] = None,
+    ) -> List[ast.Statement]:
+        """Translate without executing (dry run against current state)."""
+        if isinstance(request, str):
+            request = parse_update(request, prefixes=prefixes)
+        statements: List[ast.Statement] = []
+        for operation in request.operations:
+            statements.extend(self._translate_operation(operation))
+        return statements
+
+    def translate_sql(
+        self,
+        request: Union[str, UpdateRequest],
+        prefixes: Optional[PrefixMap] = None,
+    ) -> List[str]:
+        """Dry-run translation rendered to SQL text (the paper's listings)."""
+        return [render(s) for s in self.translate(request, prefixes=prefixes)]
+
+    def _translate_operation(
+        self, operation: UpdateOperation
+    ) -> List[ast.Statement]:
+        if isinstance(operation, InsertData):
+            return translate_insert_data(self.mapping, self.db, operation.triples)
+        if isinstance(operation, DeleteData):
+            return translate_delete_data(self.mapping, self.db, operation.triples)
+        if isinstance(operation, Modify):
+            plan = plan_modify(
+                self.mapping,
+                self.db,
+                operation,
+                optimize_redundant_deletes=self.optimize_modify,
+                force_fallback=self.force_query_fallback,
+            )
+            return plan.all_statements()
+        if isinstance(operation, Clear):
+            return [
+                ast.Delete(table=name)
+                for name in reversed(
+                    _safe_clear_order(self.mapping, self.db)
+                )
+            ]
+        raise TranslationError(
+            f"unsupported operation {type(operation).__name__}",
+            code=TranslationError.UNSUPPORTED,
+        )
+
+    def _execute_operation(self, operation: UpdateOperation) -> OperationResult:
+        if isinstance(operation, InsertData):
+            statements = translate_insert_data(
+                self.mapping, self.db, operation.triples
+            )
+            return self._run("insert-data", statements)
+        if isinstance(operation, DeleteData):
+            statements = translate_delete_data(
+                self.mapping, self.db, operation.triples
+            )
+            return self._run("delete-data", statements)
+        if isinstance(operation, Modify):
+            return self._execute_modify(operation)
+        if isinstance(operation, Clear):
+            statements = self._translate_operation(operation)
+            return self._run("clear", statements)
+        raise TranslationError(
+            f"unsupported operation {type(operation).__name__}",
+            code=TranslationError.UNSUPPORTED,
+        )
+
+    def _run(self, kind: str, statements: List[ast.Statement]) -> OperationResult:
+        """Execute translated statements in one transaction."""
+        result = OperationResult(kind=kind, statements=statements)
+        self.db.begin()
+        try:
+            for statement in statements:
+                outcome = self.db.execute(statement)
+                result.rows_affected += outcome.rowcount
+            self.db.commit()
+        except (IntegrityError, DatabaseError) as exc:
+            if self.db.in_transaction():
+                self.db.rollback()
+            raise _wrap_db_error(exc) from exc
+        except Exception:
+            if self.db.in_transaction():
+                self.db.rollback()
+            raise
+        return result
+
+    def _execute_modify(self, operation: Modify) -> OperationResult:
+        """Algorithm 2: evaluate WHERE, then per binding translate and
+        execute the DELETE DATA / INSERT DATA pair (lines 7–13)."""
+        solutions, used_sql, _ = bindings_for_pattern(
+            self.mapping,
+            self.db,
+            operation.where,
+            force_fallback=self.force_query_fallback,
+        )
+        result = OperationResult(
+            kind="modify", bindings=len(solutions), used_sql_select=used_sql
+        )
+        self.db.begin()
+        try:
+            for solution in solutions:
+                # Re-plan against the current state: earlier bindings may
+                # have changed rows this binding touches.
+                step = plan_binding(
+                    self.mapping,
+                    self.db,
+                    operation,
+                    solution,
+                    optimize_redundant_deletes=self.optimize_modify,
+                )
+                for statement in step.all_statements():
+                    outcome = self.db.execute(statement)
+                    result.rows_affected += outcome.rowcount
+                    result.statements.append(statement)
+            self.db.commit()
+        except (IntegrityError, DatabaseError) as exc:
+            if self.db.in_transaction():
+                self.db.rollback()
+            raise _wrap_db_error(exc) from exc
+        except Exception:
+            if self.db.in_transaction():
+                self.db.rollback()
+            raise
+        return result
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        q: Union[str, Query],
+        prefixes: Optional[PrefixMap] = None,
+    ):
+        """Run a SPARQL query; returns SelectResult / bool / Graph."""
+        return self.query_outcome(q, prefixes=prefixes).result
+
+    def query_outcome(
+        self,
+        q: Union[str, Query],
+        prefixes: Optional[PrefixMap] = None,
+    ) -> QueryOutcome:
+        """Like :meth:`query` but exposing how the query was evaluated."""
+        return execute_query(
+            self.mapping,
+            self.db,
+            q,
+            prefixes=prefixes,
+            force_fallback=self.force_query_fallback,
+        )
+
+    def dump(self) -> Graph:
+        """Materialize the whole mapped database as RDF."""
+        return dump_database(self.mapping, self.db)
+
+
+def _wrap_db_error(exc: Exception) -> TranslationError:
+    if isinstance(exc, IntegrityError):
+        return TranslationError(
+            f"database rejected the update: {exc}",
+            code=TranslationError.CONSTRAINT_VIOLATION,
+            details={
+                "table": exc.table,
+                "attribute": exc.column,
+                "constraint": exc.constraint,
+            },
+        )
+    return TranslationError(
+        f"database error: {exc}", code=TranslationError.CONSTRAINT_VIOLATION
+    )
+
+
+def _safe_clear_order(mapping: DatabaseMapping, db: Database) -> List[str]:
+    """Tables in parents-first order; CLEAR deletes in reverse."""
+    from .sorting import topological_table_order
+
+    return topological_table_order(mapping.all_table_names(), db.schema)

@@ -1,0 +1,180 @@
+"""MODIFY → SQL translation (paper Section 5.2, Algorithm 2).
+
+Steps, mirroring the paper exactly:
+
+1. split the MODIFY into DELETE template, INSERT template, WHERE pattern;
+2. build a SELECT from the WHERE pattern and translate it to SQL
+   (:mod:`repro.core.select_translate`); when the pattern falls outside
+   the translatable fragment, evaluate it against the RDB dump instead;
+3. for each result binding, instantiate one DELETE DATA and one INSERT
+   DATA operation from the templates;
+4. translate and execute them via Algorithm 1, interleaved per binding in
+   one shared transaction (Algorithm 2 lines 7–13).
+
+The Section 5.2 optimization is applied per binding: when a delete triple
+has a corresponding insert triple (same subject and property, different
+object) and the property maps to a table attribute, the delete is omitted
+and the insert translates to an ``UPDATE`` that overwrites the value
+directly — "the delete would set an attribute value to NULL and the insert
+sets the same attribute to a new value, therefore the delete is redundant".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import UnsupportedPatternError
+from ..rdb.engine import Database
+from ..rdf.namespace import RDF
+from ..rdf.terms import Triple, URIRef
+from ..r3m.model import DatabaseMapping
+from ..sparql.algebra import Solution, evaluate_pattern, instantiate
+from ..sparql.update_ast import Modify
+from ..sql import ast
+from .delete_data import translate_delete_data
+from .insert_data import translate_insert_data
+from .select_translate import translate_pattern
+
+__all__ = ["ModifyPlan", "BindingStep", "plan_modify", "bindings_for_pattern"]
+
+
+@dataclass
+class BindingStep:
+    """The work for one WHERE-result binding (Algorithm 2 lines 8–11)."""
+
+    binding: Solution
+    delete_statements: List[ast.Statement] = field(default_factory=list)
+    insert_statements: List[ast.Statement] = field(default_factory=list)
+    #: number of delete triples dropped by the redundancy optimization
+    optimized_away: int = 0
+
+    def all_statements(self) -> List[ast.Statement]:
+        return [*self.delete_statements, *self.insert_statements]
+
+
+@dataclass
+class ModifyPlan:
+    """The translated MODIFY: per-binding statement batches plus metadata."""
+
+    steps: List[BindingStep]
+    used_sql_select: bool
+    select_sql: Optional[str] = None
+
+    def all_statements(self) -> List[ast.Statement]:
+        return [s for step in self.steps for s in step.all_statements()]
+
+
+def bindings_for_pattern(
+    mapping: DatabaseMapping,
+    db: Database,
+    pattern,
+    force_fallback: bool = False,
+) -> Tuple[List[Solution], bool, Optional[str]]:
+    """Evaluate a WHERE pattern on the RDB.
+
+    Returns (solutions, used_sql_translation, select_sql).  The fallback
+    materializes the database as RDF and evaluates natively.
+    """
+    if not force_fallback:
+        try:
+            translated = translate_pattern(mapping, db, pattern)
+            return translated.execute(), True, translated.sql()
+        except UnsupportedPatternError:
+            pass
+    from .dump import dump_database
+
+    graph = dump_database(mapping, db)
+    return evaluate_pattern(graph, pattern), False, None
+
+
+def plan_modify(
+    mapping: DatabaseMapping,
+    db: Database,
+    operation: Modify,
+    optimize_redundant_deletes: bool = True,
+    force_fallback: bool = False,
+) -> ModifyPlan:
+    """Translate a MODIFY operation against the *current* database state.
+
+    Note Algorithm 2 interleaves translation and execution per binding;
+    this function translates all bindings against the current state and is
+    what the mediator uses for dry-run display.  The mediator's execution
+    path re-plans each binding after executing the previous one, matching
+    the paper's loop exactly (see ``OntoAccess.update``).
+    """
+    solutions, used_sql, select_sql = bindings_for_pattern(
+        mapping, db, operation.where, force_fallback=force_fallback
+    )
+    steps = [
+        plan_binding(
+            mapping,
+            db,
+            operation,
+            solution,
+            optimize_redundant_deletes=optimize_redundant_deletes,
+        )
+        for solution in solutions
+    ]
+    return ModifyPlan(steps=steps, used_sql_select=used_sql, select_sql=select_sql)
+
+
+def plan_binding(
+    mapping: DatabaseMapping,
+    db: Database,
+    operation: Modify,
+    solution: Solution,
+    optimize_redundant_deletes: bool = True,
+) -> BindingStep:
+    """Algorithm 2 lines 8–11 for one binding: build and translate the
+    DELETE DATA / INSERT DATA pair."""
+    delete_triples = instantiate(operation.delete_template, solution)
+    insert_triples = instantiate(operation.insert_template, solution)
+
+    step = BindingStep(binding=solution)
+    if optimize_redundant_deletes:
+        delete_triples, step.optimized_away = _drop_redundant_deletes(
+            mapping, delete_triples, insert_triples
+        )
+
+    if delete_triples:
+        step.delete_statements = translate_delete_data(
+            mapping, db, tuple(delete_triples)
+        )
+    if insert_triples:
+        step.insert_statements = translate_insert_data(
+            mapping,
+            db,
+            tuple(insert_triples),
+            # Replacement semantics: the paired delete was dropped, so the
+            # insert may overwrite the existing value.
+            allow_overwrite=True,
+        )
+    return step
+
+
+def _drop_redundant_deletes(
+    mapping: DatabaseMapping,
+    deletes: List[Triple],
+    inserts: List[Triple],
+) -> Tuple[List[Triple], int]:
+    """Omit delete triples whose (subject, property) also appears in the
+    inserts and maps to a plain attribute (link-table pairs are keyed by
+    subject *and* object, so their deletes are never redundant)."""
+    insert_keys = {(t.subject, t.predicate) for t in inserts}
+    kept: List[Triple] = []
+    dropped = 0
+    for triple in deletes:
+        predicate = triple.predicate
+        is_attribute = (
+            predicate != RDF.type
+            and mapping.link_for_property(predicate) is None
+        )
+        if (
+            is_attribute
+            and (triple.subject, predicate) in insert_keys
+        ):
+            dropped += 1
+            continue
+        kept.append(triple)
+    return kept, dropped

@@ -1,0 +1,89 @@
+"""SPARQL queries over the relational database (the read path).
+
+The paper's prototype had query support "under development" (Section 6);
+this module completes it.  SELECT/ASK WHERE patterns inside the
+translatable fragment run as a single translated SQL statement; everything
+else falls back to evaluating over the RDB dump, so all of SPARQL keeps
+working (translation is an optimization, never a semantic restriction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..errors import UnsupportedPatternError
+from ..rdb.engine import Database
+from ..rdf.graph import Graph
+from ..rdf.namespace import PrefixMap
+from ..r3m.model import DatabaseMapping
+from ..sparql.algebra import evaluate_pattern, instantiate
+from ..sparql.engine import SelectResult, apply_select_modifiers
+from ..sparql.query_ast import AskQuery, ConstructQuery, Query, SelectQuery
+from ..sparql.query_parser import parse_query
+from .dump import dump_database
+from .select_translate import translate_pattern
+
+__all__ = ["QueryOutcome", "execute_query"]
+
+
+@dataclass
+class QueryOutcome:
+    """A query result plus how it was obtained (for benchmarks/tests)."""
+
+    result: Union[SelectResult, bool, Graph]
+    used_sql: bool
+    select_sql: Optional[str] = None
+
+
+def execute_query(
+    mapping: DatabaseMapping,
+    db: Database,
+    q: Union[str, Query],
+    prefixes: Optional[PrefixMap] = None,
+    force_fallback: bool = False,
+) -> QueryOutcome:
+    """Run a SPARQL query against the mapped database."""
+    if isinstance(q, str):
+        q = parse_query(q, prefixes=prefixes)
+
+    if not force_fallback:
+        try:
+            translated = translate_pattern(mapping, db, q.where)
+            solutions = translated.execute()
+            if isinstance(q, SelectQuery):
+                return QueryOutcome(
+                    result=apply_select_modifiers(q, solutions),
+                    used_sql=True,
+                    select_sql=translated.sql(),
+                )
+            if isinstance(q, AskQuery):
+                return QueryOutcome(
+                    result=bool(solutions),
+                    used_sql=True,
+                    select_sql=translated.sql(),
+                )
+            if isinstance(q, ConstructQuery):
+                constructed = Graph()
+                for solution in solutions:
+                    constructed.add_all(instantiate(q.template, solution))
+                return QueryOutcome(
+                    result=constructed,
+                    used_sql=True,
+                    select_sql=translated.sql(),
+                )
+        except UnsupportedPatternError:
+            pass
+
+    graph = dump_database(mapping, db)
+    solutions = evaluate_pattern(graph, q.where)
+    if isinstance(q, SelectQuery):
+        return QueryOutcome(
+            result=apply_select_modifiers(q, solutions), used_sql=False
+        )
+    if isinstance(q, AskQuery):
+        return QueryOutcome(result=bool(solutions), used_sql=False)
+    constructed = Graph()
+    for solution in solutions:
+        constructed.add_all(instantiate(q.template, solution))
+    return QueryOutcome(result=constructed, used_sql=False)

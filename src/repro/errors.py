@@ -1,0 +1,182 @@
+"""Shared exception hierarchy for the OntoAccess reproduction.
+
+Every layer of the system raises exceptions derived from :class:`ReproError`
+so applications can catch a single base class.  The mediation layer
+(`repro.core`) additionally attaches machine-readable detail used by the RDF
+feedback protocol (paper Section 6/8): each :class:`TranslationError` carries
+a ``code`` identifying the failure class and a ``details`` mapping with the
+offending subject/property/table so the error can be serialized to RDF.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# RDF layer
+# ---------------------------------------------------------------------------
+
+class RDFError(ReproError):
+    """Base class for RDF term/graph errors."""
+
+
+class TurtleParseError(RDFError):
+    """Raised when a Turtle/N-Triples document cannot be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending input character.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+# ---------------------------------------------------------------------------
+# SQL / relational layer
+# ---------------------------------------------------------------------------
+
+class SQLError(ReproError):
+    """Base class for SQL front-end and relational engine errors."""
+
+
+class SQLParseError(SQLError):
+    """Raised when a SQL statement cannot be parsed."""
+
+    def __init__(self, message: str, position: int = 0) -> None:
+        self.position = position
+        super().__init__(message)
+
+
+class DatabaseError(SQLError):
+    """Base class for execution-time database errors."""
+
+
+class CatalogError(DatabaseError):
+    """Unknown table/column, duplicate definition, or invalid DDL."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value cannot be coerced to the declared column type."""
+
+
+class IntegrityError(DatabaseError):
+    """A constraint (PK, FK, NOT NULL, UNIQUE) was violated.
+
+    ``constraint`` names the violated constraint kind (``"primary key"``,
+    ``"foreign key"``, ``"not null"``, ``"unique"``) and ``table`` /
+    ``column`` locate it, enabling rich feedback at the mediation layer.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        constraint: str = "",
+        table: str = "",
+        column: str = "",
+    ) -> None:
+        self.constraint = constraint
+        self.table = table
+        self.column = column
+        super().__init__(message)
+
+
+class TransactionError(DatabaseError):
+    """Invalid transaction state (e.g. commit without begin)."""
+
+
+# ---------------------------------------------------------------------------
+# SPARQL layer
+# ---------------------------------------------------------------------------
+
+class SPARQLError(ReproError):
+    """Base class for SPARQL parsing and evaluation errors."""
+
+
+class SPARQLParseError(SPARQLError):
+    """Raised when a SPARQL query or update request cannot be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class SPARQLEvalError(SPARQLError):
+    """Raised when a parsed query cannot be evaluated."""
+
+
+# ---------------------------------------------------------------------------
+# R3M mapping layer
+# ---------------------------------------------------------------------------
+
+class MappingError(ReproError):
+    """Base class for R3M mapping definition errors."""
+
+
+class MappingParseError(MappingError):
+    """The RDF document does not encode a well-formed R3M mapping."""
+
+
+class MappingValidationError(MappingError):
+    """The mapping is inconsistent with the database schema."""
+
+
+# ---------------------------------------------------------------------------
+# OntoAccess mediation layer
+# ---------------------------------------------------------------------------
+
+class TranslationError(ReproError):
+    """A SPARQL/Update request could not be translated to SQL DML.
+
+    This is the error surfaced to clients by the feedback protocol.  The
+    ``code`` is a stable, machine-readable identifier (for example
+    ``"unknown-subject"`` or ``"missing-required-property"``) and ``details``
+    carries contextual values (subject URI, property URI, table, attribute)
+    that :mod:`repro.core.feedback` turns into RDF.
+    """
+
+    #: Stable identifiers for the failure classes the checker can detect.
+    UNKNOWN_SUBJECT = "unknown-subject"
+    UNKNOWN_PROPERTY = "unknown-property"
+    UNKNOWN_CLASS = "unknown-class"
+    MISSING_REQUIRED = "missing-required-property"
+    NOT_NULL_DELETE = "delete-violates-not-null"
+    TYPE_MISMATCH = "literal-type-mismatch"
+    MULTI_VALUE = "multiple-values-for-attribute"
+    ENTITY_EXISTS = "entity-already-complete"
+    ENTITY_MISSING = "entity-not-found"
+    TRIPLE_MISSING = "triple-not-found"
+    FK_TARGET_MISSING = "foreign-key-target-missing"
+    CLASS_MISMATCH = "class-does-not-match-table"
+    UNSUPPORTED = "unsupported-request"
+    CONSTRAINT_VIOLATION = "constraint-violation"
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "unsupported-request",
+        details: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.code = code
+        self.details = dict(details or {})
+        super().__init__(message)
+
+
+class UnsupportedPatternError(TranslationError):
+    """A SPARQL WHERE pattern falls outside the translatable fragment."""
+
+    def __init__(self, message: str, details: Mapping[str, Any] | None = None) -> None:
+        super().__init__(message, code=TranslationError.UNSUPPORTED, details=details)

@@ -1,0 +1,49 @@
+"""R3M: the update-aware RDB-to-RDF mapping language (paper Section 4).
+
+Public API::
+
+    from repro.r3m import (
+        DatabaseMapping, TableMapping, AttributeMapping, LinkTableMapping,
+        Constraint, URIPattern,
+        parse_mapping, mapping_to_turtle, generate_mapping, validate_mapping,
+    )
+"""
+
+from . import vocabulary
+from .generator import generate_mapping
+from .model import (
+    DEFAULT,
+    FOREIGN_KEY,
+    NOT_NULL,
+    PRIMARY_KEY,
+    AttributeMapping,
+    Constraint,
+    DatabaseMapping,
+    LinkTableMapping,
+    TableMapping,
+)
+from .parser import parse_mapping, parse_mapping_graph
+from .serialize import MAP, mapping_to_graph, mapping_to_turtle
+from .uripattern import URIPattern
+from .validator import validate_mapping
+
+__all__ = [
+    "AttributeMapping",
+    "Constraint",
+    "DEFAULT",
+    "DatabaseMapping",
+    "FOREIGN_KEY",
+    "LinkTableMapping",
+    "MAP",
+    "NOT_NULL",
+    "PRIMARY_KEY",
+    "TableMapping",
+    "URIPattern",
+    "generate_mapping",
+    "mapping_to_graph",
+    "mapping_to_turtle",
+    "parse_mapping",
+    "parse_mapping_graph",
+    "validate_mapping",
+    "vocabulary",
+]

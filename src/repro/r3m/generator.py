@@ -1,0 +1,203 @@
+"""Automatic mapping generation from a database schema.
+
+Paper, end of Section 4: "A basic R3M mapping can be generated
+automatically from the database schema if it explicitly provides
+information about foreign key relationships.  The only part of the mapping
+definition that cannot easily be automated is the assignment of domain
+ontology terms."
+
+:func:`generate_mapping` reflects the schema and emits a complete mapping:
+
+* each non-link table maps to a class (auto-minted in a vocabulary
+  namespace, or supplied via ``class_overrides``);
+* each attribute maps to a data property, FK attributes to object
+  properties (auto-minted, or supplied via ``property_overrides``);
+* tables shaped like link tables (exactly two FKs plus an optional
+  surrogate key) become ``LinkTableMap``s;
+* the four constraint kinds are carried over from the catalog.
+
+The feasibility-study mapping (Table 1) is produced by calling this with
+the FOAF/DC/ONT overrides — see :mod:`repro.workloads.publication`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..rdf.namespace import Namespace
+from ..rdf.terms import URIRef
+from ..rdb.engine import Database
+from ..rdb.introspect import TableInfo, reflect
+from .model import (
+    DEFAULT,
+    FOREIGN_KEY,
+    NOT_NULL,
+    PRIMARY_KEY,
+    AttributeMapping,
+    Constraint,
+    DatabaseMapping,
+    LinkTableMapping,
+    TableMapping,
+)
+from .uripattern import URIPattern
+
+__all__ = ["generate_mapping"]
+
+#: Default vocabulary namespace for auto-minted classes and properties.
+AUTO_VOCAB = Namespace("http://example.org/vocab#")
+
+
+def generate_mapping(
+    db: Database,
+    uri_prefix: str = "http://example.org/db/",
+    vocab: Namespace = AUTO_VOCAB,
+    class_overrides: Optional[Dict[str, URIRef]] = None,
+    property_overrides: Optional[Dict[Tuple[str, str], URIRef]] = None,
+    link_property_overrides: Optional[Dict[str, URIRef]] = None,
+    value_pattern_overrides: Optional[Dict[Tuple[str, str], str]] = None,
+    uri_pattern_overrides: Optional[Dict[str, str]] = None,
+    detect_link_tables: bool = True,
+) -> DatabaseMapping:
+    """Generate a basic R3M mapping for every table in ``db``.
+
+    ``class_overrides`` maps table names to ontology classes;
+    ``property_overrides`` maps (table, attribute) pairs to properties;
+    ``link_property_overrides`` maps link-table names to object properties;
+    ``value_pattern_overrides`` maps (table, attribute) pairs to value
+    patterns like ``"mailto:%%email%%"`` (URI-valued data attributes);
+    ``uri_pattern_overrides`` maps table names to uriPattern texts (the
+    paper abbreviates the publication pattern to ``pub%%id%%``).
+    """
+    class_overrides = class_overrides or {}
+    property_overrides = property_overrides or {}
+    link_property_overrides = link_property_overrides or {}
+    value_pattern_overrides = value_pattern_overrides or {}
+    uri_pattern_overrides = uri_pattern_overrides or {}
+
+    mapping = DatabaseMapping(
+        uri_prefix=uri_prefix,
+        jdbc_url="python:repro.rdb",
+        jdbc_driver="repro.rdb.Database",
+    )
+    infos = reflect(db)
+    for info in infos:
+        if detect_link_tables and info.is_link_table():
+            mapping.add_link_table(
+                _link_table_mapping(info, vocab, link_property_overrides)
+            )
+        else:
+            mapping.add_table(
+                _table_mapping(
+                    info,
+                    uri_prefix,
+                    vocab,
+                    class_overrides,
+                    property_overrides,
+                    value_pattern_overrides,
+                    uri_pattern_overrides,
+                )
+            )
+    return mapping
+
+
+def _table_mapping(
+    info: TableInfo,
+    uri_prefix: str,
+    vocab: Namespace,
+    class_overrides: Dict[str, URIRef],
+    property_overrides: Dict[Tuple[str, str], URIRef],
+    value_pattern_overrides: Dict[Tuple[str, str], str],
+    uri_pattern_overrides: Dict[str, str],
+) -> TableMapping:
+    cls = class_overrides.get(info.name, vocab[_camel(info.name)])
+    attributes = []
+    for column in info.columns:
+        constraints = _constraints(column)
+        # PK attributes that appear in the URI pattern are typically not
+        # mapped to a property of their own (the URI carries them), matching
+        # the paper's use case where `id` has no ontology property.
+        prop: Optional[URIRef]
+        if column.is_primary_key and column.name in _pattern_attributes(info):
+            prop = None
+            is_object = False
+        else:
+            prop = property_overrides.get(
+                (info.name, column.name), vocab[f"{info.name}_{column.name}"]
+            )
+            is_object = column.references is not None
+        pattern_text = value_pattern_overrides.get((info.name, column.name))
+        attributes.append(
+            AttributeMapping(
+                attribute_name=column.name,
+                property=prop,
+                is_object_property=is_object,
+                constraints=constraints,
+                value_pattern=(
+                    URIPattern(pattern_text) if pattern_text else None
+                ),
+            )
+        )
+    pattern = uri_pattern_overrides.get(info.name, _pattern_text(info))
+    return TableMapping(
+        table_name=info.name,
+        maps_to_class=cls,
+        uri_pattern=URIPattern(pattern, prefix=uri_prefix),
+        attributes=attributes,
+        checks=tuple(info.checks),
+    )
+
+
+def _link_table_mapping(
+    info: TableInfo,
+    vocab: Namespace,
+    link_property_overrides: Dict[str, URIRef],
+) -> LinkTableMapping:
+    fks = info.foreign_key_columns()
+    subject_col, object_col = fks[0], fks[1]
+    prop = link_property_overrides.get(
+        info.name, vocab[_camel(info.name, lower_first=True)]
+    )
+    return LinkTableMapping(
+        table_name=info.name,
+        property=prop,
+        subject_attribute=AttributeMapping(
+            attribute_name=subject_col.name,
+            constraints=(Constraint(FOREIGN_KEY, references=subject_col.references),),
+        ),
+        object_attribute=AttributeMapping(
+            attribute_name=object_col.name,
+            constraints=(Constraint(FOREIGN_KEY, references=object_col.references),),
+        ),
+    )
+
+
+def _constraints(column) -> Tuple[Constraint, ...]:
+    constraints = []
+    if column.is_primary_key:
+        constraints.append(Constraint(PRIMARY_KEY))
+    if column.references is not None:
+        constraints.append(Constraint(FOREIGN_KEY, references=column.references))
+    if column.is_not_null:
+        constraints.append(Constraint(NOT_NULL))
+    if column.has_default:
+        constraints.append(Constraint(DEFAULT, value=column.default))
+    return tuple(constraints)
+
+
+def _pattern_text(info: TableInfo) -> str:
+    """``author%%id%%``-style pattern over the primary key columns."""
+    pk = info.primary_key or (info.columns[0].name,)
+    placeholders = "_".join(f"%%{col}%%" for col in pk)
+    return f"{info.name}{placeholders}"
+
+
+def _pattern_attributes(info: TableInfo) -> set:
+    return set(info.primary_key or (info.columns[0].name,))
+
+
+def _camel(name: str, lower_first: bool = False) -> str:
+    parts = [p for p in name.split("_") if p]
+    text = "".join(p.capitalize() for p in parts)
+    if lower_first and text:
+        text = text[0].lower() + text[1:]
+    return text

@@ -1,0 +1,89 @@
+"""The R3M vocabulary (paper Section 4).
+
+Every term the paper's listings use: the three map classes
+(``DatabaseMap``, ``TableMap``, ``LinkTableMap``), ``AttributeMap``, the
+connection/URI properties, and the four constraint classes
+(``PrimaryKey``, ``ForeignKey``, ``NotNull``, ``Default``).
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import R3M
+
+__all__ = [
+    "DATABASE_MAP",
+    "TABLE_MAP",
+    "LINK_TABLE_MAP",
+    "ATTRIBUTE_MAP",
+    "JDBC_DRIVER",
+    "JDBC_URL",
+    "USERNAME",
+    "PASSWORD",
+    "URI_PREFIX",
+    "HAS_TABLE",
+    "HAS_TABLE_NAME",
+    "MAPS_TO_CLASS",
+    "URI_PATTERN",
+    "HAS_ATTRIBUTE",
+    "HAS_ATTRIBUTE_NAME",
+    "MAPS_TO_OBJECT_PROPERTY",
+    "MAPS_TO_DATA_PROPERTY",
+    "HAS_CONSTRAINT",
+    "HAS_SUBJECT_ATTRIBUTE",
+    "HAS_OBJECT_ATTRIBUTE",
+    "PRIMARY_KEY",
+    "FOREIGN_KEY",
+    "NOT_NULL",
+    "DEFAULT",
+    "REFERENCES",
+    "HAS_VALUE",
+    "VALUE_PATTERN",
+    "CHECK",
+    "HAS_EXPRESSION",
+]
+
+# map node classes
+DATABASE_MAP = R3M.DatabaseMap
+TABLE_MAP = R3M.TableMap
+LINK_TABLE_MAP = R3M.LinkTableMap
+ATTRIBUTE_MAP = R3M.AttributeMap
+
+# DatabaseMap properties (Listing 1)
+JDBC_DRIVER = R3M.jdbcDriver
+JDBC_URL = R3M.jdbcUrl
+USERNAME = R3M.username
+PASSWORD = R3M.password
+URI_PREFIX = R3M.uriPrefix
+HAS_TABLE = R3M.hasTable
+
+# TableMap properties (Listing 2)
+HAS_TABLE_NAME = R3M.hasTableName
+MAPS_TO_CLASS = R3M.mapsToClass
+URI_PATTERN = R3M.uriPattern
+HAS_ATTRIBUTE = R3M.hasAttribute
+
+# AttributeMap properties (Listing 3)
+HAS_ATTRIBUTE_NAME = R3M.hasAttributeName
+MAPS_TO_OBJECT_PROPERTY = R3M.mapsToObjectProperty
+MAPS_TO_DATA_PROPERTY = R3M.mapsToDataProperty
+HAS_CONSTRAINT = R3M.hasConstraint
+
+# LinkTableMap properties (Listing 4)
+HAS_SUBJECT_ATTRIBUTE = R3M.hasSubjectAttribute
+HAS_OBJECT_ATTRIBUTE = R3M.hasObjectAttribute
+
+# constraint classes and their properties (Listing 3)
+PRIMARY_KEY = R3M.PrimaryKey
+FOREIGN_KEY = R3M.ForeignKey
+NOT_NULL = R3M.NotNull
+DEFAULT = R3M.Default
+REFERENCES = R3M.references
+HAS_VALUE = R3M.hasValue  # the default value carried by a Default constraint
+
+#: Extension: lexical transform for URI-valued data attributes
+#: (e.g. "mailto:%%email%%" on the email attribute mapped to foaf:mbox).
+VALUE_PATTERN = R3M.valuePattern
+
+#: Extension: per-row CHECK constraints (paper Section 8 future work).
+CHECK = R3M.Check
+HAS_EXPRESSION = R3M.hasExpression

@@ -1,0 +1,56 @@
+"""Relational engine substrate (stands in for the paper's MySQL).
+
+Public API::
+
+    from repro.rdb import Database
+    db = Database()                      # immediate constraint checking
+    db = Database(constraint_mode="deferred")
+"""
+
+from .catalog import Column, ForeignKey, Schema, Table
+from .engine import Database
+from .executor import Result
+from .introspect import ColumnInfo, TableInfo, reflect, reflect_table
+from .transactions import DEFERRED, IMMEDIATE, Transaction
+from .types import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    BooleanType,
+    DateType,
+    FloatType,
+    IntegerType,
+    SQLType,
+    StringType,
+    type_from_name,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "BooleanType",
+    "Column",
+    "ColumnInfo",
+    "DATE",
+    "DEFERRED",
+    "Database",
+    "DateType",
+    "FLOAT",
+    "FloatType",
+    "ForeignKey",
+    "IMMEDIATE",
+    "INTEGER",
+    "IntegerType",
+    "Result",
+    "SQLType",
+    "Schema",
+    "StringType",
+    "TEXT",
+    "Table",
+    "TableInfo",
+    "Transaction",
+    "reflect",
+    "reflect_table",
+    "type_from_name",
+]

@@ -1,0 +1,225 @@
+"""System catalog: table and constraint metadata.
+
+The catalog is the engine's authoritative description of the schema and is
+also what :mod:`repro.r3m.generator` introspects to auto-generate a basic
+R3M mapping (paper Section 4, last paragraph).
+
+Constraint kinds match the four the paper's mapping language records:
+primary key, foreign key, NOT NULL, and DEFAULT (plus UNIQUE, which the
+engine supports and the mapping treats like an unconstrained attribute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CatalogError
+from ..sql import ast as sql_ast
+from .types import SQLType
+
+__all__ = ["Column", "ForeignKey", "Table", "Schema"]
+
+
+@dataclass
+class Column:
+    """One column with its type and column-level constraints."""
+
+    name: str
+    sql_type: SQLType
+    not_null: bool = False
+    default: Any = None
+    has_default: bool = False
+    autoincrement: bool = False
+
+    def __post_init__(self) -> None:
+        if self.default is not None:
+            self.has_default = True
+
+
+@dataclass
+class ForeignKey:
+    """A (possibly composite) foreign key constraint."""
+
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+
+    def single_column(self) -> str:
+        """The referencing column, for the common single-column case."""
+        if len(self.columns) != 1:
+            raise CatalogError(
+                f"expected single-column foreign key, got {self.columns}"
+            )
+        return self.columns[0]
+
+
+class Table:
+    """Schema metadata for one table."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: List[Column],
+        primary_key: Tuple[str, ...] = (),
+        foreign_keys: Optional[List[ForeignKey]] = None,
+        uniques: Optional[List[Tuple[str, ...]]] = None,
+        checks: Optional[List["sql_ast.Expression"]] = None,
+    ) -> None:
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Dict[str, Column] = {}
+        for column in columns:
+            if column.name in self.columns:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self.columns[column.name] = column
+        self.primary_key = tuple(primary_key)
+        self.foreign_keys = list(foreign_keys or [])
+        self.uniques = [tuple(u) for u in (uniques or [])]
+        #: CHECK constraint expressions, evaluated per row on INSERT/UPDATE
+        #: (paper Section 8 names assertions as future work; CHECK is the
+        #: per-row form we support).
+        self.checks = list(checks or [])
+        self._validate_column_lists()
+
+    def _validate_column_lists(self) -> None:
+        for col in self.primary_key:
+            if col not in self.columns:
+                raise CatalogError(
+                    f"primary key column {col!r} not in table {self.name!r}"
+                )
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in self.columns:
+                    raise CatalogError(
+                        f"foreign key column {col!r} not in table {self.name!r}"
+                    )
+        for unique in self.uniques:
+            for col in unique:
+                if col not in self.columns:
+                    raise CatalogError(
+                        f"unique column {col!r} not in table {self.name!r}"
+                    )
+
+    # -- lookups ------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def column_names(self) -> List[str]:
+        return list(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self.columns
+
+    def is_primary_key(self, name: str) -> bool:
+        return name in self.primary_key
+
+    def foreign_key_for(self, column: str) -> Optional[ForeignKey]:
+        """Return the single-column FK on ``column`` if one exists."""
+        for fk in self.foreign_keys:
+            if fk.columns == (column,):
+                return fk
+        return None
+
+    def referenced_tables(self) -> List[str]:
+        return [fk.ref_table for fk in self.foreign_keys]
+
+    def required_columns(self) -> List[str]:
+        """Columns that must receive a value on INSERT: NOT NULL (or PK)
+        without a default and without autoincrement."""
+        required = []
+        for column in self.columns.values():
+            mandatory = column.not_null or column.name in self.primary_key
+            if mandatory and not column.has_default and not column.autoincrement:
+                required.append(column.name)
+        return required
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name} ({', '.join(self.columns)})>"
+
+
+class Schema:
+    """The set of tables in a database."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def add(self, table: Table) -> None:
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def drop(self, name: str) -> Table:
+        # Refuse to drop a table that another table references.
+        for other in self._tables.values():
+            if other.name == name:
+                continue
+            if name in other.referenced_tables():
+                raise CatalogError(
+                    f"cannot drop table {name!r}: referenced by {other.name!r}"
+                )
+        try:
+            return self._tables.pop(name)
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def tables(self) -> List[Table]:
+        return list(self._tables.values())
+
+    def referencing_tables(self, name: str) -> List[Tuple[Table, ForeignKey]]:
+        """All (table, fk) pairs whose foreign key points at ``name``."""
+        result = []
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                if fk.ref_table == name:
+                    result.append((table, fk))
+        return result
+
+    def validate_foreign_keys(self) -> None:
+        """Check every FK references an existing table/columns.
+
+        Called after DDL so self-references and cycles among tables created
+        in any order are allowed (the paper's schema has no cycles, but the
+        engine should not assume that).
+        """
+        for table in self._tables.values():
+            for fk in table.foreign_keys:
+                if not self.has_table(fk.ref_table):
+                    raise CatalogError(
+                        f"table {table.name!r}: foreign key references "
+                        f"unknown table {fk.ref_table!r}"
+                    )
+                target = self.table(fk.ref_table)
+                ref_columns = fk.ref_columns or target.primary_key
+                if len(ref_columns) != len(fk.columns):
+                    raise CatalogError(
+                        f"table {table.name!r}: foreign key column count "
+                        f"mismatch against {fk.ref_table!r}"
+                    )
+                for col in ref_columns:
+                    if not target.has_column(col):
+                        raise CatalogError(
+                            f"table {table.name!r}: foreign key references "
+                            f"unknown column {fk.ref_table}.{col}"
+                        )

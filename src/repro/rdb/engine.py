@@ -1,0 +1,305 @@
+"""The database facade: DDL, DML, queries, and transaction control.
+
+:class:`Database` is the substrate standing in for the paper's MySQL
+instance.  Usage::
+
+    db = Database()
+    db.execute("CREATE TABLE team (id INTEGER PRIMARY KEY, name VARCHAR(100))")
+    db.execute("INSERT INTO team (id, name) VALUES (4, 'Database Technology')")
+    result = db.query("SELECT name FROM team WHERE id = 4")
+
+Statements run in autocommit mode unless a transaction is opened with
+:meth:`Database.begin` / ``BEGIN`` or the :meth:`Database.transaction`
+context manager.  ``constraint_mode`` selects immediate (default) or
+deferred FK checking — the knob the FK-sort ablation turns.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..errors import CatalogError, DatabaseError, TransactionError
+from ..sql import ast
+from ..sql.parser import parse_statements
+from .catalog import Column, ForeignKey, Schema, Table
+from .executor import Executor, Result
+from .storage import TableData
+from .transactions import DEFERRED, IMMEDIATE, Transaction
+from .types import type_from_name
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory relational database with SQL interface."""
+
+    def __init__(self, constraint_mode: str = IMMEDIATE) -> None:
+        if constraint_mode not in (IMMEDIATE, DEFERRED):
+            raise TransactionError(f"unknown constraint mode: {constraint_mode!r}")
+        self.constraint_mode = constraint_mode
+        self.schema = Schema()
+        self.data: Dict[str, TableData] = {}
+        self.executor = Executor(self.schema, self.data)
+        self._txn: Optional[Transaction] = None
+        #: Count of statements executed (used by benchmarks).
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    # transaction control
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        if self._txn is not None:
+            raise TransactionError("a transaction is already open")
+        self._txn = Transaction(mode=self.constraint_mode)
+
+    def commit(self) -> None:
+        txn = self._require_txn()
+        try:
+            txn.run_deferred_checks()
+        except Exception:
+            txn.rollback()
+            self._txn = None
+            raise
+        txn.commit_cleanup()
+        self._txn = None
+
+    def rollback(self) -> None:
+        txn = self._require_txn()
+        txn.rollback()
+        self._txn = None
+
+    def in_transaction(self) -> bool:
+        return self._txn is not None
+
+    @contextmanager
+    def transaction(self) -> Iterator[None]:
+        """Context manager: commit on success, roll back on exception."""
+        self.begin()
+        try:
+            yield
+        except Exception:
+            if self._txn is not None:
+                self.rollback()
+            raise
+        else:
+            self.commit()
+
+    def _require_txn(self) -> Transaction:
+        if self._txn is None:
+            raise TransactionError("no transaction is open")
+        return self._txn
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        statement: Union[str, ast.Statement],
+        parameters: Sequence[Any] = (),
+    ) -> Result:
+        """Execute one statement (SQL text or AST).
+
+        SQL text may contain multiple ``;``-separated statements; the result
+        of the last one is returned.
+        """
+        if isinstance(statement, str):
+            parsed = parse_statements(statement)
+            if not parsed:
+                raise DatabaseError("empty SQL input")
+            result = Result(columns=[], rows=[])
+            for stmt in parsed:
+                result = self._execute_one(stmt, parameters)
+            return result
+        return self._execute_one(statement, parameters)
+
+    def execute_script(self, sql: str) -> List[Result]:
+        """Execute every statement in a script, returning all results."""
+        return [self._execute_one(s) for s in parse_statements(sql)]
+
+    def query(
+        self,
+        statement: Union[str, ast.Select],
+        parameters: Sequence[Any] = (),
+    ) -> Result:
+        """Execute a SELECT and return its result."""
+        result = self.execute(statement, parameters)
+        return result
+
+    def _execute_one(
+        self, stmt: ast.Statement, parameters: Sequence[Any] = ()
+    ) -> Result:
+        self.statements_executed += 1
+        if isinstance(stmt, ast.Begin):
+            self.begin()
+            return Result(columns=[], rows=[])
+        if isinstance(stmt, ast.Commit):
+            self.commit()
+            return Result(columns=[], rows=[])
+        if isinstance(stmt, ast.Rollback):
+            self.rollback()
+            return Result(columns=[], rows=[])
+        if isinstance(stmt, ast.Select):
+            return self.executor.select(stmt, parameters)
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.DropTable):
+            return self._drop_table(stmt)
+
+        # DML: run inside the open transaction, or autocommit a fresh one.
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            if self._txn is not None:
+                savepoint = self._txn.statement_savepoint()
+                try:
+                    return self._run_dml(stmt, self._txn, parameters)
+                except Exception:
+                    # statement-level atomicity inside the transaction
+                    self._txn.rollback_to(savepoint)
+                    raise
+            txn = Transaction(mode=self.constraint_mode)
+            try:
+                result = self._run_dml(stmt, txn, parameters)
+                txn.run_deferred_checks()
+            except Exception:
+                if txn.active:
+                    txn.rollback()
+                raise
+            txn.commit_cleanup()
+            return result
+        raise DatabaseError(f"cannot execute {type(stmt).__name__}")
+
+    def _run_dml(
+        self,
+        stmt: Union[ast.Insert, ast.Update, ast.Delete],
+        txn: Transaction,
+        parameters: Sequence[Any],
+    ) -> Result:
+        if isinstance(stmt, ast.Insert):
+            return self.executor.insert(stmt, txn, parameters)
+        if isinstance(stmt, ast.Update):
+            return self.executor.update(stmt, txn, parameters)
+        return self.executor.delete(stmt, txn, parameters)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _create_table(self, stmt: ast.CreateTable) -> Result:
+        if self.schema.has_table(stmt.name):
+            if stmt.if_not_exists:
+                return Result(columns=[], rows=[])
+            raise CatalogError(f"table {stmt.name!r} already exists")
+
+        columns: List[Column] = []
+        primary_key: List[str] = []
+        foreign_keys: List[ForeignKey] = []
+        uniques: List[tuple] = []
+        checks: List[ast.Expression] = []
+
+        for col_def in stmt.columns:
+            default_value = None
+            if col_def.default is not None:
+                from .expressions import evaluate_constant
+
+                default_value = evaluate_constant(col_def.default)
+            column = Column(
+                name=col_def.name,
+                sql_type=type_from_name(col_def.type_name, col_def.type_length),
+                not_null=col_def.not_null,
+                default=default_value,
+                autoincrement=col_def.autoincrement,
+            )
+            columns.append(column)
+            if col_def.primary_key:
+                primary_key.append(col_def.name)
+            if col_def.unique:
+                uniques.append((col_def.name,))
+            if col_def.references is not None:
+                ref_table, ref_column = col_def.references
+                foreign_keys.append(
+                    ForeignKey(
+                        columns=(col_def.name,),
+                        ref_table=ref_table,
+                        ref_columns=(ref_column,) if ref_column else (),
+                    )
+                )
+            checks.extend(col_def.checks)
+
+        for constraint in stmt.constraints:
+            if isinstance(constraint, ast.PrimaryKeyDef):
+                if primary_key:
+                    raise CatalogError(
+                        f"table {stmt.name!r} has multiple primary key definitions"
+                    )
+                primary_key.extend(constraint.columns)
+            elif isinstance(constraint, ast.UniqueDef):
+                uniques.append(tuple(constraint.columns))
+            elif isinstance(constraint, ast.ForeignKeyDef):
+                foreign_keys.append(
+                    ForeignKey(
+                        columns=tuple(constraint.columns),
+                        ref_table=constraint.ref_table,
+                        ref_columns=tuple(constraint.ref_columns),
+                    )
+                )
+            elif isinstance(constraint, ast.CheckDef):
+                checks.append(constraint.expression)
+
+        table = Table(
+            name=stmt.name,
+            columns=columns,
+            primary_key=tuple(primary_key),
+            foreign_keys=foreign_keys,
+            uniques=uniques,
+            checks=checks,
+        )
+        self.schema.add(table)
+        self.data[stmt.name] = TableData(table)
+        try:
+            self.schema.validate_foreign_keys()
+        except CatalogError:
+            self.schema.drop(stmt.name)
+            del self.data[stmt.name]
+            raise
+        return Result(columns=[], rows=[])
+
+    def _drop_table(self, stmt: ast.DropTable) -> Result:
+        if not self.schema.has_table(stmt.name):
+            if stmt.if_exists:
+                return Result(columns=[], rows=[])
+            raise CatalogError(f"no such table: {stmt.name!r}")
+        self.schema.drop(stmt.name)
+        del self.data[stmt.name]
+        return Result(columns=[], rows=[])
+
+    # ------------------------------------------------------------------
+    # direct row access (used by the mediator and tests)
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        return self.schema.table(name)
+
+    def table_data(self, name: str) -> TableData:
+        try:
+            return self.data[name]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+
+    def row_count(self, name: str) -> int:
+        return len(self.table_data(name))
+
+    def get_row_by_pk(self, name: str, key: Sequence[Any]) -> Optional[Dict[str, Any]]:
+        """Fetch one row by primary key values; None when absent."""
+        table_data = self.table_data(name)
+        rowid = table_data.find_by_pk(tuple(key))
+        if rowid is None:
+            return None
+        return dict(table_data.rows[rowid])
+
+    def __repr__(self) -> str:
+        tables = ", ".join(
+            f"{name}({len(self.data[name])})" for name in self.schema.table_names()
+        )
+        return f"<Database [{tables}]>"

@@ -1,0 +1,304 @@
+"""WHERE/projection expression evaluation with SQL three-valued logic.
+
+``evaluate`` interprets a :mod:`repro.sql.ast` expression against a *row
+scope*: a mapping from table binding names to row dicts (plus an optional
+default scope for unqualified column names).  NULL propagates through
+comparisons and arithmetic; AND/OR follow Kleene logic; WHERE accepts a row
+only when the expression is exactly True.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from ..errors import DatabaseError
+from ..sql import ast
+
+__all__ = ["RowScope", "evaluate", "is_true", "evaluate_constant"]
+
+
+class RowScope:
+    """Resolves column references during evaluation.
+
+    ``bindings`` maps binding names (table name or alias) to row dicts.
+    Unqualified names are resolved by searching all bindings; ambiguity is
+    an error, mirroring real SQL engines.
+    """
+
+    def __init__(
+        self,
+        bindings: Mapping[str, Mapping[str, Any]],
+        parameters: Sequence[Any] = (),
+    ) -> None:
+        self.bindings = bindings
+        self.parameters = parameters
+
+    def resolve(self, ref: ast.ColumnRef) -> Any:
+        if ref.table is not None:
+            try:
+                row = self.bindings[ref.table]
+            except KeyError:
+                raise DatabaseError(f"unknown table binding {ref.table!r}") from None
+            if ref.name not in row:
+                raise DatabaseError(f"unknown column {ref.table}.{ref.name}")
+            return row[ref.name]
+        hits = [row for row in self.bindings.values() if ref.name in row]
+        if not hits:
+            raise DatabaseError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            raise DatabaseError(f"ambiguous column reference {ref.name!r}")
+        return hits[0][ref.name]
+
+    def parameter(self, index: int) -> Any:
+        try:
+            return self.parameters[index]
+        except IndexError:
+            raise DatabaseError(
+                f"missing bind parameter at index {index}"
+            ) from None
+
+
+def evaluate(expr: ast.Expression, scope: RowScope) -> Any:
+    """Evaluate to a Python value; ``None`` represents SQL NULL/UNKNOWN."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Null):
+        return None
+    if isinstance(expr, ast.ColumnRef):
+        return scope.resolve(expr)
+    if isinstance(expr, ast.Parameter):
+        return scope.parameter(expr.index)
+    if isinstance(expr, ast.BinaryOp):
+        return _binary(expr, scope)
+    if isinstance(expr, ast.UnaryOp):
+        return _unary(expr, scope)
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.operand, scope)
+        result = value is None
+        return (not result) if expr.negated else result
+    if isinstance(expr, ast.InList):
+        return _in_list(expr, scope)
+    if isinstance(expr, ast.Between):
+        return _between(expr, scope)
+    if isinstance(expr, ast.Like):
+        return _like(expr, scope)
+    if isinstance(expr, ast.FunctionCall):
+        return _scalar_function(expr, scope)
+    if isinstance(expr, ast.Star):
+        raise DatabaseError("'*' is only valid in SELECT lists and COUNT(*)")
+    raise DatabaseError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate_constant(expr: ast.Expression) -> Any:
+    """Evaluate an expression that must not reference columns (defaults,
+    VALUES entries)."""
+    return evaluate(expr, RowScope({}))
+
+
+def is_true(value: Any) -> bool:
+    """SQL WHERE acceptance: NULL (unknown) is *not* true."""
+    return value is True
+
+
+# ---------------------------------------------------------------------------
+
+def _binary(expr: ast.BinaryOp, scope: RowScope) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, scope)
+        if left is False:
+            return False
+        right = evaluate(expr.right, scope)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = evaluate(expr.left, scope)
+        if left is True:
+            return True
+        right = evaluate(expr.right, scope)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    left = evaluate(expr.left, scope)
+    right = evaluate(expr.right, scope)
+    if left is None or right is None:
+        return None
+    if op == "=":
+        return _compare_eq(left, right)
+    if op == "<>":
+        return not _compare_eq(left, right)
+    if op in ("<", "<=", ">", ">="):
+        left, right = _comparable(left, right)
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    if op == "||":
+        return f"{_stringify(left)}{_stringify(right)}"
+    if op in ("+", "-", "*", "/", "%"):
+        left_num = _numeric(left)
+        right_num = _numeric(right)
+        if op == "+":
+            return left_num + right_num
+        if op == "-":
+            return left_num - right_num
+        if op == "*":
+            return left_num * right_num
+        if op == "/":
+            if right_num == 0:
+                return None  # SQL engines commonly yield NULL/error; NULL is safer
+            result = left_num / right_num
+            if isinstance(left_num, int) and isinstance(right_num, int):
+                return left_num // right_num
+            return result
+        if right_num == 0:
+            return None
+        return left_num % right_num
+    raise DatabaseError(f"unknown operator {op!r}")
+
+
+def _unary(expr: ast.UnaryOp, scope: RowScope) -> Any:
+    value = evaluate(expr.operand, scope)
+    if expr.op == "NOT":
+        if value is None:
+            return None
+        return not bool(value)
+    if value is None:
+        return None
+    return -_numeric(value)
+
+
+def _in_list(expr: ast.InList, scope: RowScope) -> Any:
+    value = evaluate(expr.operand, scope)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        candidate = evaluate(item, scope)
+        if candidate is None:
+            saw_null = True
+        elif _compare_eq(value, candidate):
+            return False if expr.negated else True
+    if saw_null:
+        return None
+    return True if expr.negated else False
+
+
+def _between(expr: ast.Between, scope: RowScope) -> Any:
+    value = evaluate(expr.operand, scope)
+    low = evaluate(expr.low, scope)
+    high = evaluate(expr.high, scope)
+    if value is None or low is None or high is None:
+        return None
+    lo_value, lo_bound = _comparable(value, low)
+    hi_value, hi_bound = _comparable(value, high)
+    result = lo_bound <= lo_value and hi_value <= hi_bound
+    return (not result) if expr.negated else result
+
+
+def _like(expr: ast.Like, scope: RowScope) -> Any:
+    value = evaluate(expr.operand, scope)
+    pattern = evaluate(expr.pattern, scope)
+    if value is None or pattern is None:
+        return None
+    import re
+
+    regex_parts = []
+    for ch in str(pattern):
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    matched = re.fullmatch("".join(regex_parts), str(value), re.DOTALL) is not None
+    return (not matched) if expr.negated else matched
+
+
+_SCALAR_FUNCTIONS = {
+    "UPPER": lambda args: str(args[0]).upper(),
+    "LOWER": lambda args: str(args[0]).lower(),
+    "LENGTH": lambda args: len(str(args[0])),
+    "ABS": lambda args: abs(args[0]),
+    "TRIM": lambda args: str(args[0]).strip(),
+    "COALESCE": None,  # special-cased: lazy NULL handling
+}
+
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def _scalar_function(expr: ast.FunctionCall, scope: RowScope) -> Any:
+    name = expr.name
+    if name in AGGREGATE_FUNCTIONS:
+        raise DatabaseError(
+            f"aggregate {name} not allowed here (only in SELECT/HAVING)"
+        )
+    if name == "COALESCE":
+        for arg in expr.args:
+            value = evaluate(arg, scope)
+            if value is not None:
+                return value
+        return None
+    handler = _SCALAR_FUNCTIONS.get(name)
+    if handler is None:
+        raise DatabaseError(f"unknown function {name}")
+    args = [evaluate(a, scope) for a in expr.args]
+    if any(a is None for a in args):
+        return None
+    return handler(args)
+
+
+# ---------------------------------------------------------------------------
+# comparison helpers
+# ---------------------------------------------------------------------------
+
+def _compare_eq(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left == right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    return left == right
+
+
+def _comparable(left: Any, right: Any):
+    """Coerce two non-null values to a comparable pair."""
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    if isinstance(left, bool) and isinstance(right, bool):
+        return left, right
+    raise DatabaseError(
+        f"cannot compare {type(left).__name__} with {type(right).__name__}"
+    )
+
+
+def _numeric(value: Any):
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                pass
+    raise DatabaseError(f"expected a numeric value, got {value!r}")
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

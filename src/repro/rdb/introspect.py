@@ -1,0 +1,125 @@
+"""Schema reflection.
+
+Produces a neutral, serializable description of a database schema.  This is
+the input to R3M auto-generation (paper Section 4: "A basic R3M mapping can
+be generated automatically from the database schema if it explicitly
+provides information about foreign key relationships") and to the feedback
+protocol when explaining constraint violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .catalog import Table
+from .engine import Database
+from .types import BooleanType, DateType, FloatType, IntegerType, StringType
+
+__all__ = ["ColumnInfo", "TableInfo", "reflect", "reflect_table"]
+
+
+@dataclass
+class ColumnInfo:
+    """Reflection record for one column."""
+
+    name: str
+    type_name: str
+    is_primary_key: bool = False
+    is_not_null: bool = False
+    has_default: bool = False
+    default: Any = None
+    is_autoincrement: bool = False
+    references: Optional[str] = None  # referenced table name, for FK columns
+    references_column: Optional[str] = None
+
+
+@dataclass
+class TableInfo:
+    """Reflection record for one table."""
+
+    name: str
+    columns: List[ColumnInfo] = field(default_factory=list)
+    primary_key: Tuple[str, ...] = ()
+    #: CHECK constraint expressions, rendered as SQL text
+    checks: Tuple[str, ...] = ()
+
+    def column(self, name: str) -> ColumnInfo:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)
+
+    def foreign_key_columns(self) -> List[ColumnInfo]:
+        return [c for c in self.columns if c.references is not None]
+
+    def data_columns(self) -> List[ColumnInfo]:
+        """Columns that are neither PKs nor FKs (map to data properties)."""
+        return [
+            c
+            for c in self.columns
+            if c.references is None and not c.is_primary_key
+        ]
+
+    def is_link_table(self) -> bool:
+        """Heuristic used by the mapping generator: a link table consists of
+        exactly two FK columns plus (optionally) a surrogate PK — the shape
+        of ``publication_author`` in Figure 1."""
+        fks = self.foreign_key_columns()
+        if len(fks) != 2:
+            return False
+        others = [
+            c
+            for c in self.columns
+            if c.references is None and not (c.is_primary_key or c.is_autoincrement)
+        ]
+        return not others
+
+
+def reflect(db: Database) -> List[TableInfo]:
+    """Reflect every table in the database."""
+    return [reflect_table(db.table(name)) for name in db.schema.table_names()]
+
+
+def reflect_table(table: Table) -> TableInfo:
+    from ..sql.render import render_expression
+
+    info = TableInfo(
+        name=table.name,
+        primary_key=table.primary_key,
+        checks=tuple(render_expression(c) for c in table.checks),
+    )
+    for column in table.columns.values():
+        col_info = ColumnInfo(
+            name=column.name,
+            type_name=_type_name(column.sql_type),
+            is_primary_key=column.name in table.primary_key,
+            is_not_null=column.not_null,
+            has_default=column.has_default,
+            default=column.default,
+            is_autoincrement=column.autoincrement,
+        )
+        fk = table.foreign_key_for(column.name)
+        if fk is not None:
+            col_info.references = fk.ref_table
+            col_info.references_column = (
+                fk.ref_columns[0] if fk.ref_columns else None
+            )
+        info.columns.append(col_info)
+    return info
+
+
+def _type_name(sql_type: Any) -> str:
+    if isinstance(sql_type, IntegerType):
+        return "INTEGER"
+    if isinstance(sql_type, FloatType):
+        return "FLOAT"
+    if isinstance(sql_type, BooleanType):
+        return "BOOLEAN"
+    if isinstance(sql_type, DateType):
+        return "DATE"
+    if isinstance(sql_type, StringType):
+        if sql_type.length is not None:
+            return f"VARCHAR({sql_type.length})"
+        return "TEXT"
+    return "TEXT"

@@ -1,0 +1,222 @@
+"""Row storage with primary-key/unique hash indexes.
+
+Each table's rows live in an insertion-ordered dict keyed by a synthetic
+row id.  Unique indexes (primary key, UNIQUE constraints) map key tuples to
+row ids; non-unique secondary indexes (maintained for foreign-key columns)
+map values to row-id sets.  All mutation goes through :class:`TableData`
+methods so indexes never drift from the rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import IntegrityError
+from .catalog import Table
+
+__all__ = ["TableData"]
+
+Row = Dict[str, Any]
+
+
+class _UniqueIndex:
+    """Maps a key tuple to the single row id holding it."""
+
+    def __init__(self, columns: Tuple[str, ...], label: str) -> None:
+        self.columns = columns
+        self.label = label  # 'primary key' | 'unique'
+        self._entries: Dict[Tuple[Any, ...], int] = {}
+
+    def key_for(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        """The index key, or None when any component is NULL (SQL UNIQUE
+        semantics: NULLs never collide)."""
+        key = tuple(row.get(col) for col in self.columns)
+        if any(v is None for v in key):
+            return None
+        return key
+
+    def lookup(self, key: Tuple[Any, ...]) -> Optional[int]:
+        return self._entries.get(key)
+
+    def insert(self, row: Row, rowid: int, table: str) -> None:
+        key = self.key_for(row)
+        if key is None:
+            return
+        existing = self._entries.get(key)
+        if existing is not None and existing != rowid:
+            value = key[0] if len(key) == 1 else key
+            raise IntegrityError(
+                f"{self.label} violation in table {table!r}: "
+                f"duplicate value {value!r} for ({', '.join(self.columns)})",
+                constraint=self.label,
+                table=table,
+                column=self.columns[0],
+            )
+        self._entries[key] = rowid
+
+    def remove(self, row: Row, rowid: int) -> None:
+        key = self.key_for(row)
+        if key is not None and self._entries.get(key) == rowid:
+            del self._entries[key]
+
+
+class _SecondaryIndex:
+    """Non-unique index: single-column value -> set of row ids."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._entries: Dict[Any, Set[int]] = {}
+
+    def insert(self, row: Row, rowid: int) -> None:
+        value = row.get(self.column)
+        if value is not None:
+            self._entries.setdefault(value, set()).add(rowid)
+
+    def remove(self, row: Row, rowid: int) -> None:
+        value = row.get(self.column)
+        if value is not None:
+            ids = self._entries.get(value)
+            if ids is not None:
+                ids.discard(rowid)
+                if not ids:
+                    del self._entries[value]
+
+    def lookup(self, value: Any) -> Set[int]:
+        return self._entries.get(value, set())
+
+
+class TableData:
+    """Rows plus indexes for one table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.rows: Dict[int, Row] = {}
+        self._rowid_counter = itertools.count(1)
+        self._autoincrement_next: Dict[str, int] = {
+            c.name: 1 for c in table.columns.values() if c.autoincrement
+        }
+
+        self.unique_indexes: List[_UniqueIndex] = []
+        if table.primary_key:
+            self.unique_indexes.append(
+                _UniqueIndex(table.primary_key, "primary key")
+            )
+        for unique in table.uniques:
+            self.unique_indexes.append(_UniqueIndex(unique, "unique"))
+
+        # Secondary indexes accelerate FK existence checks both ways:
+        # child-side lookup by FK value and parent-side reverse lookup.
+        self.secondary_indexes: Dict[str, _SecondaryIndex] = {}
+        for fk in table.foreign_keys:
+            if len(fk.columns) == 1:
+                col = fk.columns[0]
+                self.secondary_indexes.setdefault(col, _SecondaryIndex(col))
+
+    # -- mutation (raw: no constraint semantics beyond uniqueness) -------------
+
+    def next_autoincrement(self, column: str) -> int:
+        value = self._autoincrement_next[column]
+        self._autoincrement_next[column] = value + 1
+        return value
+
+    def note_autoincrement_value(self, column: str, value: int) -> None:
+        """Keep the auto counter ahead of explicitly inserted values."""
+        if column in self._autoincrement_next:
+            self._autoincrement_next[column] = max(
+                self._autoincrement_next[column], value + 1
+            )
+
+    def insert(self, row: Row) -> int:
+        rowid = next(self._rowid_counter)
+        populated: List[_UniqueIndex] = []
+        try:
+            for index in self.unique_indexes:
+                index.insert(row, rowid, self.table.name)
+                populated.append(index)
+        except IntegrityError:
+            # Roll back entries already made in earlier indexes so a
+            # failed insert leaves no phantom keys behind.
+            for index in populated:
+                index.remove(row, rowid)
+            raise
+        for index in self.secondary_indexes.values():
+            index.insert(row, rowid)
+        self.rows[rowid] = dict(row)
+        return rowid
+
+    def delete(self, rowid: int) -> Row:
+        row = self.rows.pop(rowid)
+        for index in self.unique_indexes:
+            index.remove(row, rowid)
+        for index in self.secondary_indexes.values():
+            index.remove(row, rowid)
+        return row
+
+    def update(self, rowid: int, changes: Row) -> Row:
+        """Apply ``changes`` to the row; returns the previous image."""
+        old = self.rows[rowid]
+        new = {**old, **changes}
+        # Remove old index entries first, then insert new ones; on a
+        # uniqueness failure we restore the old entries to stay consistent.
+        for index in self.unique_indexes:
+            index.remove(old, rowid)
+        try:
+            for index in self.unique_indexes:
+                index.insert(new, rowid, self.table.name)
+        except IntegrityError:
+            for index in self.unique_indexes:
+                index.remove(new, rowid)
+            for index in self.unique_indexes:
+                index.insert(old, rowid, self.table.name)
+            raise
+        for index in self.secondary_indexes.values():
+            index.remove(old, rowid)
+            index.insert(new, rowid)
+        self.rows[rowid] = new
+        return old
+
+    def restore(self, rowid: int, row: Row) -> None:
+        """Reinstate a previously deleted row under its original id (undo)."""
+        for index in self.unique_indexes:
+            index.insert(row, rowid, self.table.name)
+        for index in self.secondary_indexes.values():
+            index.insert(row, rowid)
+        self.rows[rowid] = dict(row)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        yield from list(self.rows.items())
+
+    def find_by_unique(
+        self, columns: Tuple[str, ...], key: Tuple[Any, ...]
+    ) -> Optional[int]:
+        for index in self.unique_indexes:
+            if index.columns == columns:
+                return index.lookup(key)
+        return None
+
+    def find_by_pk(self, key: Tuple[Any, ...]) -> Optional[int]:
+        if not self.table.primary_key:
+            return None
+        return self.find_by_unique(self.table.primary_key, key)
+
+    def find_by_value(self, column: str, value: Any) -> Set[int]:
+        index = self.secondary_indexes.get(column)
+        if index is not None:
+            return set(index.lookup(value))
+        return {
+            rowid
+            for rowid, row in self.rows.items()
+            if row.get(column) == value
+        }
+
+    def has_value(self, column: str, value: Any) -> bool:
+        index = self.secondary_indexes.get(column)
+        if index is not None:
+            return bool(index.lookup(value))
+        return any(row.get(column) == value for row in self.rows.values())
+
+    def __len__(self) -> int:
+        return len(self.rows)

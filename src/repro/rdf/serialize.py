@@ -1,0 +1,96 @@
+"""Turtle and N-Triples serializers.
+
+The Turtle writer groups triples by subject and emits predicate lists
+(``;``) and object lists (``,``) in the style of the paper's listings, with
+prefix declarations up front.  The N-Triples writer is the line-oriented
+fallback used for canonical output and diffing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .graph import Graph
+from .namespace import RDF, PrefixMap
+from .terms import BNode, Literal, Term, Triple, URIRef
+
+__all__ = ["to_ntriples", "to_turtle", "term_to_turtle"]
+
+
+def to_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize to N-Triples, one sorted line per triple."""
+    lines = sorted(t.n3() for t in triples)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def term_to_turtle(term: Term, prefixes: Optional[PrefixMap] = None) -> str:
+    """Render one term, using a qname when a prefix binding applies."""
+    if prefixes is not None and isinstance(term, URIRef):
+        qname = prefixes.compact(term)
+        if qname is not None:
+            return qname
+    if prefixes is not None and isinstance(term, Literal) and term.datatype:
+        compacted = prefixes.compact(URIRef(term.datatype))
+        if compacted is not None:
+            from .terms import _escape_literal  # reuse canonical escaping
+
+            return '"%s"^^%s' % (_escape_literal(term.lexical), compacted)
+    return term.n3()
+
+
+def to_turtle(
+    graph: Graph,
+    prefixes: Optional[PrefixMap] = None,
+    emit_prefixes: bool = True,
+) -> str:
+    """Serialize ``graph`` to Turtle.
+
+    Subjects are sorted (URIs first, then blank nodes) for deterministic
+    output; ``rdf:type`` is written as ``a`` and listed first, matching the
+    convention of the paper's mapping listings.
+    """
+    if prefixes is None:
+        prefixes = PrefixMap.with_defaults()
+
+    used_prefixes = set()
+
+    def render(term: Term) -> str:
+        text = term_to_turtle(term, prefixes)
+        if ":" in text and not text.startswith(("<", '"', "_:")):
+            used_prefixes.add(text.split(":", 1)[0])
+        elif text.startswith('"') and "^^" in text and not text.endswith(">"):
+            used_prefixes.add(text.rsplit("^^", 1)[1].split(":", 1)[0])
+        return text
+
+    body_chunks: List[str] = []
+    for subject in _sorted_subjects(graph):
+        lines: List[str] = []
+        preds = sorted(
+            graph.predicates(subject=subject),
+            key=lambda p: (p != RDF.type, p.value),
+        )
+        for predicate in preds:
+            objs = sorted(
+                (render(o) for o in graph.objects(subject=subject, predicate=predicate))
+            )
+            pred_text = "a" if predicate == RDF.type else render(predicate)
+            lines.append(f"    {pred_text} {', '.join(objs)}")
+        body_chunks.append(render(subject) + "\n" + " ;\n".join(lines) + " .\n")
+
+    header = ""
+    if emit_prefixes:
+        decls = [
+            f"@prefix {prefix}: <{uri}> ."
+            for prefix, uri in prefixes.items()
+            if prefix in used_prefixes
+        ]
+        if decls:
+            header = "\n".join(decls) + "\n\n"
+    return header + "\n".join(body_chunks)
+
+
+def _sorted_subjects(graph: Graph) -> List[Term]:
+    subjects = list(graph.subjects())
+    uris = sorted((s for s in subjects if isinstance(s, URIRef)), key=lambda s: s.value)
+    bnodes = sorted((s for s in subjects if isinstance(s, BNode)), key=lambda s: s.label)
+    return [*uris, *bnodes]

@@ -1,0 +1,7 @@
+"""The OntoAccess HTTP endpoint prototype (paper Section 6)."""
+
+from .client import Feedback, OntoAccessClient
+from .endpoint import OntoAccessEndpoint
+from .protocol import Response
+
+__all__ = ["Feedback", "OntoAccessClient", "OntoAccessEndpoint", "Response"]

@@ -1,0 +1,101 @@
+"""HTTP client for the OntoAccess endpoint (stdlib urllib).
+
+Gives applications the remote-manipulation interface the paper describes:
+send SPARQL/Update, receive the parsed RDF feedback graph.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import OA, RDF
+from ..rdf.terms import Literal
+from ..rdf.turtle import parse_turtle
+from . import protocol
+
+__all__ = ["OntoAccessClient", "Feedback"]
+
+
+@dataclass
+class Feedback:
+    """Parsed feedback: status plus the raw RDF graph."""
+
+    ok: bool
+    graph: Graph
+    code: Optional[str] = None
+    message: Optional[str] = None
+    hint: Optional[str] = None
+
+    @classmethod
+    def from_graph(cls, graph: Graph, http_ok: bool) -> "Feedback":
+        error_nodes = list(graph.subjects(RDF.type, OA.Error))
+        if not error_nodes:
+            return cls(ok=http_ok, graph=graph)
+        node = error_nodes[0]
+
+        def text(predicate) -> Optional[str]:
+            value = graph.value(node, predicate, None)
+            return value.lexical if isinstance(value, Literal) else None
+
+        return cls(
+            ok=False,
+            graph=graph,
+            code=text(OA.code),
+            message=text(OA.message),
+            hint=text(OA.hint),
+        )
+
+
+class OntoAccessClient:
+    """Talks to a running :class:`~repro.server.OntoAccessEndpoint`."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def update(self, sparql_update: str) -> Feedback:
+        """POST a SPARQL/Update request; returns parsed feedback."""
+        status, body = self._post(
+            protocol.UPDATE_PATH, sparql_update, protocol.CONTENT_SPARQL_UPDATE
+        )
+        return Feedback.from_graph(parse_turtle(body), http_ok=status == 200)
+
+    def query_text(self, sparql_query: str) -> str:
+        """POST a SPARQL query; returns the raw textual response."""
+        _, body = self._post(
+            protocol.QUERY_PATH, sparql_query, protocol.CONTENT_SPARQL_QUERY
+        )
+        return body
+
+    def dump(self) -> Graph:
+        """GET the full RDF dump of the mediated database."""
+        return parse_turtle(self._get(protocol.DUMP_PATH))
+
+    def mapping_turtle(self) -> str:
+        """GET the R3M mapping document."""
+        return self._get(protocol.MAPPING_PATH)
+
+    # ------------------------------------------------------------------
+
+    def _post(self, path: str, body: str, content_type: str):
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body.encode("utf-8"),
+            headers={"Content-Type": content_type},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+
+    def _get(self, path: str) -> str:
+        with urllib.request.urlopen(
+            self.base_url + path, timeout=self.timeout
+        ) as response:
+            return response.read().decode("utf-8")

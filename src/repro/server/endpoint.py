@@ -1,0 +1,167 @@
+"""The OntoAccess HTTP endpoint (paper Section 6) on stdlib http.server.
+
+Usage::
+
+    from repro.server import OntoAccessEndpoint
+    endpoint = OntoAccessEndpoint(mediator, port=0)   # 0 = ephemeral port
+    endpoint.start()
+    ...  # clients POST SPARQL/Update to http://localhost:{endpoint.port}/update
+    endpoint.stop()
+
+The endpoint is intentionally small: request routing and HTTP concerns
+live here, all semantics live in the mediator.  ``handle_update`` /
+``handle_query`` are also callable directly (no network) so tests can
+exercise the protocol logic in isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..errors import ReproError, SPARQLParseError, TranslationError
+from ..core.feedback import error_graph
+from ..core.mediator import OntoAccess
+from ..rdf.graph import Graph
+from ..r3m.serialize import mapping_to_turtle
+from . import protocol
+from .protocol import Response
+
+__all__ = ["OntoAccessEndpoint"]
+
+
+class OntoAccessEndpoint:
+    """Serves a mediator over HTTP."""
+
+    def __init__(self, mediator: OntoAccess, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.mediator = mediator
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        #: simple request counters for monitoring/benchmarks
+        self.requests_served = 0
+        self.errors_returned = 0
+
+    # ------------------------------------------------------------------
+    # protocol handlers (network-independent)
+    # ------------------------------------------------------------------
+
+    def handle_update(self, body: str) -> Response:
+        """POST /update: translate + execute, answer with RDF feedback."""
+        self.requests_served += 1
+        try:
+            result = self.mediator.update(body)
+        except (TranslationError,) as exc:
+            self.errors_returned += 1
+            return Response.turtle(error_graph(exc), status=400)
+        except SPARQLParseError as exc:
+            self.errors_returned += 1
+            parse_error = TranslationError(
+                f"cannot parse request: {exc}",
+                code=TranslationError.UNSUPPORTED,
+            )
+            return Response.turtle(error_graph(parse_error), status=400)
+        return Response.turtle(result.feedback(), status=200)
+
+    def handle_query(self, body: str) -> Response:
+        """POST /query: SELECT/ASK/CONSTRUCT over the mediated database."""
+        self.requests_served += 1
+        try:
+            result = self.mediator.query(body)
+        except (ReproError,) as exc:
+            self.errors_returned += 1
+            return Response.text(f"error: {exc}", status=400)
+        if isinstance(result, bool):
+            return Response.text("true" if result else "false")
+        if isinstance(result, Graph):
+            return Response.turtle(result)
+        return Response(
+            status=200,
+            body=protocol.render_select_result(result),
+            content_type=protocol.CONTENT_TEXT,
+        )
+
+    def handle_dump(self) -> Response:
+        self.requests_served += 1
+        return Response.turtle(self.mediator.dump())
+
+    def handle_mapping(self) -> Response:
+        self.requests_served += 1
+        return Response(
+            status=200,
+            body=mapping_to_turtle(self.mediator.mapping),
+            content_type=protocol.CONTENT_TURTLE,
+        )
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> None:
+        if self._server is not None:
+            return
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # keep tests quiet
+                pass
+
+            def _send(self, response: Response) -> None:
+                payload = response.body.encode("utf-8")
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def do_POST(self) -> None:
+                length = int(self.headers.get("Content-Length", "0"))
+                body = self.rfile.read(length).decode("utf-8")
+                if self.path == protocol.UPDATE_PATH:
+                    self._send(endpoint.handle_update(body))
+                elif self.path == protocol.QUERY_PATH:
+                    self._send(endpoint.handle_query(body))
+                else:
+                    self._send(Response.text("not found", status=404))
+
+            def do_GET(self) -> None:
+                if self.path == protocol.DUMP_PATH:
+                    self._send(endpoint.handle_dump())
+                elif self.path == protocol.MAPPING_PATH:
+                    self._send(endpoint.handle_mapping())
+                else:
+                    self._send(Response.text("not found", status=404))
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+            self._thread = None
+
+    def __enter__(self) -> "OntoAccessEndpoint":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,77 @@
+"""Wire protocol of the OntoAccess HTTP endpoint.
+
+The prototype (paper Section 6) is "implemented as a HTTP endpoint" that
+"allows clients to remotely manipulate the relational data": SPARQL/Update
+operations arrive in HTTP requests, the translated SQL runs on the
+database, and "a confirmation or error message ... is then converted to an
+RDF representation and sent back to the client."
+
+Endpoints:
+
+* ``POST /update`` — body: SPARQL/Update (``application/sparql-update``);
+  response: RDF feedback graph as Turtle (confirmation or error, HTTP 200
+  vs 400).
+* ``POST /query``  — body: SPARQL query; response: SELECT results as a
+  simple tab-separated table, ASK as ``true``/``false``, CONSTRUCT as
+  Turtle.
+* ``GET /dump``    — the mapped database as Turtle.
+* ``GET /mapping`` — the R3M mapping document as Turtle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..rdf.graph import Graph
+from ..rdf.serialize import to_turtle
+
+__all__ = [
+    "UPDATE_PATH",
+    "QUERY_PATH",
+    "DUMP_PATH",
+    "MAPPING_PATH",
+    "CONTENT_TURTLE",
+    "CONTENT_SPARQL_UPDATE",
+    "CONTENT_SPARQL_QUERY",
+    "Response",
+    "render_select_result",
+]
+
+UPDATE_PATH = "/update"
+QUERY_PATH = "/query"
+DUMP_PATH = "/dump"
+MAPPING_PATH = "/mapping"
+
+CONTENT_TURTLE = "text/turtle; charset=utf-8"
+CONTENT_SPARQL_UPDATE = "application/sparql-update"
+CONTENT_SPARQL_QUERY = "application/sparql-query"
+CONTENT_TEXT = "text/plain; charset=utf-8"
+
+
+@dataclass
+class Response:
+    """A protocol-level response, independent of the HTTP library."""
+
+    status: int
+    body: str
+    content_type: str = CONTENT_TURTLE
+
+    @classmethod
+    def turtle(cls, graph: Graph, status: int = 200) -> "Response":
+        return cls(status=status, body=to_turtle(graph), content_type=CONTENT_TURTLE)
+
+    @classmethod
+    def text(cls, body: str, status: int = 200) -> "Response":
+        return cls(status=status, body=body, content_type=CONTENT_TEXT)
+
+
+def render_select_result(result) -> str:
+    """SELECT results as a header + tab-separated rows (one per solution)."""
+    header = "\t".join(f"?{v.name}" for v in result.variables)
+    lines = [header]
+    for row in result.rows():
+        lines.append(
+            "\t".join("" if term is None else term.n3() for term in row)
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,270 @@
+"""SPARQL filter-expression evaluation.
+
+Implements the SPARQL 1.0 operator semantics the paper-era engines used:
+effective boolean value (EBV), type errors propagating as errors that make
+a FILTER reject the solution, numeric promotion across XSD numeric types,
+and the core built-ins (BOUND, STR, LANG, DATATYPE, REGEX, isIRI/isBlank/
+isLiteral, sameTerm, langMatches).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Union
+
+from ..errors import SPARQLEvalError
+from ..rdf.terms import BNode, Literal, Term, URIRef, Variable, XSD_BOOLEAN, XSD_STRING
+from . import algebra_ast as alg
+
+__all__ = ["EvalError", "evaluate_expr", "effective_boolean_value", "filter_accepts"]
+
+Bindings = Dict[Variable, Term]
+
+
+class EvalError(SPARQLEvalError):
+    """A SPARQL expression type error (silently fails the FILTER)."""
+
+
+def filter_accepts(expr: alg.Expr, bindings: Bindings) -> bool:
+    """True when the FILTER expression evaluates to EBV true.
+
+    Evaluation errors reject the solution (SPARQL semantics) instead of
+    propagating.
+    """
+    try:
+        return effective_boolean_value(evaluate_expr(expr, bindings))
+    except EvalError:
+        return False
+
+
+def evaluate_expr(expr: alg.Expr, bindings: Bindings) -> Union[Term, bool, int, float, str]:
+    """Evaluate an expression to a term or plain Python value."""
+    if isinstance(expr, alg.TermExpr):
+        term = expr.term
+        if isinstance(term, Variable):
+            value = bindings.get(term)
+            if value is None:
+                raise EvalError(f"unbound variable ?{term.name}")
+            return value
+        return term
+    if isinstance(expr, alg.BoolOp):
+        return _bool_op(expr, bindings)
+    if isinstance(expr, alg.Not):
+        return not effective_boolean_value(evaluate_expr(expr.operand, bindings))
+    if isinstance(expr, alg.Comparison):
+        return _comparison(expr, bindings)
+    if isinstance(expr, alg.Arithmetic):
+        return _arithmetic(expr, bindings)
+    if isinstance(expr, alg.FunctionExpr):
+        return _function(expr, bindings)
+    raise EvalError(f"cannot evaluate {type(expr).__name__}")
+
+
+def effective_boolean_value(value: Any) -> bool:
+    """SPARQL EBV rules."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        if value.datatype == XSD_BOOLEAN:
+            return value.lexical.strip() in ("true", "1")
+        if value.is_numeric():
+            try:
+                return float(value.lexical) != 0
+            except ValueError:
+                raise EvalError(f"invalid numeric literal {value.lexical!r}")
+        if value.datatype is None or value.datatype == XSD_STRING:
+            return len(value.lexical) > 0
+        raise EvalError(f"no EBV for datatype {value.datatype}")
+    raise EvalError(f"no EBV for {value!r}")
+
+
+# ---------------------------------------------------------------------------
+
+def _bool_op(expr: alg.BoolOp, bindings: Bindings) -> bool:
+    # SPARQL || / && have error-tolerant semantics: if one side errors but
+    # the other determines the result, the result stands.
+    def side(e: alg.Expr):
+        try:
+            return effective_boolean_value(evaluate_expr(e, bindings))
+        except EvalError:
+            return None
+
+    left = side(expr.left)
+    right = side(expr.right)
+    if expr.op == "||":
+        if left is True or right is True:
+            return True
+        if left is False and right is False:
+            return False
+        raise EvalError("|| over errors")
+    if left is False or right is False:
+        return False
+    if left is True and right is True:
+        return True
+    raise EvalError("&& over errors")
+
+
+def _comparison(expr: alg.Comparison, bindings: Bindings) -> bool:
+    left = evaluate_expr(expr.left, bindings)
+    right = evaluate_expr(expr.right, bindings)
+    op = expr.op
+    if op in ("=", "!="):
+        equal = _term_equal(left, right)
+        return equal if op == "=" else not equal
+    lv, rv = _comparable_pair(left, right)
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    return lv >= rv
+
+
+def _term_equal(left: Any, right: Any) -> bool:
+    lnum = _try_numeric(left)
+    rnum = _try_numeric(right)
+    if lnum is not None and rnum is not None:
+        return lnum == rnum
+    lval = _plain_value(left)
+    rval = _plain_value(right)
+    if lval is not None and rval is not None:
+        return lval == rval
+    if isinstance(left, Term) and isinstance(right, Term):
+        return left == right
+    return left == right
+
+
+def _comparable_pair(left: Any, right: Any):
+    lnum = _try_numeric(left)
+    rnum = _try_numeric(right)
+    if lnum is not None and rnum is not None:
+        return lnum, rnum
+    lstr = _plain_value(left)
+    rstr = _plain_value(right)
+    if isinstance(lstr, str) and isinstance(rstr, str):
+        return lstr, rstr
+    raise EvalError(f"cannot order {left!r} and {right!r}")
+
+
+def _try_numeric(value: Any):
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Literal) and value.is_numeric():
+        try:
+            py = value.to_python()
+            return py
+        except ValueError:
+            raise EvalError(f"invalid numeric literal {value.lexical!r}")
+    return None
+
+
+def _plain_value(value: Any):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Literal):
+        if value.datatype is None or value.datatype == XSD_STRING:
+            if value.language is None:
+                return value.lexical
+        return None
+    return None
+
+
+def _arithmetic(expr: alg.Arithmetic, bindings: Bindings):
+    left = _require_numeric(evaluate_expr(expr.left, bindings))
+    right = _require_numeric(evaluate_expr(expr.right, bindings))
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    if right == 0:
+        raise EvalError("division by zero")
+    return left / right
+
+
+def _require_numeric(value: Any):
+    number = _try_numeric(value)
+    if number is None:
+        raise EvalError(f"expected a number, got {value!r}")
+    return number
+
+
+def _function(expr: alg.FunctionExpr, bindings: Bindings):
+    name = expr.name
+    if name == "BOUND":
+        arg = expr.args[0]
+        if not (isinstance(arg, alg.TermExpr) and isinstance(arg.term, Variable)):
+            raise EvalError("BOUND requires a variable")
+        return arg.term in bindings
+
+    args = [evaluate_expr(a, bindings) for a in expr.args]
+    if name in ("ISIRI", "ISURI"):
+        return isinstance(args[0], URIRef)
+    if name == "ISBLANK":
+        return isinstance(args[0], BNode)
+    if name == "ISLITERAL":
+        return isinstance(args[0], (Literal, str, int, float, bool))
+    if name == "STR":
+        value = args[0]
+        if isinstance(value, URIRef):
+            return value.value
+        if isinstance(value, Literal):
+            return value.lexical
+        if isinstance(value, (str, int, float)):
+            return str(value)
+        raise EvalError(f"STR not defined for {value!r}")
+    if name == "LANG":
+        value = args[0]
+        if isinstance(value, Literal):
+            return value.language or ""
+        if isinstance(value, str):
+            return ""
+        raise EvalError("LANG requires a literal")
+    if name == "DATATYPE":
+        value = args[0]
+        if isinstance(value, Literal):
+            if value.language is not None:
+                raise EvalError("DATATYPE of language-tagged literal")
+            return URIRef(value.datatype or XSD_STRING)
+        raise EvalError("DATATYPE requires a literal")
+    if name == "REGEX":
+        text = _string_arg(args[0])
+        pattern = _string_arg(args[1])
+        flags = 0
+        if len(args) > 2:
+            flag_text = _string_arg(args[2])
+            if "i" in flag_text:
+                flags |= re.IGNORECASE
+            if "s" in flag_text:
+                flags |= re.DOTALL
+            if "m" in flag_text:
+                flags |= re.MULTILINE
+        try:
+            return re.search(pattern, text, flags) is not None
+        except re.error as exc:
+            raise EvalError(f"invalid regex: {exc}") from None
+    if name == "SAMETERM":
+        return args[0] == args[1]
+    if name == "LANGMATCHES":
+        tag = _string_arg(args[0]).lower()
+        pattern = _string_arg(args[1]).lower()
+        if pattern == "*":
+            return tag != ""
+        return tag == pattern or tag.startswith(pattern + "-")
+    raise EvalError(f"unknown function {name}")
+
+
+def _string_arg(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Literal):
+        return value.lexical
+    raise EvalError(f"expected a string, got {value!r}")

@@ -1,0 +1,126 @@
+"""Parser for SPARQL/Update requests.
+
+Grammar (after the shared prologue), following the 2008 member submission
+the paper builds on, plus the SPARQL 1.1-style ``DELETE/INSERT ... WHERE``
+that the submission's MODIFY generalizes:
+
+    Update      := Prologue Operation ( ';'? Operation )*
+    Operation   := InsertData | DeleteData | Modify | DeleteWhere
+                 | InsertWhere | Clear
+    InsertData  := 'INSERT' 'DATA' QuadData
+    DeleteData  := 'DELETE' 'DATA' QuadData
+    Modify      := 'MODIFY' ('DELETE' Template)? ('INSERT' Template)?
+                   'WHERE' GroupGraphPattern
+    DeleteWhere := 'DELETE' Template ('INSERT' Template)? 'WHERE' GGP
+    InsertWhere := 'INSERT' Template 'WHERE' GGP
+    Clear       := 'CLEAR'
+
+INSERT DATA / DELETE DATA payloads must be concrete (no variables) — the
+parser enforces this, matching the submission.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..rdf.namespace import PrefixMap
+from ..rdf.terms import Triple
+from .parse_base import SPARQLParserBase
+from .update_ast import (
+    Clear,
+    DeleteData,
+    InsertData,
+    Modify,
+    UpdateOperation,
+    UpdateRequest,
+)
+
+__all__ = ["parse_update", "UpdateParser"]
+
+
+def parse_update(text: str, prefixes: Optional[PrefixMap] = None) -> UpdateRequest:
+    """Parse a SPARQL/Update request string."""
+    return UpdateParser(text, prefixes=prefixes).request()
+
+
+class UpdateParser(SPARQLParserBase):
+    def request(self) -> UpdateRequest:
+        self.parse_prologue()
+        operations: List[UpdateOperation] = [self._operation()]
+        while True:
+            self.accept(";")
+            self.skip_ws()
+            if self.at_end():
+                break
+            operations.append(self._operation())
+        return UpdateRequest(operations=tuple(operations))
+
+    def _operation(self) -> UpdateOperation:
+        self.skip_ws()
+        if self.at_keyword("INSERT"):
+            self.pos += len("INSERT")
+            if self.accept_keyword("DATA"):
+                return InsertData(triples=self._concrete_triples("INSERT DATA"))
+            # INSERT {template} WHERE {pattern}
+            insert_template = self._template()
+            self.expect_keyword("WHERE")
+            where = self.parse_group_graph_pattern()
+            return Modify(
+                delete_template=(), insert_template=insert_template, where=where
+            )
+        if self.at_keyword("DELETE"):
+            self.pos += len("DELETE")
+            if self.accept_keyword("DATA"):
+                return DeleteData(triples=self._concrete_triples("DELETE DATA"))
+            delete_template = self._template()
+            insert_template: Tuple[Triple, ...] = ()
+            if self.accept_keyword("INSERT"):
+                insert_template = self._template()
+            self.expect_keyword("WHERE")
+            where = self.parse_group_graph_pattern()
+            return Modify(
+                delete_template=delete_template,
+                insert_template=insert_template,
+                where=where,
+            )
+        if self.accept_keyword("MODIFY"):
+            # An optional graph IRI may follow MODIFY in the submission;
+            # the mediator has a single graph, so accept and ignore it.
+            self.skip_ws()
+            if self.peek() == "<":
+                self._parse_iriref()
+            delete_template = ()
+            insert_template = ()
+            if self.accept_keyword("DELETE"):
+                delete_template = self._template()
+            if self.accept_keyword("INSERT"):
+                insert_template = self._template()
+            if not delete_template and not insert_template:
+                raise self.error("MODIFY requires a DELETE and/or INSERT clause")
+            self.expect_keyword("WHERE")
+            where = self.parse_group_graph_pattern()
+            return Modify(
+                delete_template=delete_template,
+                insert_template=insert_template,
+                where=where,
+            )
+        if self.accept_keyword("CLEAR"):
+            return Clear()
+        raise self.error("expected INSERT, DELETE, MODIFY, or CLEAR")
+
+    def _template(self) -> Tuple[Triple, ...]:
+        self.expect("{")
+        triples = self.parse_triples_block(allow_variables=True)
+        self.expect("}")
+        return tuple(triples)
+
+    def _concrete_triples(self, operation: str) -> Tuple[Triple, ...]:
+        self.expect("{")
+        triples = self.parse_triples_block(allow_variables=True)
+        self.expect("}")
+        for triple in triples:
+            if not triple.is_concrete():
+                raise self.error(
+                    f"{operation} must not contain variables: {triple.n3()}"
+                )
+        return tuple(triples)

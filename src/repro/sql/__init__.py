@@ -1,0 +1,25 @@
+"""SQL front-end: lexer, AST, parser, and renderer.
+
+Public API::
+
+    from repro.sql import parse_sql, parse_statements, render
+    from repro.sql import ast
+"""
+
+from . import ast
+from .parser import SQLParser, parse_expression, parse_sql, parse_statements
+from .render import render, render_expression
+from .tokens import Token, TokenType, tokenize
+
+__all__ = [
+    "SQLParser",
+    "Token",
+    "TokenType",
+    "ast",
+    "parse_expression",
+    "parse_sql",
+    "parse_statements",
+    "render",
+    "render_expression",
+    "tokenize",
+]

@@ -1,0 +1,350 @@
+"""SQL abstract syntax tree.
+
+Shared by three consumers:
+
+* the SQL parser (:mod:`repro.sql.parser`) builds these nodes from text;
+* the relational engine (:mod:`repro.rdb`) executes them;
+* the OntoAccess translator (:mod:`repro.core`) *constructs* them directly
+  and renders them to the SQL text shown in the paper's listings via
+  :mod:`repro.sql.render`.
+
+All nodes are frozen dataclasses: statements are values that can be hashed,
+compared in tests, and safely shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    # expressions
+    "Expression",
+    "Literal",
+    "Null",
+    "ColumnRef",
+    "Parameter",
+    "BinaryOp",
+    "UnaryOp",
+    "IsNull",
+    "InList",
+    "Between",
+    "Like",
+    "FunctionCall",
+    "Star",
+    # select
+    "SelectItem",
+    "TableRef",
+    "Join",
+    "OrderItem",
+    "Select",
+    # DML
+    "Insert",
+    "Update",
+    "Delete",
+    "Assignment",
+    # DDL
+    "ColumnDef",
+    "PrimaryKeyDef",
+    "ForeignKeyDef",
+    "UniqueDef",
+    "CheckDef",
+    "CreateTable",
+    "DropTable",
+    # transactions
+    "Begin",
+    "Commit",
+    "Rollback",
+    "Statement",
+]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: int, float, str, or bool."""
+
+    value: Union[int, float, str, bool]
+
+
+@dataclass(frozen=True)
+class Null(Expression):
+    """The SQL NULL literal."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A column reference, optionally qualified: ``author.id``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional placeholder (``?``) bound at execution time."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator: comparison, logic, arithmetic, or ``||`` concat."""
+
+    op: str  # '=', '<>', '<', '<=', '>', '>=', 'AND', 'OR', '+', '-', '*', '/', '%', '||'
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """Unary operator: ``NOT expr`` or ``-expr``."""
+
+    op: str  # 'NOT' | '-'
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (item, ...)``."""
+
+    operand: Expression
+    items: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """Aggregate or scalar function call."""
+
+    name: str  # normalized upper case
+    args: Tuple[Expression, ...]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` (as in ``SELECT *`` or ``COUNT(*)``), optionally qualified."""
+
+    table: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: expression with an optional ``AS`` alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in FROM, with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    def binding(self) -> str:
+        """The name this table is referred to by in the query scope."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join:
+    """A join clause appended to the FROM item list."""
+
+    table: TableRef
+    condition: Optional[Expression]  # None only for CROSS JOIN
+    kind: str = "INNER"  # 'INNER' | 'LEFT' | 'CROSS'
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement (single FROM table plus explicit joins)."""
+
+    items: Tuple[SelectItem, ...]
+    table: Optional[TableRef] = None
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT INTO table (columns) VALUES (row), ...``."""
+
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expression, ...], ...]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``SET column = expr`` item."""
+
+    column: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Assignment, ...]
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """A column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str  # normalized upper case, e.g. 'INTEGER', 'VARCHAR'
+    type_length: Optional[int] = None  # VARCHAR(n)
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    autoincrement: bool = False
+    default: Optional[Expression] = None
+    references: Optional[Tuple[str, Optional[str]]] = None  # (table, column|None)
+    checks: Tuple[Expression, ...] = ()
+
+
+@dataclass(frozen=True)
+class PrimaryKeyDef:
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef:
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class UniqueDef:
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CheckDef:
+    """A table-level CHECK constraint (the paper's Section 8 mentions
+    assertions as future work; CHECK is the per-row variant)."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    constraints: Tuple[
+        Union[PrimaryKeyDef, ForeignKeyDef, UniqueDef, CheckDef], ...
+    ] = ()
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Begin:
+    pass
+
+
+@dataclass(frozen=True)
+class Commit:
+    pass
+
+
+@dataclass(frozen=True)
+class Rollback:
+    pass
+
+
+Statement = Union[
+    Select,
+    Insert,
+    Update,
+    Delete,
+    CreateTable,
+    DropTable,
+    Begin,
+    Commit,
+    Rollback,
+]

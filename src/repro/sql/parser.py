@@ -1,0 +1,657 @@
+"""Recursive-descent SQL parser.
+
+Parses the dialect used throughout the reproduction: DDL (CREATE/DROP
+TABLE with column and table constraints), DML (INSERT/UPDATE/DELETE),
+SELECT with joins, grouping, ordering and limits, and transaction control
+statements.  Expression precedence follows standard SQL:
+
+    OR < AND < NOT < comparison/IS/IN/LIKE/BETWEEN < additive < multiplicative < unary
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..errors import SQLParseError
+from . import ast
+from .tokens import Token, TokenType, tokenize
+
+__all__ = ["parse_sql", "parse_statements", "parse_expression", "SQLParser"]
+
+
+def parse_sql(sql: str) -> ast.Statement:
+    """Parse exactly one SQL statement (a trailing ``;`` is allowed)."""
+    statements = parse_statements(sql)
+    if len(statements) != 1:
+        raise SQLParseError(
+            f"expected exactly one statement, found {len(statements)}"
+        )
+    return statements[0]
+
+
+def parse_statements(sql: str) -> List[ast.Statement]:
+    """Parse a ``;``-separated script into a list of statements."""
+    parser = SQLParser(sql)
+    return parser.script()
+
+
+def parse_expression(sql: str) -> ast.Expression:
+    """Parse a standalone expression (useful in tests)."""
+    parser = SQLParser(sql)
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class SQLParser:
+    """Single-use parser over a token list."""
+
+    def __init__(self, sql: str) -> None:
+        self.tokens = tokenize(sql)
+        self.index = 0
+        self._param_count = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.type != TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> SQLParseError:
+        token = self._peek()
+        found = token.value or "<end of input>"
+        return SQLParseError(f"{message} (found {found!r})", position=token.position)
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().is_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, *words: str) -> Token:
+        token = self._accept_keyword(*words)
+        if token is None:
+            raise self._error(f"expected {'/'.join(words)}")
+        return token
+
+    def _accept_punct(self, value: str) -> bool:
+        token = self._peek()
+        if token.type == TokenType.PUNCT and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            raise self._error(f"expected {value!r}")
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.type == TokenType.IDENT:
+            self._advance()
+            return token.value
+        # Allow non-reserved-ish keywords as identifiers where unambiguous
+        # (e.g. a column named "year" lexes as IDENT since YEAR isn't a
+        # keyword, but "type" etc. could collide in other dialects).
+        raise self._error("expected identifier")
+
+    def expect_eof(self) -> None:
+        if self._peek().type != TokenType.EOF:
+            raise self._error("unexpected trailing input")
+
+    # -- entry points --------------------------------------------------------
+
+    def script(self) -> List[ast.Statement]:
+        statements: List[ast.Statement] = []
+        while True:
+            while self._accept_punct(";"):
+                pass
+            if self._peek().type == TokenType.EOF:
+                return statements
+            statements.append(self.statement())
+            if self._peek().type != TokenType.EOF and not self._peek().is_keyword() \
+                    and self._peek().value != ";":
+                pass
+            if not self._accept_punct(";") and self._peek().type != TokenType.EOF:
+                raise self._error("expected ';' between statements")
+
+    def statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            return self.select()
+        if token.is_keyword("INSERT"):
+            return self.insert()
+        if token.is_keyword("UPDATE"):
+            return self.update()
+        if token.is_keyword("DELETE"):
+            return self.delete()
+        if token.is_keyword("CREATE"):
+            return self.create_table()
+        if token.is_keyword("DROP"):
+            return self.drop_table()
+        if token.is_keyword("BEGIN"):
+            self._advance()
+            self._accept_keyword("TRANSACTION")
+            return ast.Begin()
+        if token.is_keyword("COMMIT"):
+            self._advance()
+            self._accept_keyword("TRANSACTION")
+            return ast.Commit()
+        if token.is_keyword("ROLLBACK"):
+            self._advance()
+            self._accept_keyword("TRANSACTION")
+            return ast.Rollback()
+        raise self._error("expected a SQL statement")
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT") is not None
+        items = self._select_items()
+        table: Optional[ast.TableRef] = None
+        joins: List[ast.Join] = []
+        where = group_by = having = None
+        order_by: List[ast.OrderItem] = []
+        limit = offset = None
+        group_exprs: Tuple[ast.Expression, ...] = ()
+
+        if self._accept_keyword("FROM"):
+            table = self._table_ref()
+            joins = self._joins()
+        if self._accept_keyword("WHERE"):
+            where = self.expression()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            exprs = [self.expression()]
+            while self._accept_punct(","):
+                exprs.append(self.expression())
+            group_exprs = tuple(exprs)
+        if self._accept_keyword("HAVING"):
+            having = self.expression()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._accept_punct(","):
+                order_by.append(self._order_item())
+        if self._accept_keyword("LIMIT"):
+            limit = self._int_literal()
+            if self._accept_keyword("OFFSET"):
+                offset = self._int_literal()
+        return ast.Select(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_exprs,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> List[ast.SelectItem]:
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.SelectItem(ast.Star())
+        # qualified star: ident '.' '*'
+        if token.type == TokenType.IDENT:
+            nxt = self.tokens[self.index + 1: self.index + 3]
+            if (
+                len(nxt) == 2
+                and nxt[0].type == TokenType.PUNCT
+                and nxt[0].value == "."
+                and nxt[1].type == TokenType.OPERATOR
+                and nxt[1].value == "*"
+            ):
+                self._advance()
+                self._advance()
+                self._advance()
+                return ast.SelectItem(ast.Star(table=token.value))
+        expr = self.expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().type == TokenType.IDENT:
+            alias = self._advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _table_ref(self) -> ast.TableRef:
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().type == TokenType.IDENT:
+            alias = self._advance().value
+        return ast.TableRef(name, alias)
+
+    def _joins(self) -> List[ast.Join]:
+        joins: List[ast.Join] = []
+        while True:
+            kind = None
+            if self._accept_keyword("JOIN"):
+                kind = "INNER"
+            elif self._accept_keyword("INNER"):
+                self._expect_keyword("JOIN")
+                kind = "INNER"
+            elif self._accept_keyword("LEFT"):
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                kind = "LEFT"
+            elif self._accept_keyword("CROSS"):
+                self._expect_keyword("JOIN")
+                kind = "CROSS"
+            elif self._accept_punct(","):
+                kind = "CROSS"
+            else:
+                return joins
+            table = self._table_ref()
+            condition = None
+            if kind != "CROSS":
+                self._expect_keyword("ON")
+                condition = self.expression()
+            joins.append(ast.Join(table=table, condition=condition, kind=kind))
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    def _int_literal(self) -> int:
+        token = self._peek()
+        if token.type != TokenType.NUMBER or "." in token.value:
+            raise self._error("expected integer literal")
+        self._advance()
+        return int(token.value)
+
+    # -- INSERT / UPDATE / DELETE ----------------------------------------------
+
+    def insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: List[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_ident())
+            while self._accept_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows: List[Tuple[ast.Expression, ...]] = []
+        while True:
+            self._expect_punct("(")
+            row = [self.expression()]
+            while self._accept_punct(","):
+                row.append(self.expression())
+            self._expect_punct(")")
+            rows.append(tuple(row))
+            if not self._accept_punct(","):
+                break
+        return ast.Insert(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Update(table=table, assignments=tuple(assignments), where=where)
+
+    def _assignment(self) -> ast.Assignment:
+        column = self._expect_ident()
+        token = self._peek()
+        if token.type != TokenType.OPERATOR or token.value != "=":
+            raise self._error("expected '=' in SET clause")
+        self._advance()
+        return ast.Assignment(column=column, value=self.expression())
+
+    def delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Delete(table=table, where=where)
+
+    # -- CREATE / DROP TABLE ------------------------------------------------------
+
+    _TYPE_KEYWORDS = (
+        "INTEGER",
+        "INT",
+        "BIGINT",
+        "SMALLINT",
+        "VARCHAR",
+        "CHAR",
+        "TEXT",
+        "FLOAT",
+        "REAL",
+        "DOUBLE",
+        "BOOLEAN",
+        "DATE",
+        "DATETIME",
+        "TIMESTAMP",
+        "DECIMAL",
+        "NUMERIC",
+    )
+
+    def create_table(self) -> ast.CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            # NOT parses as keyword NOT; EXISTS likewise
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_ident()
+        self._expect_punct("(")
+        columns: List[ast.ColumnDef] = []
+        constraints: List[
+            Union[ast.PrimaryKeyDef, ast.ForeignKeyDef, ast.UniqueDef]
+        ] = []
+        while True:
+            if self._peek().is_keyword(
+                "PRIMARY", "FOREIGN", "UNIQUE", "CONSTRAINT", "CHECK"
+            ):
+                constraints.append(self._table_constraint())
+            else:
+                columns.append(self._column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.CreateTable(
+            name=name,
+            columns=tuple(columns),
+            constraints=tuple(constraints),
+            if_not_exists=if_not_exists,
+        )
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self._expect_ident()
+        type_token = self._peek()
+        if not type_token.is_keyword(*self._TYPE_KEYWORDS):
+            raise self._error("expected column type")
+        self._advance()
+        type_name = type_token.value
+        type_length = None
+        if self._accept_punct("("):
+            type_length = self._int_literal()
+            # DECIMAL(p, s): ignore the scale, we store floats
+            if self._accept_punct(","):
+                self._int_literal()
+            self._expect_punct(")")
+
+        not_null = primary_key = unique = autoincrement = False
+        default: Optional[ast.Expression] = None
+        references: Optional[Tuple[str, Optional[str]]] = None
+        checks: List[ast.Expression] = []
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                not_null = True
+            elif self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                primary_key = True
+            elif self._accept_keyword("UNIQUE"):
+                unique = True
+            elif self._accept_keyword("AUTOINCREMENT"):
+                autoincrement = True
+            elif self._accept_keyword("DEFAULT"):
+                default = self._primary()
+            elif self._accept_keyword("REFERENCES"):
+                ref_table = self._expect_ident()
+                ref_column = None
+                if self._accept_punct("("):
+                    ref_column = self._expect_ident()
+                    self._expect_punct(")")
+                references = (ref_table, ref_column)
+            elif self._accept_keyword("CHECK"):
+                self._expect_punct("(")
+                checks.append(self.expression())
+                self._expect_punct(")")
+            else:
+                break
+        return ast.ColumnDef(
+            name=name,
+            type_name=type_name,
+            type_length=type_length,
+            not_null=not_null,
+            primary_key=primary_key,
+            unique=unique,
+            autoincrement=autoincrement,
+            default=default,
+            references=references,
+            checks=tuple(checks),
+        )
+
+    def _table_constraint(
+        self,
+    ) -> Union[ast.PrimaryKeyDef, ast.ForeignKeyDef, ast.UniqueDef]:
+        if self._accept_keyword("CONSTRAINT"):
+            self._expect_ident()  # constraint names are accepted and ignored
+        if self._accept_keyword("PRIMARY"):
+            self._expect_keyword("KEY")
+            return ast.PrimaryKeyDef(tuple(self._paren_ident_list()))
+        if self._accept_keyword("UNIQUE"):
+            return ast.UniqueDef(tuple(self._paren_ident_list()))
+        if self._accept_keyword("FOREIGN"):
+            self._expect_keyword("KEY")
+            columns = tuple(self._paren_ident_list())
+            self._expect_keyword("REFERENCES")
+            ref_table = self._expect_ident()
+            ref_columns: Tuple[str, ...] = ()
+            if self._peek().type == TokenType.PUNCT and self._peek().value == "(":
+                ref_columns = tuple(self._paren_ident_list())
+            return ast.ForeignKeyDef(
+                columns=columns, ref_table=ref_table, ref_columns=ref_columns
+            )
+        if self._accept_keyword("CHECK"):
+            self._expect_punct("(")
+            expr = self.expression()
+            self._expect_punct(")")
+            return ast.CheckDef(expression=expr)
+        raise self._error("expected table constraint")
+
+    def _paren_ident_list(self) -> List[str]:
+        self._expect_punct("(")
+        names = [self._expect_ident()]
+        while self._accept_punct(","):
+            names.append(self._expect_ident())
+        self._expect_punct(")")
+        return names
+
+    def drop_table(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(name=self._expect_ident(), if_exists=if_exists)
+
+    # -- expressions -----------------------------------------------------------
+
+    def expression(self) -> ast.Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expression:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expression:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expression:
+        left = self._additive()
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value in (
+            "=",
+            "<>",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            self._advance()
+            return ast.BinaryOp(token.value, left, self._additive())
+        if token.is_keyword("IS"):
+            self._advance()
+            negated = self._accept_keyword("NOT") is not None
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, negated=negated)
+        negated = False
+        if token.is_keyword("NOT"):
+            nxt = self.tokens[self.index + 1]
+            if nxt.is_keyword("IN", "LIKE", "BETWEEN"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect_punct("(")
+            items = [self.expression()]
+            while self._accept_punct(","):
+                items.append(self.expression())
+            self._expect_punct(")")
+            return ast.InList(left, tuple(items), negated=negated)
+        if token.is_keyword("LIKE"):
+            self._advance()
+            return ast.Like(left, self._additive(), negated=negated)
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._additive()
+            self._expect_keyword("AND")
+            high = self._additive()
+            return ast.Between(left, low, high, negated=negated)
+        return left
+
+    def _additive(self) -> ast.Expression:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                self._advance()
+                left = ast.BinaryOp(token.value, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> ast.Expression:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                self._advance()
+                left = ast.BinaryOp(token.value, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._unary()
+            # Fold negative numeric constants so '-1' round-trips as a Literal.
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ) and not isinstance(operand.value, bool):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        if token.type == TokenType.OPERATOR and token.value == "+":
+            self._advance()
+            return self._unary()
+        return self._primary()
+
+    _FUNCTION_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+    def _primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            if "." in token.value or "e" in token.value.lower():
+                return ast.Literal(float(token.value))
+            return ast.Literal(int(token.value))
+        if token.type == TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Null()
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.type == TokenType.PUNCT and token.value == "?":
+            self._advance()
+            self._param_count += 1
+            return ast.Parameter(self._param_count - 1)
+        if token.type == TokenType.PUNCT and token.value == "(":
+            self._advance()
+            expr = self.expression()
+            self._expect_punct(")")
+            return expr
+        if token.is_keyword(*self._FUNCTION_KEYWORDS):
+            return self._function_call(token.value)
+        if token.type == TokenType.IDENT:
+            # function call on a non-keyword name (UPPER, LOWER, LENGTH, ...)
+            nxt = self.tokens[self.index + 1]
+            if nxt.type == TokenType.PUNCT and nxt.value == "(":
+                return self._function_call(token.value.upper())
+            return self._column_ref()
+        raise self._error("expected expression")
+
+    def _function_call(self, name: str) -> ast.FunctionCall:
+        self._advance()  # function name
+        self._expect_punct("(")
+        distinct = self._accept_keyword("DISTINCT") is not None
+        args: List[ast.Expression] = []
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            args.append(ast.Star())
+        elif not (token.type == TokenType.PUNCT and token.value == ")"):
+            args.append(self.expression())
+            while self._accept_punct(","):
+                args.append(self.expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(name=name.upper(), args=tuple(args), distinct=distinct)
+
+    def _column_ref(self) -> ast.ColumnRef:
+        first = self._expect_ident()
+        if self._peek().type == TokenType.PUNCT and self._peek().value == ".":
+            self._advance()
+            second = self._expect_ident()
+            return ast.ColumnRef(name=second, table=first)
+        return ast.ColumnRef(name=first)

@@ -1,0 +1,111 @@
+"""SQL lexer.
+
+Tokenizes the SQL dialect understood by the relational engine substrate:
+keywords, identifiers (optionally ``"quoted"``), string literals
+(``'...'`` with ``''`` escaping), numbers, operators and punctuation.
+Keywords are recognized case-insensitively and normalized to upper case.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import SQLParseError
+
+__all__ = ["Token", "TokenType", "tokenize", "KEYWORDS"]
+
+
+class TokenType:
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT DISTINCT FROM WHERE GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET
+    JOIN INNER LEFT RIGHT OUTER CROSS ON AS AND OR NOT IN IS NULL LIKE
+    BETWEEN EXISTS CASE WHEN THEN ELSE END
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE DROP IF ALTER ADD INDEX
+    PRIMARY KEY FOREIGN REFERENCES UNIQUE DEFAULT CHECK AUTOINCREMENT
+    CONSTRAINT CASCADE RESTRICT
+    BEGIN COMMIT ROLLBACK TRANSACTION
+    INTEGER INT BIGINT SMALLINT VARCHAR CHAR TEXT FLOAT REAL DOUBLE
+    BOOLEAN DATE DATETIME TIMESTAMP DECIMAL NUMERIC
+    TRUE FALSE
+    COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*|/\*.*?\*/)
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?|\.\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<qident>"(?:[^"]|"")*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op><>|<=|>=|!=|\|\||[=<>+\-*/%])
+  | (?P<punct>[(),.;?])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: str
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in words
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; the result always ends with an EOF token."""
+    return list(_tokenize_iter(sql))
+
+
+def _tokenize_iter(sql: str) -> Iterator[Token]:
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        m = _TOKEN_RE.match(sql, pos)
+        if m is None:
+            raise SQLParseError(
+                f"unexpected character {sql[pos]!r} at position {pos}", position=pos
+            )
+        kind = m.lastgroup
+        text = m.group(0)
+        if kind in ("ws", "comment"):
+            pos = m.end()
+            continue
+        if kind == "number":
+            yield Token(TokenType.NUMBER, text, pos)
+        elif kind == "string":
+            # strip the quotes, un-double the '' escape
+            yield Token(TokenType.STRING, text[1:-1].replace("''", "'"), pos)
+        elif kind == "qident":
+            yield Token(TokenType.IDENT, text[1:-1].replace('""', '"'), pos)
+        elif kind == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, pos)
+            else:
+                yield Token(TokenType.IDENT, text, pos)
+        elif kind == "op":
+            yield Token(TokenType.OPERATOR, "<>" if text == "!=" else text, pos)
+        elif kind == "punct":
+            yield Token(TokenType.PUNCT, text, pos)
+        pos = m.end()
+    yield Token(TokenType.EOF, "", length)

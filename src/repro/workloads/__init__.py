@@ -1,0 +1,33 @@
+"""Workloads: the paper's use case plus scalable synthetic generators."""
+
+from .generator import (
+    Dataset,
+    WorkloadConfig,
+    build_populated_database,
+    generate_dataset,
+    populate_database,
+)
+from .publication import (
+    PUBLICATION_DDL,
+    URI_PREFIX,
+    build_database,
+    build_mapping,
+    build_ontology,
+    seed_feasibility_data,
+    table1_rows,
+)
+
+__all__ = [
+    "Dataset",
+    "PUBLICATION_DDL",
+    "URI_PREFIX",
+    "WorkloadConfig",
+    "build_database",
+    "build_mapping",
+    "build_ontology",
+    "build_populated_database",
+    "generate_dataset",
+    "populate_database",
+    "seed_feasibility_data",
+    "table1_rows",
+]

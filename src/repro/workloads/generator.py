@@ -1,0 +1,199 @@
+"""Scalable synthetic publication workloads.
+
+Generates deterministic (seeded) data for the Figure 1 schema at any
+scale: teams, publishers, publication types, authors, publications, and
+authorship links.  Used by the scaling/overhead benchmarks and the
+equivalence property tests.
+
+All generation is pure: the same seed yields the same dataset, so
+benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..rdb.engine import Database
+from .publication import build_database
+
+__all__ = ["WorkloadConfig", "Dataset", "generate_dataset", "populate_database"]
+
+_FIRST_NAMES = [
+    "Matthias", "Gerald", "Harald", "Alice", "Bob", "Carol", "Dave",
+    "Erika", "Felix", "Grace", "Heidi", "Ivan", "Judy", "Karl", "Lena",
+]
+_LAST_NAMES = [
+    "Hert", "Reif", "Gall", "Smith", "Mueller", "Weber", "Keller",
+    "Brunner", "Baumann", "Frei", "Huber", "Meier", "Schmid", "Steiner",
+]
+_TEAM_NAMES = [
+    "Software Engineering", "Database Technology", "Information Systems",
+    "Artificial Intelligence", "Distributed Systems", "Visualization",
+    "Human-Computer Interaction", "Requirements Engineering",
+]
+_PUBLISHERS = ["Springer", "ACM", "IEEE", "Elsevier", "Morgan Kaufmann", "VLDB"]
+_PUBTYPES = ["inproceedings", "article", "book", "techreport", "phdthesis"]
+_TITLE_WORDS = [
+    "Updating", "Relational", "Data", "via", "SPARQL", "Semantic", "Web",
+    "Ontology", "Mapping", "Mediation", "Query", "Translation", "Schema",
+    "Integration", "Linked", "Graphs", "Databases", "Views",
+]
+
+
+@dataclass
+class WorkloadConfig:
+    """Scale parameters for a synthetic publication dataset."""
+
+    teams: int = 5
+    publishers: int = 4
+    pubtypes: int = 4
+    authors: int = 50
+    publications: int = 100
+    max_authors_per_publication: int = 3
+    seed: int = 42
+
+
+@dataclass
+class Dataset:
+    """Generated rows, keyed the way the schema stores them."""
+
+    teams: List[Dict] = field(default_factory=list)
+    publishers: List[Dict] = field(default_factory=list)
+    pubtypes: List[Dict] = field(default_factory=list)
+    authors: List[Dict] = field(default_factory=list)
+    publications: List[Dict] = field(default_factory=list)
+    authorships: List[Tuple[int, int]] = field(default_factory=list)
+
+    def row_count(self) -> int:
+        return (
+            len(self.teams)
+            + len(self.publishers)
+            + len(self.pubtypes)
+            + len(self.authors)
+            + len(self.publications)
+            + len(self.authorships)
+        )
+
+    def triple_count(self) -> int:
+        """Triples the dataset maps to (type + non-null attribute triples
+        + link triples) — used to size benchmark comparisons."""
+        count = 0
+        for rows, attrs in (
+            (self.teams, ("name", "code")),
+            (self.publishers, ("name",)),
+            (self.pubtypes, ("type",)),
+            (self.authors, ("title", "email", "firstname", "lastname", "team")),
+            (self.publications, ("title", "year", "type", "publisher")),
+        ):
+            for row in rows:
+                count += 1  # rdf:type
+                count += sum(1 for a in attrs if row.get(a) is not None)
+        count += len(self.authorships)
+        return count
+
+
+def generate_dataset(config: WorkloadConfig) -> Dataset:
+    """Generate a deterministic dataset for the given scale."""
+    rng = random.Random(config.seed)
+    dataset = Dataset()
+
+    for i in range(1, config.teams + 1):
+        name = _TEAM_NAMES[(i - 1) % len(_TEAM_NAMES)]
+        code = "".join(w[0] for w in name.split())[:4].upper() + str(i)
+        dataset.teams.append({"id": i, "name": f"{name} {i}", "code": code})
+
+    for i in range(1, config.publishers + 1):
+        dataset.publishers.append(
+            {"id": i, "name": f"{_PUBLISHERS[(i - 1) % len(_PUBLISHERS)]} {i}"}
+        )
+
+    for i in range(1, config.pubtypes + 1):
+        dataset.pubtypes.append(
+            {"id": i, "type": _PUBTYPES[(i - 1) % len(_PUBTYPES)]}
+        )
+
+    for i in range(1, config.authors + 1):
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        has_email = rng.random() > 0.2
+        has_team = rng.random() > 0.1 and dataset.teams
+        dataset.authors.append(
+            {
+                "id": i,
+                "title": rng.choice(["Mr", "Ms", "Dr", None]),
+                "email": f"{first.lower()}.{last.lower()}{i}@example.org"
+                if has_email
+                else None,
+                "firstname": first,
+                "lastname": f"{last}{i}",
+                "team": rng.choice(dataset.teams)["id"] if has_team else None,
+            }
+        )
+
+    for i in range(1, config.publications + 1):
+        words = rng.sample(_TITLE_WORDS, k=rng.randint(3, 6))
+        dataset.publications.append(
+            {
+                "id": i,
+                "title": " ".join(words) + f" {i}",
+                "year": rng.randint(1998, 2010),
+                "type": rng.choice(dataset.pubtypes)["id"]
+                if dataset.pubtypes and rng.random() > 0.1
+                else None,
+                "publisher": rng.choice(dataset.publishers)["id"]
+                if dataset.publishers and rng.random() > 0.1
+                else None,
+            }
+        )
+
+    seen = set()
+    for publication in dataset.publications:
+        k = rng.randint(1, max(1, config.max_authors_per_publication))
+        authors = rng.sample(
+            dataset.authors, k=min(k, len(dataset.authors))
+        )
+        for author in authors:
+            pair = (publication["id"], author["id"])
+            if pair not in seen:
+                seen.add(pair)
+                dataset.authorships.append(pair)
+    return dataset
+
+
+def populate_database(db: Database, dataset: Dataset) -> None:
+    """Bulk-load a dataset via direct SQL INSERTs (parents first)."""
+    from ..sql import ast
+
+    def insert(table: str, rows: List[Dict]) -> None:
+        for row in rows:
+            columns = tuple(k for k, v in row.items() if v is not None)
+            db.execute(
+                ast.Insert(
+                    table=table,
+                    columns=columns,
+                    rows=(tuple(ast.Literal(row[c]) for c in columns),),
+                )
+            )
+
+    insert("team", dataset.teams)
+    insert("publisher", dataset.publishers)
+    insert("pubtype", dataset.pubtypes)
+    insert("author", dataset.authors)
+    insert("publication", dataset.publications)
+    for publication_id, author_id in dataset.authorships:
+        db.execute(
+            ast.Insert(
+                table="publication_author",
+                columns=("publication", "author"),
+                rows=((ast.Literal(publication_id), ast.Literal(author_id)),),
+            )
+        )
+
+
+def build_populated_database(config: WorkloadConfig) -> Database:
+    """Convenience: fresh schema + generated data."""
+    db = build_database()
+    populate_database(db, generate_dataset(config))
+    return db

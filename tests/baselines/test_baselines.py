@@ -1,0 +1,97 @@
+"""Tests for the baselines: native store and unsorted-translation ablation."""
+
+import pytest
+
+from repro import OntoAccess, TranslationError
+from repro.baselines import NativeTripleStore, UnsortedOntoAccess
+from repro.rdf import EX, FOAF, Triple, Literal
+from repro.workloads.publication import build_database, build_mapping
+
+P = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dc:   <http://purl.org/dc/elements/1.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+"""
+
+#: The Listing 15 request with the dependent (publication) group FIRST, so
+#: raw emission order violates FK dependencies.
+DEPENDENT_FIRST = P + """
+INSERT DATA {
+    ex:pub12 dc:title "Relational..." ;
+        ont:pubYear "2009" ;
+        ont:pubType ex:pubtype4 ;
+        dc:publisher ex:publisher3 ;
+        dc:creator ex:author6 .
+
+    ex:author6 foaf:family_name "Hert" ;
+        ont:team ex:team5 .
+
+    ex:team5 foaf:name "Software Engineering" ; ont:teamCode "SEAL" .
+    ex:pubtype4 ont:type "inproceedings" .
+    ex:publisher3 ont:name "Springer" .
+}
+"""
+
+
+class TestNativeStore:
+    def test_update_and_query(self):
+        store = NativeTripleStore()
+        stats = store.update(
+            P + 'INSERT DATA { ex:a foaf:name "X" . }'
+        )
+        assert stats["added"] == 1
+        assert len(store) == 1
+        result = store.query(P + "SELECT ?n WHERE { ex:a foaf:name ?n . }")
+        assert result.rows() == [(Literal("X"),)]
+
+    def test_accepts_requests_the_mediator_rejects(self):
+        """A native store happily stores an author without lastname — the
+        contrast that motivates the paper's constraint checking."""
+        store = NativeTripleStore()
+        store.update(P + 'INSERT DATA { ex:author9 foaf:firstName "NoLastname" . }')
+        assert len(store) == 1
+
+
+class TestUnsortedAblation:
+    """Paper Section 5.1: without sorting, arbitrary statement order can
+    fail under immediate constraint checking."""
+
+    def test_sorted_mediator_succeeds(self):
+        db = build_database()
+        oa = OntoAccess(db, build_mapping(db))
+        oa.update(DEPENDENT_FIRST)
+        assert db.row_count("publication_author") == 1
+
+    def test_unsorted_mediator_fails_under_immediate_checking(self):
+        db = build_database()
+        oa = UnsortedOntoAccess(db, build_mapping(db))
+        with pytest.raises(TranslationError) as exc:
+            oa.update(DEPENDENT_FIRST)
+        assert exc.value.code == TranslationError.CONSTRAINT_VIOLATION
+        # the failed operation left nothing behind (transaction rollback)
+        for table in ("team", "author", "publication"):
+            assert db.row_count(table) == 0
+
+    def test_unsorted_mediator_succeeds_under_deferred_checking(self):
+        """The theoretical fix the paper mentions: within a transaction,
+        deferred checking makes order irrelevant."""
+        db = build_database(constraint_mode="deferred")
+        oa = UnsortedOntoAccess(db, build_mapping(db))
+        oa.update(DEPENDENT_FIRST)
+        assert db.row_count("publication_author") == 1
+
+    def test_unsorted_translation_preserves_group_order(self):
+        db = build_database()
+        oa = UnsortedOntoAccess(db, build_mapping(db))
+        sql = [s for s in map(str, oa.translate(DEPENDENT_FIRST))]
+        # dependent INSERT (publication) is emitted before its parents
+        tables = [getattr(s, "table", None) for s in oa.translate(DEPENDENT_FIRST)]
+        assert tables.index("publication") < tables.index("pubtype")
+
+    def test_sorted_translation_fixes_the_same_request(self):
+        db = build_database()
+        oa = OntoAccess(db, build_mapping(db))
+        tables = [s.table for s in oa.translate(DEPENDENT_FIRST)]
+        assert tables.index("pubtype") < tables.index("publication")
+        assert tables.index("publication") < tables.index("publication_author")

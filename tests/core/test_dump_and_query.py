@@ -1,0 +1,235 @@
+"""Tests for the RDB→RDF dump and the mediated SPARQL query path."""
+
+import pytest
+
+from repro import OntoAccess
+from repro.rdf import DC, EX, FOAF, ONT, RDF, Graph, Literal, Triple, URIRef, Variable
+from repro.rdf.terms import XSD_INTEGER
+from repro.sparql import SelectResult
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+P = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dc:   <http://purl.org/dc/elements/1.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+"""
+
+
+@pytest.fixture
+def oa():
+    db = build_database()
+    seed_feasibility_data(db)
+    db.execute(
+        "INSERT INTO publication (id, title, year, type, publisher) "
+        "VALUES (12, 'Relational...', 2009, 4, 3)"
+    )
+    db.execute(
+        "INSERT INTO publication_author (publication, author) VALUES (12, 6)"
+    )
+    return OntoAccess(db, build_mapping(db))
+
+
+class TestDump:
+    def test_type_triples(self, oa):
+        g = oa.dump()
+        assert Triple(EX.author6, RDF.type, FOAF.Person) in g
+        assert Triple(EX.team5, RDF.type, FOAF.Group) in g
+        assert Triple(EX.pub12, RDF.type, FOAF.Document) in g
+
+    def test_data_property_triples(self, oa):
+        g = oa.dump()
+        assert Triple(EX.author6, FOAF.family_name, Literal("Hert")) in g
+        assert Triple(EX.team5, ONT.teamCode, Literal("SEAL")) in g
+
+    def test_integer_column_typed_literal(self, oa):
+        g = oa.dump()
+        assert Triple(
+            EX.pub12, ONT.pubYear, Literal("2009", datatype=XSD_INTEGER)
+        ) in g
+
+    def test_value_pattern_mints_mailto(self, oa):
+        g = oa.dump()
+        assert Triple(
+            EX.author6, FOAF.mbox, URIRef("mailto:hert@ifi.uzh.ch")
+        ) in g
+
+    def test_object_property_triples(self, oa):
+        g = oa.dump()
+        assert Triple(EX.author6, ONT.team, EX.team5) in g
+        assert Triple(EX.pub12, ONT.pubType, EX.pubtype4) in g
+
+    def test_link_table_triples(self, oa):
+        g = oa.dump()
+        assert Triple(EX.pub12, DC.creator, EX.author6) in g
+
+    def test_null_attributes_produce_no_triples(self, oa):
+        oa.db.execute("INSERT INTO author (id, lastname) VALUES (7, 'Sparse')")
+        g = oa.dump()
+        assert list(g.triples(EX.author7, FOAF.mbox, None)) == []
+        assert list(g.triples(EX.author7, FOAF.firstName, None)) == []
+
+    def test_roundtrip_through_mediator(self, oa):
+        """Re-inserting the full dump into a fresh mediator reproduces it."""
+        from repro.rdf import to_turtle  # noqa: F401  (sanity import)
+        from repro.sparql.update_ast import InsertData, UpdateRequest
+
+        g = oa.dump()
+        db2 = build_database()
+        oa2 = OntoAccess(db2, build_mapping(db2))
+        oa2.update(UpdateRequest(operations=(InsertData(tuple(g)),)))
+        assert oa2.dump() == g
+
+
+class TestQueryTranslation:
+    def test_single_subject_data_property(self, oa):
+        outcome = oa.query_outcome(
+            P + "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+        )
+        assert outcome.used_sql
+        assert outcome.result.rows() == [(Literal("Hert"),)]
+
+    def test_concrete_subject(self, oa):
+        outcome = oa.query_outcome(
+            P + "SELECT ?n WHERE { ex:team5 foaf:name ?n . }"
+        )
+        assert outcome.used_sql
+        assert outcome.result.rows() == [(Literal("Software Engineering"),)]
+
+    def test_subject_variable_bound_to_uri(self, oa):
+        result = oa.query(P + 'SELECT ?x WHERE { ?x ont:teamCode "SEAL" . }')
+        assert result.rows() == [(EX.team5,)]
+
+    def test_fk_join(self, oa):
+        outcome = oa.query_outcome(
+            P
+            + """SELECT ?name ?team WHERE {
+                ?a foaf:family_name ?name ;
+                   ont:team ?t .
+                ?t foaf:name ?team .
+            }"""
+        )
+        assert outcome.used_sql
+        assert outcome.result.rows() == [
+            (Literal("Hert"), Literal("Software Engineering"))
+        ]
+
+    def test_link_table_join(self, oa):
+        outcome = oa.query_outcome(
+            P
+            + """SELECT ?title ?author WHERE {
+                ?p dc:title ?title ;
+                   dc:creator ?a .
+                ?a foaf:family_name ?author .
+            }"""
+        )
+        assert outcome.used_sql
+        assert outcome.result.rows() == [
+            (Literal("Relational..."), Literal("Hert"))
+        ]
+
+    def test_object_variable_minted_as_uri(self, oa):
+        result = oa.query(P + "SELECT ?t WHERE { ex:author6 ont:team ?t . }")
+        assert result.rows() == [(EX.team5,)]
+
+    def test_value_pattern_variable(self, oa):
+        result = oa.query(P + "SELECT ?m WHERE { ex:author6 foaf:mbox ?m . }")
+        assert result.rows() == [(URIRef("mailto:hert@ifi.uzh.ch"),)]
+
+    def test_filter_pushdown(self, oa):
+        outcome = oa.query_outcome(
+            P + "SELECT ?p WHERE { ?p ont:pubYear ?y . FILTER(?y >= 2000) }"
+        )
+        assert outcome.used_sql
+        assert ">= 2000" in outcome.select_sql
+        assert outcome.result.rows() == [(EX.pub12,)]
+
+    def test_filter_regex_post_applied(self, oa):
+        outcome = oa.query_outcome(
+            P
+            + 'SELECT ?a WHERE { ?a foaf:mbox ?m . FILTER(REGEX(STR(?m), "uzh")) }'
+        )
+        assert outcome.used_sql  # BGP translated; REGEX applied post-hoc
+        assert outcome.result.rows() == [(EX.author6,)]
+
+    def test_optional_data_attribute(self, oa):
+        oa.db.execute("INSERT INTO author (id, lastname) VALUES (7, 'NoMail')")
+        outcome = oa.query_outcome(
+            P
+            + """SELECT ?n ?m WHERE {
+                ?a foaf:family_name ?n .
+                OPTIONAL { ?a foaf:mbox ?m . }
+            } ORDER BY ?n"""
+        )
+        assert outcome.used_sql
+        rows = outcome.result.rows()
+        by_name = {r[0].lexical: r[1] for r in rows}
+        assert by_name["NoMail"] is None
+        assert by_name["Hert"] == URIRef("mailto:hert@ifi.uzh.ch")
+
+    def test_rdf_type_determines_table(self, oa):
+        result = oa.query(
+            P + "SELECT ?x WHERE { ?x rdf:type foaf:Person . }"
+        )
+        assert result.rows() == [(EX.author6,)]
+
+    def test_ask(self, oa):
+        assert oa.query(P + 'ASK { ?x foaf:family_name "Hert" . }') is True
+        assert oa.query(P + 'ASK { ?x foaf:family_name "Nobody" . }') is False
+
+    def test_construct(self, oa):
+        g = oa.query(
+            P
+            + "CONSTRUCT { ?x foaf:name ?n . } WHERE { ?x foaf:family_name ?n . }"
+        )
+        assert isinstance(g, Graph)
+        assert Triple(EX.author6, FOAF.name, Literal("Hert")) in g
+
+    def test_union_falls_back(self, oa):
+        outcome = oa.query_outcome(
+            P
+            + """SELECT ?n WHERE {
+                { ?x foaf:family_name ?n . } UNION { ?x foaf:name ?n . }
+            }"""
+        )
+        assert not outcome.used_sql
+        values = {r[0].lexical for r in outcome.result.rows()}
+        assert "Hert" in values
+        assert "Software Engineering" in values
+
+    def test_fallback_equals_translation(self, oa):
+        """Translated and fallback evaluation agree on the same query."""
+        q = (
+            P
+            + """SELECT ?name ?team WHERE {
+                ?a foaf:family_name ?name ; ont:team ?t .
+                ?t foaf:name ?team .
+            }"""
+        )
+        translated = oa.query_outcome(q)
+        fallback = OntoAccess(
+            oa.db, oa.mapping, force_query_fallback=True
+        ).query_outcome(q)
+        assert translated.used_sql and not fallback.used_sql
+        assert sorted(map(str, translated.result.rows())) == sorted(
+            map(str, fallback.result.rows())
+        )
+
+    def test_order_and_limit(self, oa):
+        oa.db.execute("INSERT INTO author (id, lastname) VALUES (7, 'Abel')")
+        result = oa.query(
+            P + "SELECT ?n WHERE { ?x foaf:family_name ?n . } ORDER BY ?n LIMIT 1"
+        )
+        assert result.rows() == [(Literal("Abel"),)]
+
+    def test_distinct(self, oa):
+        oa.db.execute("INSERT INTO author (id, lastname, team) VALUES (7, 'Two', 5)")
+        result = oa.query(
+            P + "SELECT DISTINCT ?t WHERE { ?a ont:team ?t . }"
+        )
+        assert result.rows() == [(EX.team5,)]

@@ -1,0 +1,267 @@
+"""Error detection in the translation checker (Algorithm 1 step 3).
+
+The paper's key claim for update-awareness: "the information about these
+constraints ... can be used to detect invalid update requests and to
+provide semantically rich feedback to the client."  Every error class has
+a stable code carried by TranslationError.
+"""
+
+import pytest
+
+from repro import OntoAccess, TranslationError
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+P = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dc:   <http://purl.org/dc/elements/1.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+"""
+
+
+@pytest.fixture
+def oa():
+    db = build_database()
+    seed_feasibility_data(db)
+    return OntoAccess(db, build_mapping(db))
+
+
+def expect_error(oa, operation, code):
+    with pytest.raises(TranslationError) as exc:
+        oa.update(operation)
+    assert exc.value.code == code
+    return exc.value
+
+
+class TestInsertErrors:
+    def test_unknown_subject_uri(self, oa):
+        error = expect_error(
+            oa,
+            P + 'INSERT DATA { <http://other.org/thing1> foaf:name "X" . }',
+            TranslationError.UNKNOWN_SUBJECT,
+        )
+        assert "uriPattern" in str(error)
+
+    def test_blank_node_subject(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { _:someone foaf:family_name "X" . }',
+            TranslationError.UNKNOWN_SUBJECT,
+        )
+
+    def test_unknown_property(self, oa):
+        error = expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:family_name "New" ; foaf:weblog "b" . }',
+            TranslationError.UNKNOWN_PROPERTY,
+        )
+        assert error.details["table"] == "author"
+
+    def test_property_of_wrong_class(self, oa):
+        # ont:teamCode belongs to team, not author
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:family_name "N" ; ont:teamCode "X" . }',
+            TranslationError.UNKNOWN_PROPERTY,
+        )
+
+    def test_missing_required_attribute(self, oa):
+        """INSERT without the NOT NULL lastname (step 3's own example)."""
+        error = expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:firstName "Nameless" . }',
+            TranslationError.MISSING_REQUIRED,
+        )
+        assert "lastname" in error.details["attributes"]
+
+    def test_missing_required_on_publication(self, oa):
+        error = expect_error(
+            oa,
+            P + 'INSERT DATA { ex:pub99 dc:title "No Year" . }',
+            TranslationError.MISSING_REQUIRED,
+        )
+        assert "year" in error.details["attributes"]
+
+    def test_type_mismatch(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:pub99 dc:title "T" ; ont:pubYear "not-a-year" . }',
+            TranslationError.TYPE_MISMATCH,
+        )
+
+    def test_class_mismatch(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 a foaf:Group ; foaf:family_name "X" . }',
+            TranslationError.CLASS_MISMATCH,
+        )
+
+    def test_multiple_values_in_one_request(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:family_name "A", "B" . }',
+            TranslationError.MULTI_VALUE,
+        )
+
+    def test_second_value_for_existing_attribute(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author6 foaf:family_name "NotHert" . }',
+            TranslationError.MULTI_VALUE,
+        )
+
+    def test_reinserting_identical_triple_is_noop(self, oa):
+        result = oa.update(
+            P + 'INSERT DATA { ex:author6 foaf:family_name "Hert" . }'
+        )
+        assert result.statements_executed() == 0
+
+    def test_fk_target_missing(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:family_name "N" ; ont:team ex:team99 . }',
+            TranslationError.CONSTRAINT_VIOLATION,
+        )
+
+    def test_object_property_with_literal(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:family_name "N" ; ont:team "five" . }',
+            TranslationError.TYPE_MISMATCH,
+        )
+
+    def test_object_uri_of_wrong_table(self, oa):
+        expect_error(
+            oa,
+            P + 'INSERT DATA { ex:author7 foaf:family_name "N" ; ont:team ex:publisher3 . }',
+            TranslationError.FK_TARGET_MISSING,
+        )
+
+    def test_link_to_missing_row(self, oa):
+        expect_error(
+            oa,
+            P + "INSERT DATA { ex:pub99 dc:title \"T\" ; ont:pubYear \"2009\" ; "
+            "dc:creator ex:author99 . }",
+            TranslationError.FK_TARGET_MISSING,
+        )
+
+    def test_varchar_overflow(self, oa):
+        long_code = "X" * 50  # team.code is VARCHAR(20)
+        expect_error(
+            oa,
+            P + f'INSERT DATA {{ ex:team9 ont:teamCode "{long_code}" . }}',
+            TranslationError.TYPE_MISMATCH,
+        )
+
+
+class TestDeleteErrors:
+    def test_entity_missing(self, oa):
+        expect_error(
+            oa,
+            P + 'DELETE DATA { ex:author99 foaf:family_name "Ghost" . }',
+            TranslationError.ENTITY_MISSING,
+        )
+
+    def test_triple_not_held_wrong_value(self, oa):
+        expect_error(
+            oa,
+            P + 'DELETE DATA { ex:author6 foaf:firstName "Wrong" . }',
+            TranslationError.TRIPLE_MISSING,
+        )
+
+    def test_triple_not_held_null_attribute(self, oa):
+        oa.update(P + 'INSERT DATA { ex:team9 foaf:name "OnlyName" . }')
+        expect_error(
+            oa,
+            P + 'DELETE DATA { ex:team9 ont:teamCode "NOPE" . }',
+            TranslationError.TRIPLE_MISSING,
+        )
+
+    def test_partial_delete_of_not_null(self, oa):
+        """Deleting only the lastname (NOT NULL) must be rejected."""
+        error = expect_error(
+            oa,
+            P + 'DELETE DATA { ex:author6 foaf:family_name "Hert" . }',
+            TranslationError.NOT_NULL_DELETE,
+        )
+        assert error.details["attribute"] == "lastname"
+
+    def test_type_triple_delete_with_remaining_data(self, oa):
+        expect_error(
+            oa,
+            P + "DELETE DATA { ex:author6 a foaf:Person . }",
+            TranslationError.CONSTRAINT_VIOLATION,
+        )
+
+    def test_link_triple_missing(self, oa):
+        oa.update(
+            P + 'INSERT DATA { ex:pub1 dc:title "T" ; ont:pubYear "2009" . }'
+        )
+        expect_error(
+            oa,
+            P + "DELETE DATA { ex:pub1 dc:creator ex:author6 . }",
+            TranslationError.TRIPLE_MISSING,
+        )
+
+    def test_delete_referenced_entity_rejected_by_engine(self, oa):
+        """Deleting a team still referenced by an author fails with a
+        wrapped constraint violation (execution-time integrity)."""
+        expect_error(
+            oa,
+            P
+            + """DELETE DATA {
+                ex:team5 foaf:name "Software Engineering" ; ont:teamCode "SEAL" .
+            }""",
+            TranslationError.CONSTRAINT_VIOLATION,
+        )
+
+
+class TestAtomicity:
+    def test_failed_operation_changes_nothing(self, oa):
+        """One bad subject group anywhere aborts the whole operation."""
+        db = oa.db
+        before = db.row_count("team")
+        with pytest.raises(TranslationError):
+            oa.update(
+                P
+                + """INSERT DATA {
+                    ex:team7 foaf:name "Good Team" ; ont:teamCode "GT" .
+                    ex:author9 foaf:firstName "MissingLastname" .
+                }"""
+            )
+        assert db.row_count("team") == before
+
+    def test_execution_failure_rolls_back(self, oa):
+        """Statements already executed are undone when a later one fails."""
+        db = oa.db
+        # author7 is valid; author8 duplicates author6's pk? No — build a
+        # request whose second statement fails at execution time: link row
+        # to an author deleted between translation and execution cannot
+        # happen in one op, so use FK violation via engine-level check on
+        # delete of referenced row instead.
+        before_rows = db.row_count("author")
+        with pytest.raises(TranslationError):
+            oa.update(
+                P
+                + """DELETE DATA {
+                    ex:author6 foaf:title "Mr" .
+                    ex:team5 foaf:name "Software Engineering" ; ont:teamCode "SEAL" .
+                }"""
+            )
+        # the author update was rolled back together with the failed delete
+        assert db.get_row_by_pk("author", (6,))["title"] == "Mr"
+        assert db.row_count("author") == before_rows
+
+    def test_error_details_support_feedback(self, oa):
+        try:
+            oa.update(P + 'INSERT DATA { ex:author7 foaf:firstName "X" . }')
+        except TranslationError as exc:
+            assert exc.details["subject"] == "http://example.org/db/author7"
+            assert exc.details["table"] == "author"
+        else:
+            pytest.fail("expected TranslationError")

@@ -1,0 +1,131 @@
+"""End-to-end tests for CHECK constraints (paper Section 8 future work:
+"Other database constraints such as assertions have to be evaluated as
+well to see if they can reasonably be supported in the mapping").
+
+Per-row CHECK constraints are: parsed from DDL, enforced by the engine on
+INSERT/UPDATE, recorded in the R3M mapping (``r3m:Check``), round-tripped
+through the mapping's RDF form, and surfaced as rich feedback when a
+SPARQL/Update request violates them.
+"""
+
+import pytest
+
+from repro import Database, OntoAccess, TranslationError, generate_mapping
+from repro.errors import IntegrityError
+from repro.r3m import mapping_to_turtle, parse_mapping
+from repro.rdb import reflect_table
+
+DDL = """
+CREATE TABLE publication (
+    id INTEGER PRIMARY KEY,
+    title VARCHAR(300) NOT NULL,
+    year INTEGER NOT NULL CHECK (year >= 1900),
+    pages INTEGER,
+    CHECK (pages IS NULL OR pages > 0)
+);
+"""
+
+P = """
+PREFIX v: <http://example.org/vocab#>
+PREFIX d: <http://example.org/db/>
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(DDL)
+    return database
+
+
+class TestEngineEnforcement:
+    def test_valid_insert(self, db):
+        db.execute(
+            "INSERT INTO publication (id, title, year, pages) VALUES (1, 'T', 2009, 12)"
+        )
+        assert db.row_count("publication") == 1
+
+    def test_column_check_violation(self, db):
+        with pytest.raises(IntegrityError, match="CHECK"):
+            db.execute(
+                "INSERT INTO publication (id, title, year) VALUES (1, 'T', 1500)"
+            )
+
+    def test_table_check_violation(self, db):
+        with pytest.raises(IntegrityError, match="CHECK"):
+            db.execute(
+                "INSERT INTO publication (id, title, year, pages) VALUES (1, 'T', 2009, 0)"
+            )
+
+    def test_null_passes_check(self, db):
+        # pages IS NULL OR pages > 0: NULL branch true; also SQL semantics
+        # let a NULL check result pass.
+        db.execute("INSERT INTO publication (id, title, year) VALUES (1, 'T', 2009)")
+        assert db.row_count("publication") == 1
+
+    def test_update_enforces_check(self, db):
+        db.execute("INSERT INTO publication (id, title, year) VALUES (1, 'T', 2009)")
+        with pytest.raises(IntegrityError, match="CHECK"):
+            db.execute("UPDATE publication SET year = 1200 WHERE id = 1")
+        # statement atomicity: value unchanged
+        assert db.query("SELECT year FROM publication").scalar() == 2009
+
+    def test_failed_check_insert_leaves_no_row(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute(
+                "INSERT INTO publication (id, title, year) VALUES (9, 'T', 1000)"
+            )
+        assert db.row_count("publication") == 0
+        # and the PK is reusable (no phantom index entries)
+        db.execute("INSERT INTO publication (id, title, year) VALUES (9, 'T', 2000)")
+
+
+class TestReflectionAndMapping:
+    def test_checks_reflected(self, db):
+        info = reflect_table(db.table("publication"))
+        assert "year >= 1900" in info.checks
+        assert "pages IS NULL OR pages > 0" in info.checks
+
+    def test_checks_recorded_in_mapping(self, db):
+        mapping = generate_mapping(db)
+        assert "year >= 1900" in mapping.table("publication").checks
+
+    def test_checks_roundtrip_through_turtle(self, db):
+        mapping = generate_mapping(db)
+        text = mapping_to_turtle(mapping)
+        assert "r3m:Check" in text
+        assert "year >= 1900" in text
+        reparsed = parse_mapping(text)
+        assert set(reparsed.table("publication").checks) == set(
+            mapping.table("publication").checks
+        )
+
+
+class TestMediatedEnforcement:
+    def test_violating_update_rejected_with_feedback(self, db):
+        mediator = OntoAccess(db, generate_mapping(db))
+        with pytest.raises(TranslationError) as exc:
+            mediator.update(
+                P
+                + """INSERT DATA {
+                    d:publication1 v:publication_title "Old" ;
+                        v:publication_year "1492" .
+                }"""
+            )
+        assert exc.value.code == TranslationError.CONSTRAINT_VIOLATION
+        assert "CHECK" in str(exc.value)
+        assert db.row_count("publication") == 0
+
+    def test_valid_update_passes(self, db):
+        mediator = OntoAccess(db, generate_mapping(db))
+        mediator.update(
+            P
+            + """INSERT DATA {
+                d:publication1 v:publication_title "New" ;
+                    v:publication_year "2009" ;
+                    v:publication_pages "12" .
+            }"""
+        )
+        row = db.get_row_by_pk("publication", (1,))
+        assert row["year"] == 2009
+        assert row["pages"] == 12

@@ -1,0 +1,159 @@
+"""Cross-layer property tests on the system's core invariants."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import OntoAccess
+from repro.r3m import URIPattern
+from repro.rdf import URIRef
+from repro.workloads.publication import build_database, build_mapping
+from repro.workloads.operations import PREFIXES
+
+# ---------------------------------------------------------------------------
+# URI patterns: format/match are inverse functions
+# ---------------------------------------------------------------------------
+
+_safe_values = st.text(
+    alphabet=st.characters(
+        codec="ascii", min_codepoint=33, max_codepoint=126,
+        exclude_characters="/<>\"{}|^`\\%",
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(value=_safe_values)
+@settings(max_examples=100, deadline=None)
+def test_uripattern_roundtrip_property(value):
+    pattern = URIPattern("entity%%key%%", prefix="http://example.org/db/")
+    uri = pattern.format({"key": value})
+    assert pattern.match(uri) == {"key": value}
+
+
+@given(left=st.integers(min_value=0, max_value=10**6),
+       right=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=100, deadline=None)
+def test_uripattern_two_placeholder_roundtrip(left, right):
+    pattern = URIPattern("pa%%a%%_%%b%%", prefix="http://e/")
+    uri = pattern.format({"a": left, "b": right})
+    matched = pattern.match(uri)
+    assert matched == {"a": str(left), "b": str(right)}
+
+
+@given(value=st.integers(min_value=1, max_value=10**9))
+@settings(max_examples=50, deadline=None)
+def test_identify_entity_inverts_minting(value):
+    """dump-side URI minting and Algorithm 1 step 2 are mutually inverse
+    for every table of the use-case mapping."""
+    from repro.core.common import identify_entity
+
+    db = build_database()
+    mapping = build_mapping(db)
+    for table in mapping.tables.values():
+        uri = table.uri_pattern.format({"id": value})
+        entity = identify_entity(mapping, db, uri)
+        assert entity.table.table_name == table.table_name
+        assert entity.key_values == {"id": value}
+
+
+# ---------------------------------------------------------------------------
+# mediator: dump determinism and insert/delete inversion
+# ---------------------------------------------------------------------------
+
+_names = st.text(alphabet="abcdefgh", min_size=1, max_size=10)
+
+
+@given(name=_names, code=st.text(alphabet="ABCD", min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_insert_then_delete_is_identity(name, code):
+    """Inserting an entity and deleting all its triples restores the
+    exact previous state (dump-level identity)."""
+    db = build_database()
+    mediator = OntoAccess(db, build_mapping(db), validate=False)
+    before = mediator.dump()
+    insert = (
+        PREFIXES
+        + f'\nINSERT DATA {{ ex:team1 foaf:name "{name}" ; ont:teamCode "{code}" . }}'
+    )
+    delete = (
+        PREFIXES
+        + f'\nDELETE DATA {{ ex:team1 foaf:name "{name}" ; ont:teamCode "{code}" . }}'
+    )
+    mediator.update(insert)
+    assert len(mediator.dump()) == len(before) + 3  # type + 2 attributes
+    mediator.update(delete)
+    assert mediator.dump() == before
+    assert db.row_count("team") == 0
+
+
+@given(name=_names)
+@settings(max_examples=30, deadline=None)
+def test_insert_is_idempotent(name):
+    """Re-applying the same INSERT DATA leaves the state unchanged
+    (RDF set semantics carried over to the relational side)."""
+    db = build_database()
+    mediator = OntoAccess(db, build_mapping(db), validate=False)
+    op = PREFIXES + f'\nINSERT DATA {{ ex:team1 foaf:name "{name}" . }}'
+    mediator.update(op)
+    state = mediator.dump()
+    result = mediator.update(op)
+    assert result.statements_executed() == 0
+    assert mediator.dump() == state
+
+
+@given(name=_names)
+@settings(max_examples=30, deadline=None)
+def test_failed_operation_leaves_state_unchanged(name):
+    """Atomicity: an operation with one invalid group changes nothing."""
+    db = build_database()
+    mediator = OntoAccess(db, build_mapping(db), validate=False)
+    mediator.update(PREFIXES + f'\nINSERT DATA {{ ex:team1 foaf:name "{name}" . }}')
+    state = mediator.dump()
+    from repro import TranslationError
+
+    bad = (
+        PREFIXES
+        + f"""
+INSERT DATA {{
+    ex:team2 foaf:name "{name}2" .
+    ex:author1 foaf:firstName "NoLastname" .
+}}"""
+    )
+    with pytest.raises(TranslationError):
+        mediator.update(bad)
+    assert mediator.dump() == state
+
+
+# ---------------------------------------------------------------------------
+# query equivalence: translated SQL vs dump fallback on random data
+# ---------------------------------------------------------------------------
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None)
+def test_query_paths_agree_on_random_data(seed):
+    from repro.workloads.generator import (
+        WorkloadConfig,
+        generate_dataset,
+        populate_database,
+    )
+
+    db = build_database()
+    populate_database(
+        db, generate_dataset(WorkloadConfig(authors=8, publications=6, seed=seed))
+    )
+    mapping = build_mapping(db)
+    translated = OntoAccess(db, mapping, validate=False)
+    fallback = OntoAccess(db, mapping, validate=False, force_query_fallback=True)
+    query = (
+        PREFIXES
+        + """
+SELECT ?n ?t WHERE {
+    ?a foaf:family_name ?n .
+    OPTIONAL { ?a ont:team ?t . }
+}"""
+    )
+    rows_translated = sorted(map(str, translated.query(query).rows()))
+    rows_fallback = sorted(map(str, fallback.query(query).rows()))
+    assert rows_translated == rows_fallback

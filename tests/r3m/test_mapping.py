@@ -1,0 +1,417 @@
+"""Tests for the R3M model, parser, serializer, generator, and validator."""
+
+import pytest
+
+from repro.errors import MappingError, MappingParseError, MappingValidationError
+from repro.r3m import (
+    AttributeMapping,
+    Constraint,
+    DatabaseMapping,
+    FOREIGN_KEY,
+    LinkTableMapping,
+    NOT_NULL,
+    PRIMARY_KEY,
+    TableMapping,
+    URIPattern,
+    generate_mapping,
+    mapping_to_turtle,
+    parse_mapping,
+    validate_mapping,
+)
+from repro.rdf import DC, EX, FOAF, ONT, URIRef
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    table1_rows,
+)
+
+#: The paper's Listings 1-5, assembled into one complete mapping document
+#: (abridged to the author/team tables plus the link table).
+PAPER_MAPPING = """
+@prefix r3m:  <http://ontoaccess.org/r3m#> .
+@prefix map:  <http://example.org/map#> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix dc:   <http://purl.org/dc/elements/1.1/> .
+@prefix ont:  <http://example.org/ontology#> .
+
+map:database a r3m:DatabaseMap ;
+    r3m:jdbcDriver "com.mysql.jdbc.Driver" ;
+    r3m:jdbcUrl "jdbc:mysql://localhost/db" ;
+    r3m:username "user" ;
+    r3m:password "pw" ;
+    r3m:uriPrefix "http://example.org/db/" ;
+    r3m:hasTable map:author , map:team , map:publication_author ,
+                 map:publication .
+
+map:author a r3m:TableMap ;
+    r3m:hasTableName "author" ;
+    r3m:mapsToClass foaf:Person ;
+    r3m:uriPattern "author%%id%%" ;
+    r3m:hasAttribute map:author_id , map:author_lastname , map:author_team .
+
+map:author_id a r3m:AttributeMap ;
+    r3m:hasAttributeName "id" ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ] .
+
+map:author_lastname a r3m:AttributeMap ;
+    r3m:hasAttributeName "lastname" ;
+    r3m:mapsToDataProperty foaf:family_name ;
+    r3m:hasConstraint [ a r3m:NotNull ] .
+
+map:author_team a r3m:AttributeMap ;
+    r3m:hasAttributeName "team" ;
+    r3m:mapsToObjectProperty ont:team ;
+    r3m:hasConstraint [ a r3m:ForeignKey ; r3m:references map:team ] .
+
+map:team a r3m:TableMap ;
+    r3m:hasTableName "team" ;
+    r3m:mapsToClass foaf:Group ;
+    r3m:uriPattern "team%%id%%" ;
+    r3m:hasAttribute map:team_id , map:team_name .
+
+map:team_id a r3m:AttributeMap ;
+    r3m:hasAttributeName "id" ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ] .
+
+map:team_name a r3m:AttributeMap ;
+    r3m:hasAttributeName "name" ;
+    r3m:mapsToDataProperty foaf:name .
+
+map:publication a r3m:TableMap ;
+    r3m:hasTableName "publication" ;
+    r3m:mapsToClass foaf:Document ;
+    r3m:uriPattern "publication%%id%%" ;
+    r3m:hasAttribute map:publication_id , map:publication_title .
+
+map:publication_id a r3m:AttributeMap ;
+    r3m:hasAttributeName "id" ;
+    r3m:hasConstraint [ a r3m:PrimaryKey ] .
+
+map:publication_title a r3m:AttributeMap ;
+    r3m:hasAttributeName "title" ;
+    r3m:mapsToDataProperty dc:title ;
+    r3m:hasConstraint [ a r3m:NotNull ] .
+
+map:publication_author a r3m:LinkTableMap ;
+    r3m:hasTableName "publication_author" ;
+    r3m:mapsToObjectProperty dc:creator ;
+    r3m:hasSubjectAttribute map:pa_publication ;
+    r3m:hasObjectAttribute map:pa_author .
+
+map:pa_publication a r3m:AttributeMap ;
+    r3m:hasAttributeName "publication" ;
+    r3m:hasConstraint [ a r3m:ForeignKey ; r3m:references map:publication ] .
+
+map:pa_author a r3m:AttributeMap ;
+    r3m:hasAttributeName "author" ;
+    r3m:hasConstraint [ a r3m:ForeignKey ; r3m:references map:author ] .
+"""
+
+
+class TestParser:
+    def test_parse_paper_mapping(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        assert mapping.uri_prefix == "http://example.org/db/"
+        assert mapping.jdbc_driver == "com.mysql.jdbc.Driver"
+        assert set(mapping.tables) == {"author", "team", "publication"}
+        assert set(mapping.link_tables) == {"publication_author"}
+
+    def test_table_map_details(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        author = mapping.table("author")
+        assert author.maps_to_class == FOAF.Person
+        assert author.uri_pattern.pattern == "author%%id%%"
+        lastname = author.attribute_by_name("lastname")
+        assert lastname.property == FOAF.family_name
+        assert lastname.is_not_null()
+        assert not lastname.is_object_property
+
+    def test_fk_constraint_resolved_to_table_name(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        team_attr = mapping.table("author").attribute_by_name("team")
+        assert team_attr.references() == "team"
+        assert team_attr.is_object_property
+
+    def test_pk_attribute_unmapped(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        id_attr = mapping.table("author").attribute_by_name("id")
+        assert id_attr.property is None
+        assert id_attr.is_primary_key()
+
+    def test_link_table_details(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        link = mapping.link_tables["publication_author"]
+        assert link.property == DC.creator
+        assert link.subject_table() == "publication"
+        assert link.object_table() == "author"
+
+    def test_no_database_map(self):
+        with pytest.raises(MappingParseError):
+            parse_mapping("@prefix r3m: <http://ontoaccess.org/r3m#> .")
+
+    def test_missing_table_name(self):
+        bad = """
+        @prefix r3m: <http://ontoaccess.org/r3m#> .
+        @prefix map: <http://example.org/map#> .
+        map:db a r3m:DatabaseMap ; r3m:hasTable map:t .
+        map:t a r3m:TableMap .
+        """
+        with pytest.raises(MappingParseError, match="hasTableName"):
+            parse_mapping(bad)
+
+
+class TestModel:
+    def test_identify_table_paper_example(self):
+        """Section 5.1: http://example.org/db/author1 -> table author, id=1."""
+        mapping = parse_mapping(PAPER_MAPPING)
+        result = mapping.identify_table(URIRef("http://example.org/db/author1"))
+        assert result is not None
+        table, values = result
+        assert table.table_name == "author"
+        assert values == {"id": "1"}
+
+    def test_identify_table_unknown_uri(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        assert mapping.identify_table(URIRef("http://nothing/x1")) is None
+
+    def test_table_for_class(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        assert mapping.table_for_class(FOAF.Person).table_name == "author"
+        assert mapping.table_for_class(FOAF.Agent) is None
+
+    def test_link_for_property(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        assert mapping.link_for_property(DC.creator).table_name == "publication_author"
+        assert mapping.link_for_property(DC.title) is None
+
+    def test_tables_for_property(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        hits = mapping.tables_for_property(FOAF.family_name)
+        assert len(hits) == 1
+        assert hits[0][0].table_name == "author"
+
+    def test_duplicate_class_rejected(self):
+        mapping = DatabaseMapping(uri_prefix="http://e/")
+        t1 = TableMapping("a", FOAF.Person, URIPattern("a%%id%%", "http://e/"), [])
+        t2 = TableMapping("b", FOAF.Person, URIPattern("b%%id%%", "http://e/"), [])
+        mapping.add_table(t1)
+        with pytest.raises(MappingError, match="bijective"):
+            mapping.add_table(t2)
+
+    def test_duplicate_property_in_table_rejected(self):
+        with pytest.raises(MappingError):
+            TableMapping(
+                "t",
+                FOAF.Person,
+                URIPattern("t%%id%%", "http://e/"),
+                [
+                    AttributeMapping("a", property=FOAF.name),
+                    AttributeMapping("b", property=FOAF.name),
+                ],
+            )
+
+    def test_link_table_requires_fk_attributes(self):
+        with pytest.raises(MappingError):
+            LinkTableMapping(
+                "pa",
+                DC.creator,
+                subject_attribute=AttributeMapping("p"),
+                object_attribute=AttributeMapping(
+                    "a", constraints=(Constraint(FOREIGN_KEY, references="author"),)
+                ),
+            )
+
+    def test_required_attributes_excludes_pattern_and_defaults(self):
+        table = TableMapping(
+            "t",
+            FOAF.Person,
+            URIPattern("t%%id%%", "http://e/"),
+            [
+                AttributeMapping("id", constraints=(Constraint(PRIMARY_KEY), Constraint(NOT_NULL))),
+                AttributeMapping(
+                    "lastname", property=FOAF.family_name, constraints=(Constraint(NOT_NULL),)
+                ),
+                AttributeMapping(
+                    "status",
+                    property=ONT.status,
+                    constraints=(Constraint(NOT_NULL), Constraint("default", value="new")),
+                ),
+            ],
+        )
+        required = [a.attribute_name for a in table.required_attributes()]
+        assert required == ["lastname"]
+
+
+class TestSerializeRoundtrip:
+    def test_roundtrip_paper_mapping(self):
+        mapping = parse_mapping(PAPER_MAPPING)
+        text = mapping_to_turtle(mapping)
+        reparsed = parse_mapping(text)
+        assert set(reparsed.tables) == set(mapping.tables)
+        assert set(reparsed.link_tables) == set(mapping.link_tables)
+        for name, table in mapping.tables.items():
+            other = reparsed.table(name)
+            assert other.maps_to_class == table.maps_to_class
+            assert other.uri_pattern.pattern == table.uri_pattern.pattern
+            for attribute in table.attributes:
+                twin = other.attribute_by_name(attribute.attribute_name)
+                assert twin is not None
+                assert twin.property == attribute.property
+                assert twin.is_not_null() == attribute.is_not_null()
+                assert twin.references() == attribute.references()
+
+    def test_roundtrip_generated_mapping(self):
+        db = build_database()
+        mapping = build_mapping(db)
+        reparsed = parse_mapping(mapping_to_turtle(mapping))
+        assert set(reparsed.tables) == set(mapping.tables)
+        assert reparsed.link_tables["publication_author"].property == DC.creator
+
+
+class TestGenerator:
+    def test_generates_all_tables(self):
+        db = build_database()
+        mapping = generate_mapping(db)
+        assert set(mapping.tables) == {
+            "team",
+            "publisher",
+            "pubtype",
+            "author",
+            "publication",
+        }
+        assert set(mapping.link_tables) == {"publication_author"}
+
+    def test_link_table_detection(self):
+        db = build_database()
+        mapping = generate_mapping(db)
+        link = mapping.link_tables["publication_author"]
+        assert link.subject_table() == "publication"
+        assert link.object_table() == "author"
+
+    def test_link_table_detection_can_be_disabled(self):
+        db = build_database()
+        mapping = generate_mapping(db, detect_link_tables=False)
+        assert "publication_author" in mapping.tables
+
+    def test_constraints_carried_over(self):
+        db = build_database()
+        mapping = generate_mapping(db)
+        lastname = mapping.table("author").attribute_by_name("lastname")
+        assert lastname.is_not_null()
+        team = mapping.table("author").attribute_by_name("team")
+        assert team.references() == "team"
+        assert team.is_object_property
+
+    def test_overrides_applied(self):
+        mapping = build_mapping()
+        assert mapping.table("author").maps_to_class == FOAF.Person
+        assert (
+            mapping.table("author").attribute_by_name("email").property == FOAF.mbox
+        )
+
+    def test_auto_minted_terms_without_overrides(self):
+        db = build_database()
+        mapping = generate_mapping(db)
+        assert mapping.table("pubtype").maps_to_class == URIRef(
+            "http://example.org/vocab#Pubtype"
+        )
+
+    def test_generated_mapping_validates(self):
+        db = build_database()
+        mapping = build_mapping(db)
+        assert validate_mapping(mapping, db) == []
+
+
+class TestTable1:
+    def test_table1_rows_match_paper(self):
+        """The generated mapping reproduces Table 1 of the paper exactly."""
+        rows = table1_rows()
+        expected = [
+            ("publication -> foaf:Document", "title -> dc:title"),
+            ("", "year -> ont:pubYear"),
+            ("", "type -> ont:pubType"),
+            ("", "publisher -> dc:publisher"),
+            ("publisher -> ont:Publisher", "name -> ont:name"),
+            ("pubtype -> ont:PubType", "type -> ont:type"),
+            ("author -> foaf:Person", "title -> foaf:title"),
+            ("", "email -> foaf:mbox"),
+            ("", "firstname -> foaf:firstName"),
+            ("", "lastname -> foaf:family_name"),
+            ("", "team -> ont:team"),
+            ("team -> foaf:Group", "name -> foaf:name"),
+            ("", "code -> ont:teamCode"),
+            ("publication_author -> -", "- -> dc:creator"),
+        ]
+        assert rows == expected
+
+
+class TestValidator:
+    def test_valid_mapping_passes(self):
+        db = build_database()
+        assert validate_mapping(build_mapping(db), db) == []
+
+    def test_unknown_table_detected(self):
+        db = build_database()
+        mapping = build_mapping(db)
+        mapping.tables["ghost"] = TableMapping(
+            "ghost", ONT.Ghost, URIPattern("ghost%%id%%", "http://e/"), []
+        )
+        problems = validate_mapping(mapping, db, raise_on_error=False)
+        assert any("ghost" in p for p in problems)
+
+    def test_unknown_column_detected(self):
+        db = build_database()
+        mapping = build_mapping(db)
+        mapping.table("team").attributes.append(AttributeMapping("nope", property=ONT.x))
+        # rebuild indexes by constructing a fresh TableMapping
+        table = mapping.table("team")
+        rebuilt = TableMapping(
+            table.table_name, table.maps_to_class, table.uri_pattern, table.attributes
+        )
+        mapping.tables["team"] = rebuilt
+        problems = validate_mapping(mapping, db, raise_on_error=False)
+        assert any("team.nope" in p for p in problems)
+
+    def test_missing_not_null_detected(self):
+        db = build_database()
+        mapping = build_mapping(db)
+        table = mapping.table("author")
+        stripped = [
+            AttributeMapping(
+                a.attribute_name,
+                property=a.property,
+                is_object_property=a.is_object_property,
+                constraints=tuple(c for c in a.constraints if c.kind != NOT_NULL),
+            )
+            for a in table.attributes
+        ]
+        mapping.tables["author"] = TableMapping(
+            table.table_name, table.maps_to_class, table.uri_pattern, stripped
+        )
+        problems = validate_mapping(mapping, db, raise_on_error=False)
+        assert any("NOT NULL" in p for p in problems)
+
+    def test_raises_by_default(self):
+        db = build_database()
+        mapping = build_mapping(db)
+        mapping.tables["ghost"] = TableMapping(
+            "ghost", ONT.Ghost, URIPattern("ghost%%id%%", "http://e/"), []
+        )
+        with pytest.raises(MappingValidationError):
+            validate_mapping(mapping, db)
+
+    def test_pattern_ambiguity_detected(self):
+        # 'author21' is both author id=21 and author2 id=1 — a genuine,
+        # type-valid ambiguity the validator must flag.
+        db = build_database()
+        db.execute("CREATE TABLE author2 (id INTEGER PRIMARY KEY)")
+        mapping = build_mapping(db)
+        problems = validate_mapping(mapping, db, raise_on_error=False)
+        assert any("ambiguous" in p for p in problems)
+
+    def test_paper_pub_pubtype_overlap_is_not_flagged(self):
+        # ex:pubtype4 textually matches pub%%id%% too, but 'type4' is no
+        # INTEGER, so the overlap is resolvable and must not be an error.
+        db = build_database()
+        mapping = build_mapping(db)
+        assert validate_mapping(mapping, db, raise_on_error=False) == []

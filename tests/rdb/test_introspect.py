@@ -1,0 +1,97 @@
+"""Unit tests for schema reflection (the input to R3M auto-generation)."""
+
+import pytest
+
+from repro.rdb import Database, reflect, reflect_table
+from repro.workloads.publication import build_database
+
+
+@pytest.fixture
+def infos():
+    return {info.name: info for info in reflect(build_database())}
+
+
+class TestReflection:
+    def test_all_tables_reflected(self, infos):
+        assert set(infos) == {
+            "team", "publisher", "pubtype", "author", "publication",
+            "publication_author",
+        }
+
+    def test_primary_key(self, infos):
+        assert infos["author"].primary_key == ("id",)
+        assert infos["author"].column("id").is_primary_key
+
+    def test_not_null(self, infos):
+        assert infos["author"].column("lastname").is_not_null
+        assert not infos["author"].column("email").is_not_null
+
+    def test_foreign_keys(self, infos):
+        team_col = infos["author"].column("team")
+        assert team_col.references == "team"
+        assert team_col.references_column == "id"
+
+    def test_type_names(self, infos):
+        assert infos["author"].column("id").type_name == "INTEGER"
+        assert infos["author"].column("lastname").type_name == "VARCHAR(100)"
+
+    def test_autoincrement(self, infos):
+        assert infos["publication_author"].column("id").is_autoincrement
+
+    def test_fk_columns_helper(self, infos):
+        fk_names = [c.name for c in infos["publication"].foreign_key_columns()]
+        assert fk_names == ["type", "publisher"]
+
+    def test_data_columns_exclude_pk_and_fk(self, infos):
+        names = [c.name for c in infos["publication"].data_columns()]
+        assert names == ["title", "year"]
+
+    def test_unknown_column_raises(self, infos):
+        with pytest.raises(KeyError):
+            infos["team"].column("nope")
+
+
+class TestLinkTableDetection:
+    def test_publication_author_is_link_table(self, infos):
+        assert infos["publication_author"].is_link_table()
+
+    def test_regular_tables_are_not(self, infos):
+        for name in ("team", "author", "publication"):
+            assert not infos[name].is_link_table()
+
+    def test_two_fks_plus_data_column_is_not_link_table(self):
+        db = Database()
+        db.execute_script(
+            """
+            CREATE TABLE a (id INTEGER PRIMARY KEY);
+            CREATE TABLE b (id INTEGER PRIMARY KEY);
+            CREATE TABLE ab (
+                a INTEGER REFERENCES a(id),
+                b INTEGER REFERENCES b(id),
+                weight INTEGER
+            );
+            """
+        )
+        info = reflect_table(db.table("ab"))
+        assert not info.is_link_table()
+
+    def test_pure_two_fk_table_without_pk_is_link_table(self):
+        db = Database()
+        db.execute_script(
+            """
+            CREATE TABLE a (id INTEGER PRIMARY KEY);
+            CREATE TABLE b (id INTEGER PRIMARY KEY);
+            CREATE TABLE ab (
+                a INTEGER REFERENCES a(id),
+                b INTEGER REFERENCES b(id)
+            );
+            """
+        )
+        assert reflect_table(db.table("ab")).is_link_table()
+
+    def test_default_reflected(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, s VARCHAR(5) DEFAULT 'new')")
+        info = reflect_table(db.table("t"))
+        assert info.column("s").has_default
+        assert info.column("s").default == "new"

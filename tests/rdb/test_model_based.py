@@ -1,0 +1,215 @@
+"""Model-based property tests: the engine vs a shadow Python model.
+
+Hypothesis drives random INSERT/UPDATE/DELETE/ROLLBACK sequences against
+one table; a plain dict-of-rows shadow model predicts the outcome.  After
+every sequence the engine's full table scan must equal the model, and all
+uniqueness/NOT NULL guarantees must have been enforced identically.
+"""
+
+from typing import Dict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.errors import IntegrityError
+from repro.rdb import Database
+
+DDL = (
+    "CREATE TABLE item ("
+    " id INTEGER PRIMARY KEY,"
+    " name VARCHAR(40) NOT NULL,"
+    " qty INTEGER,"
+    " tag VARCHAR(10) UNIQUE"
+    ")"
+)
+
+ids = st.integers(min_value=1, max_value=8)
+names = st.text(alphabet="abcde", min_size=1, max_size=6)
+quantities = st.one_of(st.none(), st.integers(min_value=0, max_value=99))
+tags = st.one_of(st.none(), st.text(alphabet="xyz", min_size=1, max_size=3))
+
+
+class EngineVsModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.db = Database()
+        self.db.execute(DDL)
+        self.model: Dict[int, dict] = {}
+        self.in_txn = False
+        self.txn_snapshot: Dict[int, dict] = {}
+
+    # -- operations -------------------------------------------------------
+
+    @rule(item_id=ids, name=names, qty=quantities, tag=tags)
+    def insert(self, item_id, name, qty, tag):
+        expect_pk_clash = item_id in self.model
+        expect_tag_clash = tag is not None and any(
+            row["tag"] == tag for row in self.model.values()
+        )
+        try:
+            self.db.execute(
+                "INSERT INTO item (id, name, qty, tag) VALUES (?, ?, ?, ?)",
+                [item_id, name, qty, tag],
+            )
+        except IntegrityError:
+            assert expect_pk_clash or expect_tag_clash
+            return
+        assert not (expect_pk_clash or expect_tag_clash)
+        self.model[item_id] = {"id": item_id, "name": name, "qty": qty, "tag": tag}
+
+    @rule(item_id=ids, qty=quantities)
+    def update_qty(self, item_id, qty):
+        result = self.db.execute(
+            "UPDATE item SET qty = ? WHERE id = ?", [qty, item_id]
+        )
+        if item_id in self.model:
+            assert result.rowcount == 1
+            self.model[item_id]["qty"] = qty
+        else:
+            assert result.rowcount == 0
+
+    @rule(item_id=ids, tag=tags)
+    def update_tag(self, item_id, tag):
+        clash = tag is not None and any(
+            row["tag"] == tag and rid != item_id
+            for rid, row in self.model.items()
+        )
+        try:
+            result = self.db.execute(
+                "UPDATE item SET tag = ? WHERE id = ?", [tag, item_id]
+            )
+        except IntegrityError:
+            assert clash and item_id in self.model
+            return
+        if item_id in self.model:
+            assert not clash
+            self.model[item_id]["tag"] = tag
+
+    @rule(item_id=ids)
+    def set_name_null_rejected(self, item_id):
+        if item_id not in self.model:
+            return
+        with pytest.raises(IntegrityError):
+            self.db.execute(
+                "UPDATE item SET name = NULL WHERE id = ?", [item_id]
+            )
+        # statement-level atomicity: nothing changed
+        assert self.db.get_row_by_pk("item", (item_id,))["name"] == \
+            self.model[item_id]["name"]
+
+    @rule(item_id=ids)
+    def delete(self, item_id):
+        result = self.db.execute("DELETE FROM item WHERE id = ?", [item_id])
+        if item_id in self.model:
+            assert result.rowcount == 1
+            del self.model[item_id]
+        else:
+            assert result.rowcount == 0
+
+    @rule()
+    def begin(self):
+        if not self.in_txn:
+            self.db.begin()
+            self.in_txn = True
+            self.txn_snapshot = {k: dict(v) for k, v in self.model.items()}
+
+    @rule()
+    def commit(self):
+        if self.in_txn:
+            self.db.commit()
+            self.in_txn = False
+
+    @rule()
+    def rollback(self):
+        if self.in_txn:
+            self.db.rollback()
+            self.in_txn = False
+            self.model = {k: dict(v) for k, v in self.txn_snapshot.items()}
+
+    # -- invariants ----------------------------------------------------------
+
+    @invariant()
+    def table_matches_model(self):
+        rows = self.db.query("SELECT id, name, qty, tag FROM item").as_dicts()
+        actual = {row["id"]: row for row in rows}
+        assert actual == self.model
+
+    @invariant()
+    def pk_lookup_matches_scan(self):
+        for item_id, expected in self.model.items():
+            assert self.db.get_row_by_pk("item", (item_id,)) == expected
+
+    @invariant()
+    def count_star_matches(self):
+        assert self.db.query("SELECT COUNT(*) FROM item").scalar() == len(self.model)
+
+    def teardown(self):
+        if self.in_txn:
+            self.db.rollback()
+
+
+TestEngineVsModel = EngineVsModel.TestCase
+TestEngineVsModel.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+
+
+# -- targeted aggregate consistency property ---------------------------------
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=1000),
+            st.integers(min_value=-100, max_value=100),
+        ),
+        max_size=30,
+        unique_by=lambda r: r[0],
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_aggregates_match_python(rows):
+    db = Database()
+    db.execute("CREATE TABLE n (id INTEGER PRIMARY KEY, v INTEGER)")
+    for row_id, value in rows:
+        db.execute("INSERT INTO n (id, v) VALUES (?, ?)", [row_id, value])
+    values = [v for _, v in rows]
+    row = db.query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM n").first()
+    count, total, minimum, maximum, average = row
+    assert count == len(values)
+    assert total == (sum(values) if values else None)
+    assert minimum == (min(values) if values else None)
+    assert maximum == (max(values) if values else None)
+    if values:
+        assert average == pytest.approx(sum(values) / len(values))
+    else:
+        assert average is None
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=1000),
+            st.one_of(st.none(), st.integers(min_value=-50, max_value=50)),
+        ),
+        max_size=25,
+        unique_by=lambda r: r[0],
+    ),
+    threshold=st.integers(min_value=-50, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_where_filter_matches_python(rows, threshold):
+    """WHERE v > t returns exactly the rows Python predicts (NULLs out)."""
+    db = Database()
+    db.execute("CREATE TABLE n (id INTEGER PRIMARY KEY, v INTEGER)")
+    for row_id, value in rows:
+        db.execute("INSERT INTO n (id, v) VALUES (?, ?)", [row_id, value])
+    got = {r[0] for r in db.query("SELECT id FROM n WHERE v > ?", [threshold])}
+    expected = {rid for rid, v in rows if v is not None and v > threshold}
+    assert got == expected

@@ -1,0 +1,132 @@
+"""Unit tests for the row store and its indexes."""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.rdb.catalog import Column, ForeignKey, Table
+from repro.rdb.storage import TableData
+from repro.rdb.types import INTEGER, TEXT
+
+
+def make_table():
+    return Table(
+        name="author",
+        columns=[
+            Column("id", INTEGER),
+            Column("name", TEXT),
+            Column("team", INTEGER),
+        ],
+        primary_key=("id",),
+        foreign_keys=[ForeignKey(("team",), "team", ("id",))],
+        uniques=[("name",)],
+    )
+
+
+@pytest.fixture
+def data():
+    return TableData(make_table())
+
+
+class TestInsert:
+    def test_insert_and_scan(self, data):
+        data.insert({"id": 1, "name": "a", "team": None})
+        data.insert({"id": 2, "name": "b", "team": 5})
+        assert len(data) == 2
+        assert [row["id"] for _, row in data.scan()] == [1, 2]
+
+    def test_pk_index(self, data):
+        rowid = data.insert({"id": 7, "name": "x", "team": None})
+        assert data.find_by_pk((7,)) == rowid
+        assert data.find_by_pk((8,)) is None
+
+    def test_duplicate_pk_rejected(self, data):
+        data.insert({"id": 1, "name": "a", "team": None})
+        with pytest.raises(IntegrityError, match="primary key"):
+            data.insert({"id": 1, "name": "b", "team": None})
+
+    def test_duplicate_unique_rejected(self, data):
+        data.insert({"id": 1, "name": "same", "team": None})
+        with pytest.raises(IntegrityError, match="unique"):
+            data.insert({"id": 2, "name": "same", "team": None})
+
+    def test_null_unique_values_never_collide(self, data):
+        data.insert({"id": 1, "name": None, "team": None})
+        data.insert({"id": 2, "name": None, "team": None})  # no error
+        assert len(data) == 2
+
+    def test_secondary_index_on_fk(self, data):
+        data.insert({"id": 1, "name": "a", "team": 5})
+        data.insert({"id": 2, "name": "b", "team": 5})
+        data.insert({"id": 3, "name": "c", "team": 6})
+        assert len(data.find_by_value("team", 5)) == 2
+        assert data.has_value("team", 6)
+        assert not data.has_value("team", 7)
+
+
+class TestUpdate:
+    def test_update_moves_indexes(self, data):
+        rowid = data.insert({"id": 1, "name": "a", "team": 5})
+        data.update(rowid, {"team": 6})
+        assert not data.has_value("team", 5)
+        assert data.has_value("team", 6)
+
+    def test_update_pk(self, data):
+        rowid = data.insert({"id": 1, "name": "a", "team": None})
+        data.update(rowid, {"id": 9})
+        assert data.find_by_pk((9,)) == rowid
+        assert data.find_by_pk((1,)) is None
+
+    def test_update_unique_violation_restores_state(self, data):
+        data.insert({"id": 1, "name": "a", "team": None})
+        rowid = data.insert({"id": 2, "name": "b", "team": None})
+        with pytest.raises(IntegrityError):
+            data.update(rowid, {"name": "a"})
+        # indexes unchanged: the old name is still findable
+        assert data.rows[rowid]["name"] == "b"
+        assert data.find_by_unique(("name",), ("b",)) == rowid
+
+    def test_update_returns_old_image(self, data):
+        rowid = data.insert({"id": 1, "name": "a", "team": None})
+        old = data.update(rowid, {"name": "z"})
+        assert old["name"] == "a"
+
+
+class TestDeleteRestore:
+    def test_delete_clears_indexes(self, data):
+        rowid = data.insert({"id": 1, "name": "a", "team": 5})
+        data.delete(rowid)
+        assert len(data) == 0
+        assert data.find_by_pk((1,)) is None
+        assert not data.has_value("team", 5)
+
+    def test_restore_reinstates_everything(self, data):
+        rowid = data.insert({"id": 1, "name": "a", "team": 5})
+        image = data.delete(rowid)
+        data.restore(rowid, image)
+        assert data.find_by_pk((1,)) == rowid
+        assert data.has_value("team", 5)
+
+
+class TestAutoincrement:
+    def make_auto_table(self):
+        return Table(
+            name="t",
+            columns=[Column("id", INTEGER, autoincrement=True), Column("v", TEXT)],
+            primary_key=("id",),
+        )
+
+    def test_monotonic(self):
+        data = TableData(self.make_auto_table())
+        assert data.next_autoincrement("id") == 1
+        assert data.next_autoincrement("id") == 2
+
+    def test_note_explicit_value_advances_counter(self):
+        data = TableData(self.make_auto_table())
+        data.note_autoincrement_value("id", 10)
+        assert data.next_autoincrement("id") == 11
+
+    def test_note_lower_value_does_not_regress(self):
+        data = TableData(self.make_auto_table())
+        data.note_autoincrement_value("id", 10)
+        data.note_autoincrement_value("id", 3)
+        assert data.next_autoincrement("id") == 11

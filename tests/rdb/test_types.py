@@ -1,0 +1,133 @@
+"""Unit tests for the SQL type system."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.rdb.types import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    StringType,
+    type_from_name,
+)
+
+
+class TestInteger:
+    def test_int_passthrough(self):
+        assert INTEGER.coerce(5) == 5
+
+    def test_string_coercion(self):
+        # The paper inserts ont:pubYear "2009" into the INTEGER year column.
+        assert INTEGER.coerce("2009") == 2009
+
+    def test_string_with_whitespace(self):
+        assert INTEGER.coerce(" 42 ") == 42
+
+    def test_whole_float(self):
+        assert INTEGER.coerce(3.0) == 3
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce(3.5)
+
+    def test_non_numeric_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.coerce("abc")
+
+    def test_bool_to_int(self):
+        assert INTEGER.coerce(True) == 1
+
+    def test_error_mentions_column(self):
+        with pytest.raises(TypeMismatchError, match="year"):
+            INTEGER.coerce("x", column="year")
+
+
+class TestFloat:
+    def test_float_passthrough(self):
+        assert FLOAT.coerce(2.5) == 2.5
+
+    def test_int_widens(self):
+        assert FLOAT.coerce(2) == 2.0
+
+    def test_string(self):
+        assert FLOAT.coerce("2.5") == 2.5
+
+    def test_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.coerce("two")
+
+
+class TestString:
+    def test_passthrough(self):
+        assert TEXT.coerce("hi") == "hi"
+
+    def test_numbers_stringified(self):
+        assert TEXT.coerce(5) == "5"
+
+    def test_varchar_length_enforced(self):
+        vc3 = StringType(3)
+        assert vc3.coerce("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            vc3.coerce("abcd")
+
+    def test_bool_stringified(self):
+        assert TEXT.coerce(True) == "true"
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("value", [True, 1, "true", "T", "yes", "1"])
+    def test_truthy(self, value):
+        assert BOOLEAN.coerce(value) is True
+
+    @pytest.mark.parametrize("value", [False, 0, "false", "F", "no", "0"])
+    def test_falsy(self, value):
+        assert BOOLEAN.coerce(value) is False
+
+    def test_invalid(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.coerce("maybe")
+
+    def test_out_of_range_int(self):
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.coerce(2)
+
+
+class TestDate:
+    def test_date(self):
+        assert DATE.coerce("2010-03-22") == "2010-03-22"
+
+    def test_datetime(self):
+        assert DATE.coerce("2010-03-22 10:30:00") == "2010-03-22 10:30:00"
+
+    def test_iso_t_separator(self):
+        assert DATE.coerce("2010-03-22T10:30:00") == "2010-03-22T10:30:00"
+
+    def test_invalid(self):
+        with pytest.raises(TypeMismatchError):
+            DATE.coerce("22/03/2010")
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize(
+        "name", ["INTEGER", "INT", "BIGINT", "SMALLINT", "integer"]
+    )
+    def test_integer_aliases(self, name):
+        assert type_from_name(name) is INTEGER
+
+    @pytest.mark.parametrize("name", ["FLOAT", "REAL", "DOUBLE", "DECIMAL"])
+    def test_float_aliases(self, name):
+        assert type_from_name(name) is FLOAT
+
+    def test_varchar_with_length(self):
+        t = type_from_name("VARCHAR", 50)
+        assert isinstance(t, StringType)
+        assert t.length == 50
+
+    def test_text(self):
+        assert type_from_name("TEXT") is TEXT
+
+    def test_unknown(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_name("BLOB")

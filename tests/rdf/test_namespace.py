@@ -1,0 +1,99 @@
+"""Unit tests for Namespace and PrefixMap."""
+
+import pytest
+
+from repro.rdf import FOAF, Namespace, PrefixMap, URIRef
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://example.org/v#")
+        assert ns.thing == URIRef("http://example.org/v#thing")
+
+    def test_item_access_for_keywords(self):
+        ns = Namespace("http://example.org/v#")
+        assert ns["class"] == URIRef("http://example.org/v#class")
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/v#")
+        assert ns.term("type") == URIRef("http://example.org/v#type")
+
+    def test_contains(self):
+        assert FOAF.name in FOAF
+        assert URIRef("http://other.org/x") not in FOAF
+
+    def test_equality_and_hash(self):
+        a = Namespace("http://x/")
+        b = Namespace("http://x/")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_immutable(self):
+        ns = Namespace("http://x/")
+        with pytest.raises(AttributeError):
+            ns.uri = "other"
+
+    def test_dunder_not_minted(self):
+        ns = Namespace("http://x/")
+        with pytest.raises(AttributeError):
+            ns.__wrapped__
+
+
+class TestPrefixMap:
+    def test_bind_and_expand(self):
+        pm = PrefixMap()
+        pm.bind("foaf", FOAF.uri)
+        assert pm.expand("foaf:name") == FOAF.name
+
+    def test_expand_unbound_prefix(self):
+        with pytest.raises(KeyError):
+            PrefixMap().expand("nope:x")
+
+    def test_empty_prefix(self):
+        pm = PrefixMap({"": "http://default/"})
+        assert pm.expand(":a") == URIRef("http://default/a")
+
+    def test_compact(self):
+        pm = PrefixMap.with_defaults()
+        assert pm.compact(FOAF.name) == "foaf:name"
+
+    def test_compact_prefers_longest_namespace(self):
+        pm = PrefixMap({"a": "http://x/", "b": "http://x/y/"})
+        assert pm.compact(URIRef("http://x/y/z")) == "b:z"
+
+    def test_compact_unknown_returns_none(self):
+        pm = PrefixMap()
+        assert pm.compact(URIRef("http://nowhere/x")) is None
+
+    def test_compact_invalid_local_returns_none(self):
+        pm = PrefixMap({"x": "http://x/"})
+        assert pm.compact(URIRef("http://x/has space")) is None
+        assert pm.compact(URIRef("http://x/")) is None  # empty local
+
+    def test_compact_digit_leading_local_rejected(self):
+        pm = PrefixMap({"x": "http://x/"})
+        assert pm.compact(URIRef("http://x/1abc")) is None
+
+    def test_bind_accepts_namespace_object(self):
+        pm = PrefixMap()
+        pm.bind("foaf", FOAF)
+        assert pm.resolve("foaf") == FOAF.uri
+
+    def test_copy_is_independent(self):
+        pm = PrefixMap({"a": "http://a/"})
+        clone = pm.copy()
+        clone.bind("b", "http://b/")
+        assert "b" not in pm
+        assert "b" in clone
+
+    def test_with_defaults_has_paper_prefixes(self):
+        pm = PrefixMap.with_defaults()
+        for prefix in ("rdf", "xsd", "foaf", "dc", "ont", "ex", "r3m"):
+            assert prefix in pm
+
+    def test_items_sorted(self):
+        pm = PrefixMap({"b": "http://b/", "a": "http://a/"})
+        assert [p for p, _ in pm.items()] == ["a", "b"]
+
+    def test_len(self):
+        assert len(PrefixMap({"a": "http://a/"})) == 1

@@ -1,0 +1,176 @@
+"""Tests for the Turtle / N-Triples serializers and graph comparison."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    EX,
+    FOAF,
+    BNode,
+    Graph,
+    Literal,
+    PrefixMap,
+    Triple,
+    URIRef,
+    isomorphic,
+    parse_turtle,
+    to_ntriples,
+    to_turtle,
+)
+
+
+class TestNTriples:
+    def test_roundtrip(self):
+        g = Graph(
+            [
+                Triple(EX.a, FOAF.name, Literal("Alice")),
+                Triple(EX.a, FOAF.knows, EX.b),
+            ]
+        )
+        assert parse_turtle(to_ntriples(g)) == g
+
+    def test_sorted_deterministic(self):
+        g1 = Graph()
+        g1.add(Triple(EX.b, FOAF.name, Literal("B")))
+        g1.add(Triple(EX.a, FOAF.name, Literal("A")))
+        g2 = Graph()
+        g2.add(Triple(EX.a, FOAF.name, Literal("A")))
+        g2.add(Triple(EX.b, FOAF.name, Literal("B")))
+        assert to_ntriples(g1) == to_ntriples(g2)
+
+    def test_empty(self):
+        assert to_ntriples(Graph()) == ""
+
+
+class TestTurtle:
+    def test_roundtrip(self):
+        g = Graph(
+            [
+                Triple(EX.author1, FOAF.firstName, Literal("Matthias")),
+                Triple(EX.author1, FOAF.family_name, Literal("Hert")),
+                Triple(EX.author1, FOAF.mbox, URIRef("mailto:hert@ifi.uzh.ch")),
+            ]
+        )
+        assert parse_turtle(to_turtle(g)) == g
+
+    def test_uses_prefixes(self):
+        g = Graph([Triple(EX.a, FOAF.name, Literal("x"))])
+        text = to_turtle(g)
+        assert "foaf:name" in text
+        assert "@prefix foaf:" in text
+
+    def test_type_written_as_a(self):
+        from repro.rdf import RDF
+
+        g = Graph([Triple(EX.a, RDF.type, FOAF.Person)])
+        assert " a foaf:Person" in to_turtle(g)
+
+    def test_unknown_namespace_falls_back_to_full_iri(self):
+        g = Graph([Triple(URIRef("urn:x:1"), URIRef("urn:p:1"), Literal("v"))])
+        text = to_turtle(g)
+        assert "<urn:x:1>" in text
+
+    def test_roundtrip_with_bnodes(self):
+        g = Graph(
+            [
+                Triple(EX.a, FOAF.knows, BNode("k1")),
+                Triple(BNode("k1"), FOAF.name, Literal("Anon")),
+            ]
+        )
+        assert isomorphic(parse_turtle(to_turtle(g)), g)
+
+    def test_custom_prefixmap(self):
+        pm = PrefixMap({"n": "http://n.example/"})
+        g = Graph(
+            [Triple(URIRef("http://n.example/a"), URIRef("http://n.example/p"), Literal("v"))]
+        )
+        text = to_turtle(g, prefixes=pm)
+        assert "n:a" in text
+
+
+class TestIsomorphism:
+    def test_identical_graphs(self):
+        g = Graph([Triple(EX.a, FOAF.name, Literal("x"))])
+        assert isomorphic(g, g.copy())
+
+    def test_bnode_relabelling(self):
+        g1 = Graph(
+            [
+                Triple(BNode("x"), FOAF.name, Literal("A")),
+                Triple(BNode("y"), FOAF.name, Literal("B")),
+            ]
+        )
+        g2 = Graph(
+            [
+                Triple(BNode("p"), FOAF.name, Literal("A")),
+                Triple(BNode("q"), FOAF.name, Literal("B")),
+            ]
+        )
+        assert isomorphic(g1, g2)
+
+    def test_different_structure_not_isomorphic(self):
+        g1 = Graph([Triple(BNode("x"), FOAF.name, Literal("A"))])
+        g2 = Graph([Triple(BNode("x"), FOAF.name, Literal("B"))])
+        assert not isomorphic(g1, g2)
+
+    def test_size_mismatch(self):
+        g1 = Graph([Triple(EX.a, FOAF.name, Literal("x"))])
+        assert not isomorphic(g1, Graph())
+
+    def test_ground_mismatch(self):
+        g1 = Graph([Triple(EX.a, FOAF.name, Literal("x"))])
+        g2 = Graph([Triple(EX.b, FOAF.name, Literal("x"))])
+        assert not isomorphic(g1, g2)
+
+    def test_chained_bnodes(self):
+        g1 = Graph(
+            [
+                Triple(BNode("a"), FOAF.knows, BNode("b")),
+                Triple(BNode("b"), FOAF.name, Literal("End")),
+            ]
+        )
+        g2 = Graph(
+            [
+                Triple(BNode("n1"), FOAF.knows, BNode("n2")),
+                Triple(BNode("n2"), FOAF.name, Literal("End")),
+            ]
+        )
+        assert isomorphic(g1, g2)
+
+
+# -- property-based round-trips ------------------------------------------------
+
+_uri_strategy = st.sampled_from(
+    [EX.a, EX.b, EX.author1, FOAF.Person, URIRef("urn:test:1")]
+)
+_literal_strategy = st.one_of(
+    st.text(
+        alphabet=st.characters(codec="utf-8", exclude_categories=("Cs", "Cc")),
+        max_size=30,
+    ).map(Literal),
+    st.integers(min_value=-10**9, max_value=10**9).map(Literal),
+    st.booleans().map(Literal),
+    st.text(alphabet="abc", max_size=5).map(lambda s: Literal(s, language="en")),
+)
+_object_strategy = st.one_of(_uri_strategy, _literal_strategy)
+_triple_strategy = st.builds(
+    Triple,
+    subject=_uri_strategy,
+    predicate=st.sampled_from([FOAF.name, FOAF.mbox, FOAF.knows, EX.p]),
+    object=_object_strategy,
+)
+
+
+@given(st.lists(_triple_strategy, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_turtle_roundtrip_property(triples):
+    """For any graph: parse(serialize(g)) == g (no bnodes involved)."""
+    g = Graph(triples)
+    assert parse_turtle(to_turtle(g)) == g
+
+
+@given(st.lists(_triple_strategy, max_size=25))
+@settings(max_examples=60, deadline=None)
+def test_ntriples_roundtrip_property(triples):
+    g = Graph(triples)
+    assert parse_turtle(to_ntriples(g)) == g

@@ -1,0 +1,291 @@
+"""Tests for the Turtle parser, including paper-listing documents."""
+
+import pytest
+
+from repro.errors import TurtleParseError
+from repro.rdf import (
+    EX,
+    FOAF,
+    R3M,
+    RDF,
+    BNode,
+    Graph,
+    Literal,
+    Triple,
+    URIRef,
+    parse_ntriples,
+    parse_turtle,
+)
+from repro.rdf.terms import XSD_BOOLEAN, XSD_DECIMAL, XSD_DOUBLE, XSD_INTEGER
+
+
+class TestBasics:
+    def test_single_triple(self):
+        g = parse_turtle('<http://a> <http://p> "o" .')
+        assert Triple(URIRef("http://a"), URIRef("http://p"), Literal("o")) in g
+
+    def test_prefix_directive(self):
+        g = parse_turtle(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            '<http://a> foaf:name "x" .'
+        )
+        assert g.value(URIRef("http://a"), FOAF.name, None) == Literal("x")
+
+    def test_sparql_style_prefix(self):
+        g = parse_turtle(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+            '<http://a> foaf:name "x" .'
+        )
+        assert len(g) == 1
+
+    def test_empty_prefix(self):
+        g = parse_turtle("@prefix : <http://e/> .\n:a :p :b .")
+        assert Triple(URIRef("http://e/a"), URIRef("http://e/p"), URIRef("http://e/b")) in g
+
+    def test_a_keyword(self):
+        g = parse_turtle(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            "<http://x> a foaf:Person ."
+        )
+        assert g.value(URIRef("http://x"), RDF.type, None) == FOAF.Person
+
+    def test_predicate_list(self):
+        g = parse_turtle(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n"
+            '<http://x> foaf:firstName "Matthias" ;\n'
+            '           foaf:family_name "Hert" .'
+        )
+        assert len(g) == 2
+
+    def test_object_list(self):
+        g = parse_turtle('<http://x> <http://p> "a", "b", "c" .')
+        assert len(g) == 3
+
+    def test_trailing_semicolon(self):
+        g = parse_turtle('<http://x> <http://p> "a" ; .')
+        assert len(g) == 1
+
+    def test_comments_ignored(self):
+        g = parse_turtle('# a comment\n<http://x> <http://p> "a" . # trailing')
+        assert len(g) == 1
+
+    def test_empty_document(self):
+        assert len(parse_turtle("")) == 0
+
+    def test_whitespace_only(self):
+        assert len(parse_turtle("  \n\t  ")) == 0
+
+
+class TestLiterals:
+    def test_language_tag(self):
+        g = parse_turtle('<http://x> <http://p> "hallo"@de .')
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.language == "de"
+
+    def test_typed_literal_iri(self):
+        g = parse_turtle(
+            f'<http://x> <http://p> "5"^^<{XSD_INTEGER}> .'
+        )
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.datatype == XSD_INTEGER
+
+    def test_typed_literal_qname(self):
+        g = parse_turtle(
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            '<http://x> <http://p> "5"^^xsd:integer .'
+        )
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.datatype == XSD_INTEGER
+
+    def test_integer_shorthand(self):
+        g = parse_turtle("<http://x> <http://p> 42 .")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit == Literal("42", datatype=XSD_INTEGER)
+
+    def test_negative_integer(self):
+        g = parse_turtle("<http://x> <http://p> -7 .")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.lexical == "-7"
+
+    def test_decimal_shorthand(self):
+        g = parse_turtle("<http://x> <http://p> 3.14 .")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.datatype == XSD_DECIMAL
+
+    def test_double_shorthand(self):
+        g = parse_turtle("<http://x> <http://p> 1.5e3 .")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.datatype == XSD_DOUBLE
+
+    def test_boolean_shorthand(self):
+        g = parse_turtle("<http://x> <http://p> true .")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit == Literal("true", datatype=XSD_BOOLEAN)
+
+    def test_escape_sequences(self):
+        g = parse_turtle('<http://x> <http://p> "line1\\nline2\\t\\"q\\"" .')
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.lexical == 'line1\nline2\t"q"'
+
+    def test_unicode_escape(self):
+        g = parse_turtle('<http://x> <http://p> "\\u00e9" .')
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.lexical == "é"
+
+    def test_long_string(self):
+        g = parse_turtle('<http://x> <http://p> """multi\nline""" .')
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.lexical == "multi\nline"
+
+    def test_single_quoted_string(self):
+        g = parse_turtle("<http://x> <http://p> 'hi' .")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit.lexical == "hi"
+
+    def test_integer_then_statement_dot(self):
+        # '5.' must parse as integer 5 followed by the terminator.
+        g = parse_turtle("<http://x> <http://p> 5.")
+        lit = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert lit == Literal("5", datatype=XSD_INTEGER)
+
+
+class TestBlankNodes:
+    def test_labelled_bnode(self):
+        g = parse_turtle('_:a <http://p> "x" .')
+        subjects = list(g.subjects())
+        assert subjects == [BNode("a")]
+
+    def test_anonymous_bnode_object(self):
+        g = parse_turtle("<http://x> <http://p> [] .")
+        assert len(g) == 1
+
+    def test_property_list(self):
+        text = """
+        @prefix r3m: <http://ontoaccess.org/r3m#> .
+        @prefix map: <http://example.org/map#> .
+        map:author_team r3m:hasConstraint [ a r3m:ForeignKey ;
+                                            r3m:references map:team ] .
+        """
+        g = parse_turtle(text)
+        constraint = g.value(
+            URIRef("http://example.org/map#author_team"), R3M.hasConstraint, None
+        )
+        assert isinstance(constraint, BNode)
+        assert g.value(constraint, RDF.type, None) == R3M.ForeignKey
+        assert g.value(constraint, R3M.references, None) == URIRef(
+            "http://example.org/map#team"
+        )
+
+    def test_nested_property_lists(self):
+        g = parse_turtle('<http://x> <http://p> [ <http://q> [ <http://r> "v" ] ] .')
+        assert len(g) == 3
+
+    def test_collection(self):
+        g = parse_turtle("<http://x> <http://p> (1 2) .")
+        # 1 link triple + 2*(first+rest) = 5
+        assert len(g) == 5
+        head = g.value(URIRef("http://x"), URIRef("http://p"), None)
+        assert g.value(head, RDF.first, None) == Literal("1", datatype=XSD_INTEGER)
+
+    def test_empty_collection_is_nil(self):
+        g = parse_turtle("<http://x> <http://p> () .")
+        assert g.value(URIRef("http://x"), URIRef("http://p"), None) == RDF.nil
+
+
+class TestBase:
+    def test_relative_iri_resolution(self):
+        g = parse_turtle("@base <http://example.org/db/> .\n<author1> <p> <author2> .")
+        assert URIRef("http://example.org/db/author1") in set(g.subjects())
+
+    def test_base_parameter(self):
+        g = parse_turtle("<a> <p> <b> .", base="http://x.org/")
+        assert URIRef("http://x.org/a") in set(g.subjects())
+
+    def test_absolute_iri_not_resolved(self):
+        g = parse_turtle("<http://y/a> <http://p> <http://y/b> .", base="http://x.org/")
+        assert URIRef("http://y/a") in set(g.subjects())
+
+    def test_fragment_resolution(self):
+        g = parse_turtle("<#frag> <http://p> <http://o> .", base="http://x.org/doc")
+        assert URIRef("http://x.org/doc#frag") in set(g.subjects())
+
+
+class TestErrors:
+    def test_unbound_prefix(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('<http://x> nope:name "x" .')
+
+    def test_missing_dot(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('<http://x> <http://p> "o"')
+
+    def test_unterminated_string(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle('<http://x> <http://p> "unterminated .')
+
+    def test_error_has_line_info(self):
+        with pytest.raises(TurtleParseError) as exc:
+            parse_turtle('<http://x> <http://p> "ok" .\n<http://y> %% .')
+        assert exc.value.line == 2
+
+    def test_garbage(self):
+        with pytest.raises(TurtleParseError):
+            parse_turtle("%%%%")
+
+
+class TestPaperListings:
+    """The R3M listings from the paper must parse (Section 4)."""
+
+    def test_listing1_database_map(self):
+        text = """
+        @prefix r3m: <http://ontoaccess.org/r3m#> .
+        @prefix map: <http://example.org/map#> .
+        map:database a r3m:DatabaseMap ;
+            r3m:jdbcDriver "com.mysql.jdbc.Driver" ;
+            r3m:jdbcUrl "jdbc:mysql://localhost/db" ;
+            r3m:username "user" ;
+            r3m:password "pw" ;
+            r3m:uriPrefix "http://example.org/db/" ;
+            r3m:hasTable map:author , map:publication , map:publication_author ,
+                         map:team , map:publisher , map:pubtype .
+        """
+        g = parse_turtle(text)
+        db = URIRef("http://example.org/map#database")
+        assert g.value(db, RDF.type, None) == R3M.DatabaseMap
+        assert len(list(g.objects(db, R3M.hasTable))) == 6
+
+    def test_listing2_table_map(self):
+        text = """
+        @prefix r3m: <http://ontoaccess.org/r3m#> .
+        @prefix map: <http://example.org/map#> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        map:author a r3m:TableMap ;
+            r3m:hasTableName "author" ;
+            r3m:mapsToClass foaf:Person ;
+            r3m:uriPattern "author%%id%%" ;
+            r3m:hasAttribute map:author_id , map:author_title , map:author_email ,
+                             map:author_firstname , map:author_lastname ,
+                             map:author_team .
+        """
+        g = parse_turtle(text)
+        author = URIRef("http://example.org/map#author")
+        assert g.value(author, R3M.uriPattern, None) == Literal("author%%id%%")
+        assert len(list(g.objects(author, R3M.hasAttribute))) == 6
+
+
+class TestNTriples:
+    def test_parse_ntriples(self):
+        text = (
+            '<http://a> <http://p> "x" .\n'
+            "<http://a> <http://q> <http://b> .\n"
+        )
+        g = parse_ntriples(text)
+        assert len(g) == 2
+
+    def test_mailto_iri(self):
+        g = parse_turtle(
+            "<http://x> <http://p> <mailto:hert@ifi.uzh.ch> ."
+        )
+        assert g.value(URIRef("http://x"), URIRef("http://p"), None) == URIRef(
+            "mailto:hert@ifi.uzh.ch"
+        )

@@ -1,0 +1,147 @@
+"""Tests for the HTTP endpoint and client (paper Section 6)."""
+
+import pytest
+
+from repro import OntoAccess
+from repro.rdf import OA, RDF
+from repro.server import OntoAccessClient, OntoAccessEndpoint
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+UPDATE_OK = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+INSERT DATA {
+    ex:team4 foaf:name "Database Technology" ;
+             ont:teamCode "DBTG" .
+}
+"""
+
+UPDATE_BAD = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ex:   <http://example.org/db/>
+INSERT DATA { ex:author9 foaf:firstName "NoLastname" . }
+"""
+
+
+@pytest.fixture
+def endpoint():
+    db = build_database()
+    seed_feasibility_data(db)
+    mediator = OntoAccess(db, build_mapping(db))
+    return OntoAccessEndpoint(mediator)
+
+
+class TestHandlersDirect:
+    """Protocol handlers without network plumbing."""
+
+    def test_update_ok(self, endpoint):
+        response = endpoint.handle_update(UPDATE_OK)
+        assert response.status == 200
+        assert "Confirmation" in response.body
+        assert endpoint.mediator.db.get_row_by_pk("team", (4,)) is not None
+
+    def test_update_error(self, endpoint):
+        response = endpoint.handle_update(UPDATE_BAD)
+        assert response.status == 400
+        assert "missing-required-property" in response.body
+
+    def test_update_parse_error(self, endpoint):
+        response = endpoint.handle_update("GIBBERISH {")
+        assert response.status == 400
+        assert "unsupported-request" in response.body
+
+    def test_query_select(self, endpoint):
+        response = endpoint.handle_query(
+            'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+            'SELECT ?n WHERE { ?x foaf:family_name ?n . }'
+        )
+        assert response.status == 200
+        assert '"Hert"' in response.body
+
+    def test_query_ask(self, endpoint):
+        response = endpoint.handle_query(
+            'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+            'ASK { ?x foaf:family_name "Hert" . }'
+        )
+        assert response.body == "true"
+
+    def test_query_error(self, endpoint):
+        response = endpoint.handle_query("NOT SPARQL")
+        assert response.status == 400
+
+    def test_dump(self, endpoint):
+        response = endpoint.handle_dump()
+        assert response.status == 200
+        assert "foaf:Person" in response.body
+
+    def test_mapping(self, endpoint):
+        response = endpoint.handle_mapping()
+        assert "r3m:DatabaseMap" in response.body
+
+    def test_counters(self, endpoint):
+        endpoint.handle_update(UPDATE_OK)
+        endpoint.handle_update(UPDATE_BAD)
+        assert endpoint.requests_served == 2
+        assert endpoint.errors_returned == 1
+
+
+class TestOverHTTP:
+    """Full loop through a real socket."""
+
+    def test_update_roundtrip(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            feedback = client.update(UPDATE_OK)
+            assert feedback.ok
+            assert list(feedback.graph.subjects(RDF.type, OA.Confirmation))
+
+    def test_error_feedback_parsed(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            feedback = client.update(UPDATE_BAD)
+            assert not feedback.ok
+            assert feedback.code == "missing-required-property"
+            assert feedback.hint is not None
+            assert "lastname" in feedback.message
+
+    def test_query_over_http(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            text = client.query_text(
+                'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+                'SELECT ?n WHERE { ?x foaf:family_name ?n . }'
+            )
+            assert '"Hert"' in text
+
+    def test_dump_over_http(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            graph = client.dump()
+            assert len(graph) > 0
+
+    def test_mapping_over_http(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            assert "r3m:TableMap" in client.mapping_turtle()
+
+    def test_unknown_path_404(self, endpoint):
+        import urllib.error
+        import urllib.request
+
+        with endpoint:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(endpoint.url + "/nope", timeout=5)
+            assert exc.value.code == 404
+
+    def test_sequential_updates_share_state(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            assert client.update(UPDATE_OK).ok
+            second = client.update(UPDATE_OK.replace("team4", "team7"))
+            assert second.ok
+            assert endpoint.mediator.db.row_count("team") == 3  # seed + 2

@@ -1,0 +1,147 @@
+"""Tests for the SPARQL query parser."""
+
+import pytest
+
+from repro.errors import SPARQLParseError
+from repro.rdf import FOAF, RDF, Literal, Triple, Variable
+from repro.sparql import AskQuery, ConstructQuery, SelectQuery, parse_query
+from repro.sparql import algebra_ast as alg
+
+P = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+
+
+class TestSelect:
+    def test_simple(self):
+        q = parse_query(P + "SELECT ?name WHERE { ?x foaf:name ?name . }")
+        assert isinstance(q, SelectQuery)
+        assert q.variables == (Variable("name"),)
+        assert q.where.triple_patterns()[0].triple == Triple(
+            Variable("x"), FOAF.name, Variable("name")
+        )
+
+    def test_star_projection(self):
+        q = parse_query(P + "SELECT * WHERE { ?x foaf:name ?name . }")
+        assert q.variables == ()
+        assert set(q.projected()) == {Variable("x"), Variable("name")}
+
+    def test_distinct(self):
+        q = parse_query(P + "SELECT DISTINCT ?x WHERE { ?x foaf:name ?n . }")
+        assert q.distinct
+
+    def test_predicate_object_shorthand(self):
+        q = parse_query(
+            P
+            + """SELECT ?x WHERE {
+                ?x a foaf:Person ;
+                   foaf:firstName "Matthias" ;
+                   foaf:mbox ?mbox .
+            }"""
+        )
+        patterns = q.where.triple_patterns()
+        assert len(patterns) == 3
+        assert patterns[0].triple.predicate == RDF.type
+
+    def test_filter(self):
+        q = parse_query(
+            P + "SELECT ?x WHERE { ?x foaf:age ?a . FILTER(?a > 18) }"
+        )
+        filters = q.where.filters()
+        assert len(filters) == 1
+        assert isinstance(filters[0].expression, alg.Comparison)
+
+    def test_filter_boolean_connectives(self):
+        q = parse_query(
+            P
+            + 'SELECT ?x WHERE { ?x foaf:name ?n . FILTER(?n = "A" || ?n = "B" && !(?n = "C")) }'
+        )
+        expr = q.where.filters()[0].expression
+        assert isinstance(expr, alg.BoolOp)
+        assert expr.op == "||"
+
+    def test_filter_regex(self):
+        q = parse_query(
+            P + 'SELECT ?x WHERE { ?x foaf:mbox ?m . FILTER(REGEX(STR(?m), "uzh", "i")) }'
+        )
+        expr = q.where.filters()[0].expression
+        assert expr.name == "REGEX"
+        assert len(expr.args) == 3
+
+    def test_optional(self):
+        q = parse_query(
+            P
+            + "SELECT ?x ?m WHERE { ?x foaf:name ?n . OPTIONAL { ?x foaf:mbox ?m . } }"
+        )
+        assert len(q.where.optionals()) == 1
+
+    def test_union(self):
+        q = parse_query(
+            P
+            + "SELECT ?n WHERE { { ?x foaf:name ?n . } UNION { ?x foaf:nick ?n . } }"
+        )
+        unions = q.where.unions()
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 2
+
+    def test_order_limit_offset(self):
+        q = parse_query(
+            P + "SELECT ?n WHERE { ?x foaf:name ?n . } ORDER BY DESC(?n) LIMIT 5 OFFSET 2"
+        )
+        assert q.order_by[0].descending
+        assert q.limit == 5
+        assert q.offset == 2
+
+    def test_order_by_plain_variable(self):
+        q = parse_query(P + "SELECT ?n WHERE { ?x foaf:name ?n . } ORDER BY ?n")
+        assert not q.order_by[0].descending
+
+    def test_typed_literal_in_pattern(self):
+        q = parse_query(
+            "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n"
+            + P
+            + 'SELECT ?x WHERE { ?x foaf:age "42"^^xsd:integer . }'
+        )
+        obj = q.where.triple_patterns()[0].triple.object
+        assert isinstance(obj, Literal)
+        assert obj.datatype.endswith("integer")
+
+    def test_numeric_shorthand_in_filter(self):
+        q = parse_query(P + "SELECT ?x WHERE { ?x foaf:age ?a . FILTER(?a >= 21) }")
+        comparison = q.where.filters()[0].expression
+        assert comparison.op == ">="
+
+
+class TestAskConstruct:
+    def test_ask(self):
+        q = parse_query(P + 'ASK { ?x foaf:name "Matthias" . }')
+        assert isinstance(q, AskQuery)
+
+    def test_ask_with_where_keyword(self):
+        q = parse_query(P + 'ASK WHERE { ?x foaf:name "M" . }')
+        assert isinstance(q, AskQuery)
+
+    def test_construct(self):
+        q = parse_query(
+            P
+            + "CONSTRUCT { ?x foaf:nick ?n . } WHERE { ?x foaf:name ?n . }"
+        )
+        assert isinstance(q, ConstructQuery)
+        assert len(q.template) == 1
+
+
+class TestErrors:
+    def test_missing_where_braces(self):
+        with pytest.raises(SPARQLParseError):
+            parse_query(P + "SELECT ?x WHERE ?x foaf:name ?n .")
+
+    def test_no_projection(self):
+        with pytest.raises(SPARQLParseError):
+            parse_query(P + "SELECT WHERE { ?x foaf:name ?n . }")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SPARQLParseError):
+            parse_query(P + "SELECT ?x WHERE { ?x foaf:name ?n . } nonsense")
+
+    def test_error_positions(self):
+        with pytest.raises(SPARQLParseError) as exc:
+            parse_query(P + "SELECT ?x WHERE {\n  %%% }")
+        assert exc.value.line >= 2

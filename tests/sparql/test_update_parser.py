@@ -1,0 +1,238 @@
+"""Tests for the SPARQL/Update parser, built around the paper's listings."""
+
+import pytest
+
+from repro.errors import SPARQLParseError
+from repro.rdf import DC, EX, FOAF, ONT, RDF, Literal, Triple, URIRef, Variable
+from repro.sparql import (
+    Clear,
+    DeleteData,
+    InsertData,
+    Modify,
+    parse_update,
+)
+
+PREFIXES = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX dc:   <http://purl.org/dc/elements/1.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+PREFIX rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+"""
+
+
+class TestInsertData:
+    def test_paper_listing_9(self):
+        """INSERT DATA for author6 (Listing 9)."""
+        request = parse_update(
+            PREFIXES
+            + """
+            INSERT DATA {
+                ex:author6 foaf:title "Mr" ;
+                    foaf:firstName "Matthias" ;
+                    foaf:family_name "Hert" ;
+                    foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+                    ont:team ex:team5 .
+            }
+            """
+        )
+        assert len(request.operations) == 1
+        op = request.operations[0]
+        assert isinstance(op, InsertData)
+        assert len(op.triples) == 5
+        assert Triple(EX.author6, FOAF.title, Literal("Mr")) in op.triples
+        assert Triple(EX.author6, FOAF.mbox, URIRef("mailto:hert@ifi.uzh.ch")) in op.triples
+        assert Triple(EX.author6, ONT.team, EX.team5) in op.triples
+
+    def test_paper_listing_13(self):
+        """INSERT DATA for team4 (Listing 13)."""
+        request = parse_update(
+            PREFIXES
+            + """
+            INSERT DATA {
+                ex:team4 foaf:name "Database Technology" ;
+                         ont:teamCode "DBTG" .
+            }
+            """
+        )
+        op = request.operations[0]
+        assert op.triples == (
+            Triple(EX.team4, FOAF.name, Literal("Database Technology")),
+            Triple(EX.team4, ONT.teamCode, Literal("DBTG")),
+        )
+
+    def test_paper_listing_15_multi_subject(self):
+        """The complete-dataset INSERT DATA (Listing 15): 5 subjects."""
+        request = parse_update(
+            PREFIXES
+            + """
+            INSERT DATA {
+                ex:pub12 dc:title "Relational..." ;
+                    ont:pubYear "2009" ;
+                    ont:pubType ex:pubtype4 ;
+                    dc:publisher ex:publisher3 ;
+                    dc:creator ex:author6 .
+
+                ex:author6 foaf:title "Mr" ;
+                    foaf:firstName "Matthias" ;
+                    foaf:family_name "Hert" ;
+                    foaf:mbox <mailto:hert@ifi.uzh.ch> ;
+                    ont:team ex:team5 .
+
+                ex:team5 foaf:name "Software Engineering" ;
+                    ont:teamCode "SEAL" .
+
+                ex:pubtype4 ont:type "inproceedings" .
+
+                ex:publisher3 ont:name "Springer" .
+            }
+            """
+        )
+        op = request.operations[0]
+        assert len(op.triples) == 14
+        subjects = {t.subject for t in op.triples}
+        assert subjects == {EX.pub12, EX.author6, EX.team5, EX.pubtype4, EX.publisher3}
+
+    def test_variables_rejected(self):
+        with pytest.raises(SPARQLParseError, match="variables"):
+            parse_update(PREFIXES + 'INSERT DATA { ?x foaf:name "X" . }')
+
+    def test_object_list(self):
+        request = parse_update(
+            PREFIXES + "INSERT DATA { ex:p dc:creator ex:a1, ex:a2 . }"
+        )
+        assert len(request.operations[0].triples) == 2
+
+
+class TestDeleteData:
+    def test_paper_listing_17(self):
+        request = parse_update(
+            PREFIXES
+            + """
+            DELETE DATA {
+                ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> .
+            }
+            """
+        )
+        op = request.operations[0]
+        assert isinstance(op, DeleteData)
+        assert op.triples == (
+            Triple(EX.author6, FOAF.mbox, URIRef("mailto:hert@ifi.uzh.ch")),
+        )
+
+
+class TestModify:
+    def test_paper_listing_11(self):
+        """The MODIFY replacing the email address (Listing 11)."""
+        request = parse_update(
+            PREFIXES
+            + """
+            MODIFY
+            DELETE {
+                ?x foaf:mbox ?mbox .
+            }
+            INSERT {
+                ?x foaf:mbox <mailto:hert@example.com> .
+            }
+            WHERE {
+                ?x rdf:type foaf:Person ;
+                   foaf:firstName "Matthias" ;
+                   foaf:family_name "Hert" ;
+                   foaf:mbox ?mbox .
+            }
+            """
+        )
+        op = request.operations[0]
+        assert isinstance(op, Modify)
+        assert op.delete_template == (
+            Triple(Variable("x"), FOAF.mbox, Variable("mbox")),
+        )
+        assert op.insert_template == (
+            Triple(Variable("x"), FOAF.mbox, URIRef("mailto:hert@example.com")),
+        )
+        patterns = op.where.triple_patterns()
+        assert len(patterns) == 4
+        assert patterns[0].triple == Triple(Variable("x"), RDF.type, FOAF.Person)
+
+    def test_modify_delete_only(self):
+        request = parse_update(
+            PREFIXES + "MODIFY DELETE { ?x foaf:mbox ?m . } WHERE { ?x foaf:mbox ?m . }"
+        )
+        op = request.operations[0]
+        assert op.insert_template == ()
+        assert len(op.delete_template) == 1
+
+    def test_modify_insert_only(self):
+        request = parse_update(
+            PREFIXES + 'MODIFY INSERT { ?x foaf:nick "n" . } WHERE { ?x foaf:mbox ?m . }'
+        )
+        op = request.operations[0]
+        assert op.delete_template == ()
+
+    def test_modify_with_graph_iri_ignored(self):
+        request = parse_update(
+            PREFIXES
+            + "MODIFY <http://example.org/graph> DELETE { ?x foaf:mbox ?m . } "
+            "WHERE { ?x foaf:mbox ?m . }"
+        )
+        assert isinstance(request.operations[0], Modify)
+
+    def test_modify_requires_a_clause(self):
+        with pytest.raises(SPARQLParseError):
+            parse_update(PREFIXES + "MODIFY WHERE { ?x foaf:mbox ?m . }")
+
+    def test_sparql11_style_delete_insert_where(self):
+        request = parse_update(
+            PREFIXES
+            + """
+            DELETE { ?x foaf:mbox ?mbox . }
+            INSERT { ?x foaf:mbox <mailto:new@example.com> . }
+            WHERE { ?x foaf:mbox ?mbox . }
+            """
+        )
+        op = request.operations[0]
+        assert isinstance(op, Modify)
+        assert len(op.delete_template) == 1
+        assert len(op.insert_template) == 1
+
+    def test_insert_where(self):
+        request = parse_update(
+            PREFIXES
+            + 'INSERT { ?x foaf:nick "nick" . } WHERE { ?x foaf:mbox ?m . }'
+        )
+        assert isinstance(request.operations[0], Modify)
+
+    def test_where_with_filter(self):
+        request = parse_update(
+            PREFIXES
+            + """
+            DELETE { ?x ont:pubYear ?y . }
+            WHERE { ?x ont:pubYear ?y . FILTER(?y < 2000) }
+            """
+        )
+        op = request.operations[0]
+        assert len(op.where.filters()) == 1
+
+
+class TestRequests:
+    def test_multiple_operations(self):
+        request = parse_update(
+            PREFIXES
+            + """
+            INSERT DATA { ex:a foaf:name "A" . } ;
+            DELETE DATA { ex:b foaf:name "B" . }
+            """
+        )
+        assert len(request.operations) == 2
+
+    def test_clear(self):
+        request = parse_update("CLEAR")
+        assert isinstance(request.operations[0], Clear)
+
+    def test_garbage(self):
+        with pytest.raises(SPARQLParseError):
+            parse_update("SHRUBBERY")
+
+    def test_unbound_prefix(self):
+        with pytest.raises(SPARQLParseError, match="unbound prefix"):
+            parse_update('INSERT DATA { nope:a nope:b "c" . }')

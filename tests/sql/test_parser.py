@@ -1,0 +1,311 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.sql import ast, parse_expression, parse_sql, parse_statements
+
+
+class TestSelect:
+    def test_simple(self):
+        stmt = parse_sql("SELECT id, name FROM team")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.table == ast.TableRef("team")
+        assert [i.expression for i in stmt.items] == [
+            ast.ColumnRef("id"),
+            ast.ColumnRef("name"),
+        ]
+
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM author")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT a.* FROM author a")
+        assert stmt.items[0].expression == ast.Star(table="a")
+
+    def test_alias(self):
+        stmt = parse_sql("SELECT name AS n FROM team")
+        assert stmt.items[0].alias == "n"
+
+    def test_implicit_alias(self):
+        stmt = parse_sql("SELECT name n FROM team")
+        assert stmt.items[0].alias == "n"
+
+    def test_table_alias(self):
+        stmt = parse_sql("SELECT a.id FROM author a")
+        assert stmt.table == ast.TableRef("author", "a")
+
+    def test_where(self):
+        stmt = parse_sql("SELECT id FROM author WHERE lastname = 'Hert'")
+        assert stmt.where == ast.BinaryOp(
+            "=", ast.ColumnRef("lastname"), ast.Literal("Hert")
+        )
+
+    def test_join(self):
+        stmt = parse_sql(
+            "SELECT * FROM author JOIN team ON author.team = team.id"
+        )
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        stmt = parse_sql(
+            "SELECT * FROM author LEFT JOIN team ON author.team = team.id"
+        )
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_sql(
+            "SELECT * FROM author LEFT OUTER JOIN team ON author.team = team.id"
+        )
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_multiple_joins(self):
+        stmt = parse_sql(
+            "SELECT * FROM publication p "
+            "JOIN publication_author pa ON pa.publication = p.id "
+            "JOIN author a ON pa.author = a.id"
+        )
+        assert len(stmt.joins) == 2
+
+    def test_cross_join_comma(self):
+        stmt = parse_sql("SELECT * FROM a, b")
+        assert stmt.joins[0].kind == "CROSS"
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT team, COUNT(*) FROM author GROUP BY team HAVING COUNT(*) > 2"
+        )
+        assert stmt.group_by == (ast.ColumnRef("team"),)
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse_sql("SELECT id FROM author ORDER BY id DESC LIMIT 10 OFFSET 5")
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT team FROM author").distinct
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM author")
+        call = stmt.items[0].expression
+        assert call == ast.FunctionCall("COUNT", (ast.Star(),))
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT COUNT(DISTINCT team) FROM author")
+        assert stmt.items[0].expression.distinct
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1 + 2")
+        assert stmt.table is None
+
+
+class TestDML:
+    def test_insert(self):
+        stmt = parse_sql(
+            "INSERT INTO team (id, name, code) VALUES (4, 'Database Technology', 'DBTG')"
+        )
+        assert stmt == ast.Insert(
+            table="team",
+            columns=("id", "name", "code"),
+            rows=(
+                (
+                    ast.Literal(4),
+                    ast.Literal("Database Technology"),
+                    ast.Literal("DBTG"),
+                ),
+            ),
+        )
+
+    def test_insert_multi_row(self):
+        stmt = parse_sql("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_insert_without_columns(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'x')")
+        assert stmt.columns == ()
+
+    def test_insert_null(self):
+        stmt = parse_sql("INSERT INTO t (a) VALUES (NULL)")
+        assert stmt.rows[0][0] == ast.Null()
+
+    def test_update(self):
+        stmt = parse_sql(
+            "UPDATE author SET email = NULL WHERE id = 6 AND email = 'hert@ifi.uzh.ch'"
+        )
+        assert stmt.table == "author"
+        assert stmt.assignments == (ast.Assignment("email", ast.Null()),)
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_update_multiple_assignments(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = 'x'")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM author WHERE id = 6")
+        assert stmt == ast.Delete(
+            table="author",
+            where=ast.BinaryOp("=", ast.ColumnRef("id"), ast.Literal(6)),
+        )
+
+    def test_delete_all(self):
+        assert parse_sql("DELETE FROM author").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE author ("
+            " id INTEGER PRIMARY KEY,"
+            " title VARCHAR(20),"
+            " lastname VARCHAR(100) NOT NULL,"
+            " team INTEGER REFERENCES team(id)"
+            ")"
+        )
+        assert stmt.name == "author"
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].type_length == 20
+        assert stmt.columns[2].not_null
+        assert stmt.columns[3].references == ("team", "id")
+
+    def test_create_table_constraints(self):
+        stmt = parse_sql(
+            "CREATE TABLE pa ("
+            " publication INTEGER, author INTEGER,"
+            " PRIMARY KEY (publication, author),"
+            " FOREIGN KEY (publication) REFERENCES publication(id),"
+            " UNIQUE (author)"
+            ")"
+        )
+        kinds = [type(c).__name__ for c in stmt.constraints]
+        assert kinds == ["PrimaryKeyDef", "ForeignKeyDef", "UniqueDef"]
+
+    def test_create_if_not_exists(self):
+        assert parse_sql("CREATE TABLE IF NOT EXISTS t (a INTEGER)").if_not_exists
+
+    def test_default(self):
+        stmt = parse_sql("CREATE TABLE t (a INTEGER DEFAULT 7)")
+        assert stmt.columns[0].default == ast.Literal(7)
+
+    def test_autoincrement(self):
+        stmt = parse_sql("CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT)")
+        assert stmt.columns[0].autoincrement
+
+    def test_drop_table(self):
+        assert parse_sql("DROP TABLE team") == ast.DropTable("team")
+
+    def test_drop_if_exists(self):
+        assert parse_sql("DROP TABLE IF EXISTS team").if_exists
+
+
+class TestTransactions:
+    def test_begin_commit_rollback(self):
+        assert parse_statements("BEGIN; COMMIT; ROLLBACK;") == [
+            ast.Begin(),
+            ast.Commit(),
+            ast.Rollback(),
+        ]
+
+
+class TestExpressions:
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_is_null(self):
+        expr = parse_expression("email IS NULL")
+        assert expr == ast.IsNull(ast.ColumnRef("email"))
+
+    def test_is_not_null(self):
+        assert parse_expression("email IS NOT NULL").negated
+
+    def test_in_list(self):
+        expr = parse_expression("id IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("id NOT IN (1)").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'D%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_between(self):
+        expr = parse_expression("year BETWEEN 2000 AND 2010")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("year NOT BETWEEN 1 AND 2").negated
+
+    def test_unary_minus_folds_constants(self):
+        assert parse_expression("-5") == ast.Literal(-5)
+
+    def test_unary_minus_on_column(self):
+        expr = parse_expression("-id")
+        assert expr == ast.UnaryOp("-", ast.ColumnRef("id"))
+
+    def test_qualified_column(self):
+        assert parse_expression("author.id") == ast.ColumnRef("id", table="author")
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+
+    def test_float_literal(self):
+        assert parse_expression("3.5") == ast.Literal(3.5)
+
+    def test_parameter(self):
+        expr = parse_expression("id = ?")
+        assert expr.right == ast.Parameter(0)
+
+    def test_scalar_function(self):
+        expr = parse_expression("UPPER(name)")
+        assert expr == ast.FunctionCall("UPPER", (ast.ColumnRef("name"),))
+
+
+class TestErrors:
+    def test_incomplete_select(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT FROM t")
+
+    def test_missing_values(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("INSERT INTO t (a)")
+
+    def test_garbage(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("FLY ME TO THE MOON")
+
+    def test_multiple_statements_rejected_by_parse_sql(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT 1; SELECT 2")
+
+    def test_missing_semicolon_between_statements(self):
+        with pytest.raises(SQLParseError):
+            parse_statements("SELECT 1 SELECT 2")
+
+    def test_trailing_garbage_in_expression(self):
+        with pytest.raises(SQLParseError):
+            parse_expression("1 + ")

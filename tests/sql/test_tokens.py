@@ -1,0 +1,101 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SQLParseError
+from repro.sql.tokens import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type != TokenType.EOF]
+
+
+class TestTokenize:
+    def test_keywords_normalized(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("author publication_author") == [
+            (TokenType.IDENT, "author"),
+            (TokenType.IDENT, "publication_author"),
+        ]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_string_escape_doubling(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+    def test_quoted_identifier(self):
+        assert kinds('"year"') == [(TokenType.IDENT, "year")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 2e3") == [
+            (TokenType.NUMBER, "42"),
+            (TokenType.NUMBER, "3.14"),
+            (TokenType.NUMBER, "2e3"),
+        ]
+
+    def test_operators(self):
+        assert kinds("= <> != <= >= < >") == [
+            (TokenType.OPERATOR, "="),
+            (TokenType.OPERATOR, "<>"),
+            (TokenType.OPERATOR, "<>"),  # != normalized
+            (TokenType.OPERATOR, "<="),
+            (TokenType.OPERATOR, ">="),
+            (TokenType.OPERATOR, "<"),
+            (TokenType.OPERATOR, ">"),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(a, b);") == [
+            (TokenType.PUNCT, "("),
+            (TokenType.IDENT, "a"),
+            (TokenType.PUNCT, ","),
+            (TokenType.IDENT, "b"),
+            (TokenType.PUNCT, ")"),
+            (TokenType.PUNCT, ";"),
+        ]
+
+    def test_line_comment(self):
+        assert kinds("SELECT -- comment\n1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("SELECT /* multi\nline */ 1") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_eof_token_always_present(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type == TokenType.EOF
+
+    def test_position_recorded(self):
+        tokens = tokenize("SELECT id")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @")
+
+    def test_parameter_placeholder(self):
+        assert kinds("?") == [(TokenType.PUNCT, "?")]
+
+    def test_concat_operator(self):
+        assert kinds("a || b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.OPERATOR, "||"),
+            (TokenType.IDENT, "b"),
+        ]

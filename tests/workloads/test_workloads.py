@@ -1,0 +1,117 @@
+"""Tests for the workload generators and the publication use case module."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import OntoAccess
+from repro.rdf import FOAF, OWL, RDF
+from repro.workloads import (
+    WorkloadConfig,
+    build_database,
+    build_mapping,
+    build_ontology,
+    generate_dataset,
+    populate_database,
+    seed_feasibility_data,
+    table1_rows,
+)
+from repro.workloads.generator import build_populated_database
+from repro.workloads.operations import mixed_workload
+
+
+class TestPublicationUseCase:
+    def test_schema_tables(self):
+        db = build_database()
+        assert len(db.schema.table_names()) == 6
+
+    def test_seed_data(self):
+        db = build_database()
+        seed_feasibility_data(db)
+        assert db.get_row_by_pk("author", (6,))["lastname"] == "Hert"
+        assert db.get_row_by_pk("team", (5,))["code"] == "SEAL"
+
+    def test_ontology_classes(self):
+        ontology = build_ontology()
+        classes = set(ontology.subjects(RDF.type, OWL.term("Class")))
+        assert FOAF.Person in classes
+        assert len(classes) == 5
+
+    def test_table1_has_14_rows(self):
+        assert len(table1_rows()) == 14
+
+    def test_mapping_validates(self):
+        db = build_database()
+        OntoAccess(db, build_mapping(db))  # validate=True by default
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        config = WorkloadConfig(authors=20, publications=30, seed=9)
+        a = generate_dataset(config)
+        b = generate_dataset(config)
+        assert a.authors == b.authors
+        assert a.authorships == b.authorships
+
+    def test_different_seed_differs(self):
+        a = generate_dataset(WorkloadConfig(authors=20, seed=1))
+        b = generate_dataset(WorkloadConfig(authors=20, seed=2))
+        assert a.authors != b.authors
+
+    def test_sizes(self):
+        config = WorkloadConfig(teams=3, publishers=2, pubtypes=2,
+                                authors=15, publications=25)
+        dataset = generate_dataset(config)
+        assert len(dataset.teams) == 3
+        assert len(dataset.authors) == 15
+        assert len(dataset.publications) == 25
+        assert len(dataset.authorships) >= 25  # at least one author per pub
+
+    def test_fk_values_valid(self):
+        dataset = generate_dataset(WorkloadConfig(authors=30, publications=40))
+        team_ids = {t["id"] for t in dataset.teams}
+        for author in dataset.authors:
+            assert author["team"] is None or author["team"] in team_ids
+
+    def test_populate_database(self):
+        config = WorkloadConfig(authors=10, publications=12)
+        dataset = generate_dataset(config)
+        db = build_database()
+        populate_database(db, dataset)
+        assert db.row_count("author") == 10
+        assert db.row_count("publication") == 12
+        assert db.row_count("publication_author") == len(dataset.authorships)
+
+    def test_build_populated_database(self):
+        db = build_populated_database(WorkloadConfig(authors=5, publications=5))
+        assert db.row_count("author") == 5
+
+    def test_triple_count_matches_dump(self):
+        config = WorkloadConfig(authors=12, publications=9, seed=4)
+        dataset = generate_dataset(config)
+        db = build_database()
+        populate_database(db, dataset)
+        mediator = OntoAccess(db, build_mapping(db), validate=False)
+        assert len(mediator.dump()) == dataset.triple_count()
+
+
+class TestMixedWorkload:
+    def test_operations_executable(self):
+        config = WorkloadConfig(authors=10, publications=10, seed=2)
+        dataset = generate_dataset(config)
+        db = build_database()
+        populate_database(db, dataset)
+        mediator = OntoAccess(db, build_mapping(db), validate=False)
+        for op in mixed_workload(dataset, 25, seed=3):
+            mediator.update(op)  # must not raise
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_yields_valid_stream_property(self, seed):
+        config = WorkloadConfig(authors=5, publications=5, seed=1)
+        dataset = generate_dataset(config)
+        db = build_database()
+        populate_database(db, dataset)
+        mediator = OntoAccess(db, build_mapping(db), validate=False)
+        for op in mixed_workload(dataset, 10, seed=seed):
+            mediator.update(op)
