@@ -66,6 +66,9 @@ class TranslatedSelect:
     post_filters: Tuple[alg.Expr, ...]
     mapping: DatabaseMapping
     db: Database
+    #: per-variable (index, decoder) pairs, built once on first execute so
+    #: row decoding does no catalog lookups in the per-row loop
+    _decoders: Optional[List[Tuple[Variable, int, Any]]] = None
 
     def sql(self) -> str:
         from ..sql.render import render
@@ -75,33 +78,45 @@ class TranslatedSelect:
     def execute(self) -> List[Solution]:
         """Run the SQL and decode rows into SPARQL solutions."""
         result = self.db.execute(self.select)
+        decoders = self._site_decoders()
+        post_filters = self.post_filters
         solutions: List[Solution] = []
         for row in result.rows:
-            solution = self._decode(row)
-            if solution is None:
-                continue
-            if all(filter_accepts(f, solution) for f in self.post_filters):
+            solution: Solution = {}
+            for var, index, decode in decoders:
+                value = row[index]
+                if value is None:
+                    continue  # OPTIONAL left the variable unbound
+                solution[var] = decode(value)
+            if all(filter_accepts(f, solution) for f in post_filters):
                 solutions.append(solution)
         return solutions
 
-    def _decode(self, row: Tuple[Any, ...]) -> Optional[Solution]:
-        solution: Solution = {}
-        for var, site in self.sites.items():
-            value = row[site.select_index]
-            if value is None:
-                continue  # OPTIONAL left the variable unbound
-            if site.kind == "data":
-                if site.value_pattern is not None:
-                    solution[var] = site.value_pattern.format(
-                        {site.value_pattern.attributes[0]: value}
-                    )
-                    continue
-                column = self.db.table(site.table.table_name).column(site.column)
-                solution[var] = literal_for_column(column.sql_type, value)
-            else:  # 'object' and 'subject' both mint instance URIs
-                pattern = site.table.uri_pattern
-                solution[var] = pattern.format({pattern.attributes[0]: value})
-        return solution
+    def _site_decoders(self) -> List[Tuple[Variable, int, Any]]:
+        if self._decoders is None:
+            decoders: List[Tuple[Variable, int, Any]] = []
+            for var, site in self.sites.items():
+                decoders.append(
+                    (var, site.select_index, self._decoder_for(site))
+                )
+            self._decoders = decoders
+        return self._decoders
+
+    def _decoder_for(self, site: _BindingSite):
+        if site.kind == "data":
+            if site.value_pattern is not None:
+                pattern = site.value_pattern
+                attribute = pattern.attributes[0]
+                return lambda value: pattern.format({attribute: value})
+            sql_type = self.db.table(site.table.table_name).column(
+                site.column
+            ).sql_type
+            return lambda value: literal_for_column(sql_type, value)
+        # 'object' and 'subject' both mint instance URIs
+        pattern = site.table.uri_pattern
+        attribute = pattern.attributes[0]
+        return lambda value: pattern.format({attribute: value})
+
 
 
 def translate_pattern(

@@ -10,6 +10,7 @@ Public API::
 from .catalog import Column, ForeignKey, Schema, Table
 from .engine import Database
 from .executor import Result
+from .planner import Planner
 from .introspect import ColumnInfo, TableInfo, reflect, reflect_table
 from .transactions import DEFERRED, IMMEDIATE, Transaction
 from .types import (
@@ -42,6 +43,7 @@ __all__ = [
     "IMMEDIATE",
     "INTEGER",
     "IntegerType",
+    "Planner",
     "Result",
     "SQLType",
     "Schema",

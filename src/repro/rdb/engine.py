@@ -24,6 +24,7 @@ from ..sql import ast
 from ..sql.parser import parse_statements
 from .catalog import Column, ForeignKey, Schema, Table
 from .executor import Executor, Result
+from .planner import Planner
 from .storage import TableData
 from .transactions import DEFERRED, IMMEDIATE, Transaction
 from .types import type_from_name
@@ -40,7 +41,9 @@ class Database:
         self.constraint_mode = constraint_mode
         self.schema = Schema()
         self.data: Dict[str, TableData] = {}
-        self.executor = Executor(self.schema, self.data)
+        #: Statement planner with an LRU plan cache; DDL invalidates it.
+        self.planner = Planner(self.schema, self.data)
+        self.executor = Executor(self.schema, self.data, self.planner)
         self._txn: Optional[Transaction] = None
         #: Count of statements executed (used by benchmarks).
         self.statements_executed = 0
@@ -127,6 +130,25 @@ class Database:
         """Execute a SELECT and return its result."""
         result = self.execute(statement, parameters)
         return result
+
+    def explain(self, statement: Union[str, ast.Statement]) -> List[str]:
+        """The access-path plan for a SELECT/UPDATE/DELETE, one line per
+        pipeline stage (e.g. ``author: point lookup via primary key (id)``).
+        """
+        if isinstance(statement, str):
+            parsed = parse_statements(statement)
+            if len(parsed) != 1:
+                raise DatabaseError("EXPLAIN takes exactly one statement")
+            statement = parsed[0]
+        if isinstance(statement, ast.Select):
+            return self.planner.plan_select(statement).describe()
+        if isinstance(statement, ast.Update):
+            return self.planner.plan_update(statement).describe()
+        if isinstance(statement, ast.Delete):
+            return self.planner.plan_delete(statement).describe()
+        raise DatabaseError(
+            f"cannot explain {type(statement).__name__}"
+        )
 
     def _execute_one(
         self, stmt: ast.Statement, parameters: Sequence[Any] = ()
@@ -263,6 +285,7 @@ class Database:
             self.schema.drop(stmt.name)
             del self.data[stmt.name]
             raise
+        self.planner.invalidate()  # cached plans may predate the new table
         return Result(columns=[], rows=[])
 
     def _drop_table(self, stmt: ast.DropTable) -> Result:
@@ -272,6 +295,7 @@ class Database:
             raise CatalogError(f"no such table: {stmt.name!r}")
         self.schema.drop(stmt.name)
         del self.data[stmt.name]
+        self.planner.invalidate()  # cached plans reference the dropped table
         return Result(columns=[], rows=[])
 
     # ------------------------------------------------------------------

@@ -1,11 +1,12 @@
 """Statement execution: SELECT pipeline and DML with constraint enforcement.
 
 The executor operates on the engine's catalog (:mod:`repro.rdb.catalog`)
-and storage (:mod:`repro.rdb.storage`).  It implements:
+and storage (:mod:`repro.rdb.storage`).  Query planning — access-path
+selection, predicate pushdown, join strategy, and per-statement expression
+compilation — lives in :mod:`repro.rdb.planner`; the executor drives the
+compiled plans and implements everything stateful around them:
 
-* the full SELECT pipeline — FROM + hash/nested-loop joins (INNER, LEFT,
-  CROSS), WHERE, GROUP BY/aggregates, HAVING, projection, DISTINCT,
-  ORDER BY, LIMIT/OFFSET;
+* SELECT: runs the planned pipeline and wraps rows in a :class:`Result`;
 * INSERT/UPDATE/DELETE with NOT NULL, PK/UNIQUE, and FK enforcement under
   immediate or deferred checking (see :mod:`repro.rdb.transactions`).
 
@@ -22,14 +23,14 @@ from ..errors import CatalogError, DatabaseError, IntegrityError
 from ..sql import ast
 from ..sql.render import render_expression
 from .catalog import ForeignKey, Schema, Table
-from .expressions import AGGREGATE_FUNCTIONS, RowScope, evaluate, evaluate_constant, is_true
+from .expressions import RowScope, evaluate
+from .planner import Planner
 from .storage import TableData
 from .transactions import DEFERRED, Transaction
 
 __all__ = ["Result", "Executor"]
 
 Row = Dict[str, Any]
-Scope = Dict[str, Row]
 
 
 @dataclass
@@ -58,315 +59,26 @@ class Result:
 
 
 class Executor:
-    """Stateless statement interpreter over schema + storage."""
+    """Statement interpreter over schema + storage, driven by compiled plans."""
 
-    def __init__(self, schema: Schema, data: Dict[str, TableData]) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        data: Dict[str, TableData],
+        planner: Optional[Planner] = None,
+    ) -> None:
         self.schema = schema
         self.data = data
+        self.planner = planner if planner is not None else Planner(schema, data)
 
     # ==================================================================
     # SELECT
     # ==================================================================
 
     def select(self, stmt: ast.Select, parameters: Sequence[Any] = ()) -> Result:
-        scopes = self._from_clause(stmt, parameters)
-        if stmt.where is not None:
-            scopes = [
-                s
-                for s in scopes
-                if is_true(evaluate(stmt.where, RowScope(s, parameters)))
-            ]
-
-        if stmt.group_by or self._has_aggregate(stmt):
-            rows, columns = self._grouped_projection(stmt, scopes, parameters)
-        else:
-            rows, columns = self._plain_projection(stmt, scopes, parameters)
-            if stmt.order_by:
-                rows = self._order(stmt.order_by, scopes, rows, columns, parameters)
-
-        if stmt.distinct:
-            seen: Set[Tuple[Any, ...]] = set()
-            unique_rows = []
-            for row in rows:
-                if row not in seen:
-                    seen.add(row)
-                    unique_rows.append(row)
-            rows = unique_rows
-
-        if stmt.offset is not None:
-            rows = rows[stmt.offset:]
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
+        plan = self.planner.plan_select(stmt)
+        columns, rows = plan.execute(self.data, parameters)
         return Result(columns=columns, rows=rows, rowcount=len(rows))
-
-    # -- FROM / joins ---------------------------------------------------
-
-    def _from_clause(self, stmt: ast.Select, parameters: Sequence[Any]) -> List[Scope]:
-        if stmt.table is None:
-            return [{}]  # SELECT without FROM: a single empty scope
-        base = self._table_scopes(stmt.table)
-        for join in stmt.joins:
-            base = self._apply_join(base, join, parameters)
-        return base
-
-    def _table_scopes(self, ref: ast.TableRef) -> List[Scope]:
-        table_data = self._table_data(ref.name)
-        binding = ref.binding()
-        return [{binding: dict(row)} for _, row in table_data.scan()]
-
-    def _apply_join(
-        self, scopes: List[Scope], join: ast.Join, parameters: Sequence[Any]
-    ) -> List[Scope]:
-        right_data = self._table_data(join.table.name)
-        binding = join.table.binding()
-        right_rows = [dict(row) for _, row in right_data.scan()]
-
-        if join.kind == "CROSS":
-            return [
-                {**scope, binding: row} for scope in scopes for row in right_rows
-            ]
-
-        # Try a hash join when the condition is a conjunction of equalities
-        # between the new table and prior bindings.
-        equi = _extract_equi_keys(join.condition, binding) if join.condition else None
-        result: List[Scope] = []
-        if equi is not None:
-            left_exprs, right_cols = equi
-            table: Dict[Tuple[Any, ...], List[Row]] = {}
-            for row in right_rows:
-                key = tuple(row.get(c) for c in right_cols)
-                if None not in key:
-                    table.setdefault(key, []).append(row)
-            for scope in scopes:
-                scope_eval = RowScope(scope, parameters)
-                key = tuple(evaluate(e, scope_eval) for e in left_exprs)
-                matches = table.get(key, []) if None not in key else []
-                if matches:
-                    for row in matches:
-                        result.append({**scope, binding: row})
-                elif join.kind == "LEFT":
-                    result.append({**scope, binding: _null_row(right_data.table)})
-            return result
-
-        # General nested-loop join.
-        for scope in scopes:
-            matched = False
-            for row in right_rows:
-                candidate = {**scope, binding: row}
-                if is_true(
-                    evaluate(join.condition, RowScope(candidate, parameters))
-                ):
-                    result.append(candidate)
-                    matched = True
-            if not matched and join.kind == "LEFT":
-                result.append({**scope, binding: _null_row(right_data.table)})
-        return result
-
-    # -- projection -----------------------------------------------------
-
-    def _expand_items(
-        self, stmt: ast.Select, sample_scope: Optional[Scope]
-    ) -> List[Tuple[ast.Expression, str]]:
-        """Resolve SELECT items (including ``*``) to (expr, column-name)."""
-        expanded: List[Tuple[ast.Expression, str]] = []
-        for item in stmt.items:
-            expr = item.expression
-            if isinstance(expr, ast.Star):
-                for binding, columns in self._star_bindings(stmt, expr.table):
-                    for column in columns:
-                        expanded.append(
-                            (ast.ColumnRef(column, table=binding), column)
-                        )
-                continue
-            name = item.alias or _default_column_name(expr)
-            expanded.append((expr, name))
-        return expanded
-
-    def _star_bindings(
-        self, stmt: ast.Select, only: Optional[str]
-    ) -> List[Tuple[str, List[str]]]:
-        bindings: List[Tuple[str, List[str]]] = []
-        refs = []
-        if stmt.table is not None:
-            refs.append(stmt.table)
-        refs.extend(j.table for j in stmt.joins)
-        for ref in refs:
-            binding = ref.binding()
-            if only is not None and binding != only:
-                continue
-            bindings.append((binding, self.schema.table(ref.name).column_names()))
-        if only is not None and not bindings:
-            raise DatabaseError(f"unknown table binding {only!r} in select list")
-        return bindings
-
-    def _plain_projection(
-        self,
-        stmt: ast.Select,
-        scopes: List[Scope],
-        parameters: Sequence[Any],
-    ) -> Tuple[List[Tuple[Any, ...]], List[str]]:
-        items = self._expand_items(stmt, scopes[0] if scopes else None)
-        columns = [name for _, name in items]
-        rows = [
-            tuple(
-                evaluate(expr, RowScope(scope, parameters)) for expr, _ in items
-            )
-            for scope in scopes
-        ]
-        return rows, columns
-
-    def _order(
-        self,
-        order_by: Tuple[ast.OrderItem, ...],
-        scopes: List[Scope],
-        rows: List[Tuple[Any, ...]],
-        columns: List[str],
-        parameters: Sequence[Any],
-    ) -> List[Tuple[Any, ...]]:
-        """Sort rows by ORDER BY expressions evaluated on the source scopes.
-
-        Supports both scope columns and output aliases.
-        """
-        alias_positions = {name: i for i, name in enumerate(columns)}
-
-        def sort_value(index: int, item: ast.OrderItem) -> Any:
-            expr = item.expression
-            if (
-                isinstance(expr, ast.ColumnRef)
-                and expr.table is None
-                and expr.name in alias_positions
-            ):
-                return rows[index][alias_positions[expr.name]]
-            return evaluate(expr, RowScope(scopes[index], parameters))
-
-        indexes = list(range(len(rows)))
-        for item in reversed(order_by):  # stable multi-key sort
-            indexes.sort(
-                key=lambda i: _null_safe_key(sort_value(i, item)),
-                reverse=item.descending,
-            )
-        return [rows[i] for i in indexes]
-
-    # -- aggregation ------------------------------------------------------
-
-    def _has_aggregate(self, stmt: ast.Select) -> bool:
-        exprs: List[ast.Expression] = [i.expression for i in stmt.items]
-        if stmt.having is not None:
-            exprs.append(stmt.having)
-        return any(_contains_aggregate(e) for e in exprs)
-
-    def _grouped_projection(
-        self,
-        stmt: ast.Select,
-        scopes: List[Scope],
-        parameters: Sequence[Any],
-    ) -> Tuple[List[Tuple[Any, ...]], List[str]]:
-        groups: Dict[Tuple[Any, ...], List[Scope]] = {}
-        if stmt.group_by:
-            for scope in scopes:
-                key = tuple(
-                    _hashable(evaluate(e, RowScope(scope, parameters)))
-                    for e in stmt.group_by
-                )
-                groups.setdefault(key, []).append(scope)
-        else:
-            groups[()] = scopes  # implicit single group (may be empty)
-
-        items: List[Tuple[ast.Expression, str]] = []
-        for item in stmt.items:
-            if isinstance(item.expression, ast.Star):
-                raise DatabaseError("'*' cannot be mixed with aggregation")
-            items.append(
-                (item.expression, item.alias or _default_column_name(item.expression))
-            )
-        columns = [name for _, name in items]
-
-        rows: List[Tuple[Any, ...]] = []
-        ordered_keys = list(groups)
-        for key in ordered_keys:
-            members = groups[key]
-            if stmt.having is not None:
-                value = self._eval_aggregate_expr(
-                    stmt.having, members, parameters
-                )
-                if not is_true(value):
-                    continue
-            rows.append(
-                tuple(
-                    self._eval_aggregate_expr(expr, members, parameters)
-                    for expr, _ in items
-                )
-            )
-        if stmt.order_by:
-            # For grouped queries, order by output columns only.
-            positions = {name: i for i, name in enumerate(columns)}
-            for item in reversed(stmt.order_by):
-                expr = item.expression
-                if isinstance(expr, ast.ColumnRef) and expr.name in positions:
-                    pos = positions[expr.name]
-                    rows.sort(
-                        key=lambda r: _null_safe_key(r[pos]),
-                        reverse=item.descending,
-                    )
-        return rows, columns
-
-    def _eval_aggregate_expr(
-        self,
-        expr: ast.Expression,
-        members: List[Scope],
-        parameters: Sequence[Any],
-    ) -> Any:
-        """Evaluate an expression that may mix aggregates and group keys."""
-        if isinstance(expr, ast.FunctionCall) and expr.name in AGGREGATE_FUNCTIONS:
-            return self._aggregate(expr, members, parameters)
-        if isinstance(expr, ast.BinaryOp):
-            left = self._eval_aggregate_expr(expr.left, members, parameters)
-            right = self._eval_aggregate_expr(expr.right, members, parameters)
-            return evaluate(
-                ast.BinaryOp(expr.op, _as_literal(left), _as_literal(right)),
-                RowScope({}),
-            )
-        if isinstance(expr, ast.UnaryOp):
-            inner = self._eval_aggregate_expr(expr.operand, members, parameters)
-            return evaluate(
-                ast.UnaryOp(expr.op, _as_literal(inner)), RowScope({})
-            )
-        # Non-aggregate expression: evaluate on the first member (must be a
-        # group key for deterministic results, as in classic SQL).
-        if not members:
-            return None
-        return evaluate(expr, RowScope(members[0], parameters))
-
-    def _aggregate(
-        self,
-        call: ast.FunctionCall,
-        members: List[Scope],
-        parameters: Sequence[Any],
-    ) -> Any:
-        if call.name == "COUNT" and (
-            not call.args or isinstance(call.args[0], ast.Star)
-        ):
-            return len(members)
-        if len(call.args) != 1:
-            raise DatabaseError(f"{call.name} takes exactly one argument")
-        values = [
-            evaluate(call.args[0], RowScope(scope, parameters))
-            for scope in members
-        ]
-        values = [v for v in values if v is not None]
-        if call.distinct:
-            values = list(dict.fromkeys(values))
-        if call.name == "COUNT":
-            return len(values)
-        if not values:
-            return None
-        if call.name == "SUM":
-            return sum(values)
-        if call.name == "AVG":
-            return sum(values) / len(values)
-        if call.name == "MIN":
-            return min(values)
-        return max(values)
 
     # ==================================================================
     # DML
@@ -447,15 +159,16 @@ class Executor:
     ) -> Result:
         table = self.schema.table(stmt.table)
         table_data = self._table_data(stmt.table)
-        targets = self._matching_rowids(stmt.table, stmt.where, parameters)
+        plan = self.planner.plan_update(stmt)
+        targets = plan.matching_rowids(self.data, parameters)
         count = 0
         for rowid in targets:
             current = table_data.rows[rowid]
-            scope = RowScope({stmt.table: current}, parameters)
+            scope = (current,)
             changes: Row = {}
-            for assignment in stmt.assignments:
-                column = table.column(assignment.column)
-                value = evaluate(assignment.value, scope)
+            for name, value_fn in plan.assignment_fns:
+                column = table.column(name)
+                value = value_fn(scope, parameters)
                 changes[column.name] = (
                     None if value is None else column.sql_type.coerce(value, column.name)
                 )
@@ -491,7 +204,8 @@ class Executor:
     ) -> Result:
         table = self.schema.table(stmt.table)
         table_data = self._table_data(stmt.table)
-        targets = self._matching_rowids(stmt.table, stmt.where, parameters)
+        plan = self.planner.plan_delete(stmt)
+        targets = plan.matching_rowids(self.data, parameters)
         count = 0
         for rowid in targets:
             row = table_data.rows[rowid]
@@ -502,21 +216,6 @@ class Executor:
             )
             count += 1
         return Result(columns=[], rows=[], rowcount=count)
-
-    def _matching_rowids(
-        self,
-        table_name: str,
-        where: Optional[ast.Expression],
-        parameters: Sequence[Any],
-    ) -> List[int]:
-        table_data = self._table_data(table_name)
-        matches = []
-        for rowid, row in table_data.scan():
-            if where is None or is_true(
-                evaluate(where, RowScope({table_name: row}, parameters))
-            ):
-                matches.append(rowid)
-        return matches
 
     # ==================================================================
     # constraint checks
@@ -540,8 +239,6 @@ class Executor:
             scope = RowScope({table.name: row})
             result = evaluate(expression, scope)
             if result is False:
-                from ..sql.render import render_expression
-
                 raise IntegrityError(
                     f"CHECK constraint violated on {table.name!r}: "
                     f"{render_expression(expression)}",
@@ -665,101 +362,3 @@ class Executor:
             return self.data[name]
         except KeyError:
             raise CatalogError(f"no such table: {name!r}") from None
-
-
-# ---------------------------------------------------------------------------
-# helpers
-# ---------------------------------------------------------------------------
-
-def _contains_aggregate(expr: ast.Expression) -> bool:
-    if isinstance(expr, ast.FunctionCall):
-        if expr.name in AGGREGATE_FUNCTIONS:
-            return True
-        return any(_contains_aggregate(a) for a in expr.args)
-    if isinstance(expr, ast.BinaryOp):
-        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
-    if isinstance(expr, ast.UnaryOp):
-        return _contains_aggregate(expr.operand)
-    if isinstance(expr, (ast.IsNull, ast.Like, ast.Between, ast.InList)):
-        return _contains_aggregate(expr.operand)
-    return False
-
-
-def _null_row(table: Table) -> Row:
-    return {name: None for name in table.column_names()}
-
-
-def _default_column_name(expr: ast.Expression) -> str:
-    if isinstance(expr, ast.ColumnRef):
-        return expr.name
-    return render_expression(expr)
-
-
-def _null_safe_key(value: Any) -> Tuple[int, Any]:
-    """NULLs sort before everything; mixed types sort by type name."""
-    if value is None:
-        return (0, 0, "")
-    if isinstance(value, bool):
-        return (1, 0, int(value))
-    if isinstance(value, (int, float)):
-        return (1, 0, value)
-    return (1, 1, str(value))
-
-
-def _hashable(value: Any) -> Any:
-    return value if not isinstance(value, dict) else tuple(sorted(value.items()))
-
-
-def _as_literal(value: Any) -> ast.Expression:
-    return ast.Null() if value is None else ast.Literal(value)
-
-
-def _extract_equi_keys(
-    condition: ast.Expression, new_binding: str
-) -> Optional[Tuple[List[ast.Expression], List[str]]]:
-    """Decompose an AND-of-equalities join condition into hash-join keys.
-
-    Returns (expressions over prior bindings, column names on the new
-    table), or None when the condition isn't a pure equi-join on the new
-    table's qualified columns.
-    """
-    left_exprs: List[ast.Expression] = []
-    right_cols: List[str] = []
-
-    def walk(expr: ast.Expression) -> bool:
-        if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
-            return walk(expr.left) and walk(expr.right)
-        if isinstance(expr, ast.BinaryOp) and expr.op == "=":
-            sides = [expr.left, expr.right]
-            for i, side in enumerate(sides):
-                other = sides[1 - i]
-                if (
-                    isinstance(side, ast.ColumnRef)
-                    and side.table == new_binding
-                    and not _references_binding(other, new_binding)
-                ):
-                    right_cols.append(side.name)
-                    left_exprs.append(other)
-                    return True
-            return False
-        return False
-
-    if walk(condition):
-        return left_exprs, right_cols
-    return None
-
-
-def _references_binding(expr: ast.Expression, binding: str) -> bool:
-    if isinstance(expr, ast.ColumnRef):
-        return expr.table == binding or expr.table is None
-    if isinstance(expr, ast.BinaryOp):
-        return _references_binding(expr.left, binding) or _references_binding(
-            expr.right, binding
-        )
-    if isinstance(expr, ast.UnaryOp):
-        return _references_binding(expr.operand, binding)
-    if isinstance(expr, (ast.IsNull, ast.Like, ast.Between, ast.InList)):
-        return _references_binding(expr.operand, binding)
-    if isinstance(expr, ast.FunctionCall):
-        return any(_references_binding(a, binding) for a in expr.args)
-    return False

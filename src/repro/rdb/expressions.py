@@ -1,24 +1,52 @@
 """WHERE/projection expression evaluation with SQL three-valued logic.
 
-``evaluate`` interprets a :mod:`repro.sql.ast` expression against a *row
-scope*: a mapping from table binding names to row dicts (plus an optional
-default scope for unqualified column names).  NULL propagates through
-comparisons and arithmetic; AND/OR follow Kleene logic; WHERE accepts a row
-only when the expression is exactly True.
+Two evaluation strategies share one set of value-level semantics:
+
+* ``evaluate`` interprets a :mod:`repro.sql.ast` expression against a *row
+  scope* (:class:`RowScope`): a mapping from table binding names to row
+  dicts.  It walks the tree per call and is used for one-off evaluation
+  (CHECK constraints, constant folding, defaults).
+* ``compile_expression`` compiles an expression **once per statement**
+  into a Python closure over a *tuple-based scope*: column references are
+  resolved to ``(slot, name)`` pairs against a :class:`ScopeLayout` at
+  compile time, so per-row evaluation is plain tuple indexing and dict
+  lookups with no tree walking and no name resolution.  The planner
+  (:mod:`repro.rdb.planner`) compiles every statement expression through
+  this path.
+
+NULL propagates through comparisons and arithmetic; AND/OR follow Kleene
+logic; WHERE accepts a row only when the expression is exactly True.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence
+import re
+from functools import lru_cache
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import DatabaseError
 from ..sql import ast
 
-__all__ = ["RowScope", "evaluate", "is_true", "evaluate_constant"]
+__all__ = [
+    "RowScope",
+    "evaluate",
+    "is_true",
+    "evaluate_constant",
+    "ScopeLayout",
+    "compile_expression",
+    "combine_binary",
+    "combine_unary",
+    "AGGREGATE_FUNCTIONS",
+]
+
+#: Runtime scope for compiled expressions: one row dict per table binding,
+#: positionally indexed by the compile-time :class:`ScopeLayout`.
+Rows = Tuple[Mapping[str, Any], ...]
+Compiled = Callable[[Rows, Sequence[Any]], Any]
 
 
 class RowScope:
-    """Resolves column references during evaluation.
+    """Resolves column references during interpreted evaluation.
 
     ``bindings`` maps binding names (table name or alias) to row dicts.
     Unqualified names are resolved by searching all bindings; ambiguity is
@@ -71,7 +99,8 @@ def evaluate(expr: ast.Expression, scope: RowScope) -> Any:
     if isinstance(expr, ast.BinaryOp):
         return _binary(expr, scope)
     if isinstance(expr, ast.UnaryOp):
-        return _unary(expr, scope)
+        value = evaluate(expr.operand, scope)
+        return combine_unary(expr.op, value)
     if isinstance(expr, ast.IsNull):
         value = evaluate(expr.operand, scope)
         result = value is None
@@ -79,9 +108,14 @@ def evaluate(expr: ast.Expression, scope: RowScope) -> Any:
     if isinstance(expr, ast.InList):
         return _in_list(expr, scope)
     if isinstance(expr, ast.Between):
-        return _between(expr, scope)
+        value = evaluate(expr.operand, scope)
+        low = evaluate(expr.low, scope)
+        high = evaluate(expr.high, scope)
+        return _between_values(value, low, high, expr.negated)
     if isinstance(expr, ast.Like):
-        return _like(expr, scope)
+        value = evaluate(expr.operand, scope)
+        pattern = evaluate(expr.pattern, scope)
+        return _like_values(value, pattern, expr.negated)
     if isinstance(expr, ast.FunctionCall):
         return _scalar_function(expr, scope)
     if isinstance(expr, ast.Star):
@@ -101,13 +135,126 @@ def is_true(value: Any) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# value-level operator semantics (shared by both evaluation strategies)
+# ---------------------------------------------------------------------------
+
+def _op_eq(left: Any, right: Any) -> Any:
+    return _compare_eq(left, right)
+
+
+def _op_ne(left: Any, right: Any) -> Any:
+    return not _compare_eq(left, right)
+
+
+def _op_lt(left: Any, right: Any) -> Any:
+    left, right = _comparable(left, right)
+    return left < right
+
+
+def _op_le(left: Any, right: Any) -> Any:
+    left, right = _comparable(left, right)
+    return left <= right
+
+
+def _op_gt(left: Any, right: Any) -> Any:
+    left, right = _comparable(left, right)
+    return left > right
+
+
+def _op_ge(left: Any, right: Any) -> Any:
+    left, right = _comparable(left, right)
+    return left >= right
+
+
+def _op_concat(left: Any, right: Any) -> Any:
+    return f"{_stringify(left)}{_stringify(right)}"
+
+
+def _op_add(left: Any, right: Any) -> Any:
+    return _numeric(left) + _numeric(right)
+
+
+def _op_sub(left: Any, right: Any) -> Any:
+    return _numeric(left) - _numeric(right)
+
+
+def _op_mul(left: Any, right: Any) -> Any:
+    return _numeric(left) * _numeric(right)
+
+
+def _op_div(left: Any, right: Any) -> Any:
+    left_num = _numeric(left)
+    right_num = _numeric(right)
+    if right_num == 0:
+        return None  # SQL engines commonly yield NULL/error; NULL is safer
+    if isinstance(left_num, int) and isinstance(right_num, int):
+        return left_num // right_num
+    return left_num / right_num
+
+
+def _op_mod(left: Any, right: Any) -> Any:
+    left_num = _numeric(left)
+    right_num = _numeric(right)
+    if right_num == 0:
+        return None
+    return left_num % right_num
+
+
+_BINARY_VALUE_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "=": _op_eq,
+    "<>": _op_ne,
+    "<": _op_lt,
+    "<=": _op_le,
+    ">": _op_gt,
+    ">=": _op_ge,
+    "||": _op_concat,
+    "+": _op_add,
+    "-": _op_sub,
+    "*": _op_mul,
+    "/": _op_div,
+    "%": _op_mod,
+}
+
+
+def combine_binary(op: str, left: Any, right: Any) -> Any:
+    """Apply a binary operator to two already-evaluated values."""
+    if op == "AND":
+        if left is False or right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        if left is True or right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    if left is None or right is None:
+        return None
+    handler = _BINARY_VALUE_OPS.get(op)
+    if handler is None:
+        raise DatabaseError(f"unknown operator {op!r}")
+    return handler(left, right)
+
+
+def combine_unary(op: str, value: Any) -> Any:
+    """Apply a unary operator to an already-evaluated value."""
+    if op == "NOT":
+        if value is None:
+            return None
+        return not bool(value)
+    if value is None:
+        return None
+    return -_numeric(value)
+
 
 def _binary(expr: ast.BinaryOp, scope: RowScope) -> Any:
     op = expr.op
     if op == "AND":
         left = evaluate(expr.left, scope)
         if left is False:
-            return False
+            return False  # short-circuit: right side never evaluated
         right = evaluate(expr.right, scope)
         if right is False:
             return False
@@ -129,99 +276,60 @@ def _binary(expr: ast.BinaryOp, scope: RowScope) -> Any:
     right = evaluate(expr.right, scope)
     if left is None or right is None:
         return None
-    if op == "=":
-        return _compare_eq(left, right)
-    if op == "<>":
-        return not _compare_eq(left, right)
-    if op in ("<", "<=", ">", ">="):
-        left, right = _comparable(left, right)
-        if op == "<":
-            return left < right
-        if op == "<=":
-            return left <= right
-        if op == ">":
-            return left > right
-        return left >= right
-    if op == "||":
-        return f"{_stringify(left)}{_stringify(right)}"
-    if op in ("+", "-", "*", "/", "%"):
-        left_num = _numeric(left)
-        right_num = _numeric(right)
-        if op == "+":
-            return left_num + right_num
-        if op == "-":
-            return left_num - right_num
-        if op == "*":
-            return left_num * right_num
-        if op == "/":
-            if right_num == 0:
-                return None  # SQL engines commonly yield NULL/error; NULL is safer
-            result = left_num / right_num
-            if isinstance(left_num, int) and isinstance(right_num, int):
-                return left_num // right_num
-            return result
-        if right_num == 0:
-            return None
-        return left_num % right_num
-    raise DatabaseError(f"unknown operator {op!r}")
-
-
-def _unary(expr: ast.UnaryOp, scope: RowScope) -> Any:
-    value = evaluate(expr.operand, scope)
-    if expr.op == "NOT":
-        if value is None:
-            return None
-        return not bool(value)
-    if value is None:
-        return None
-    return -_numeric(value)
+    handler = _BINARY_VALUE_OPS.get(op)
+    if handler is None:
+        raise DatabaseError(f"unknown operator {op!r}")
+    return handler(left, right)
 
 
 def _in_list(expr: ast.InList, scope: RowScope) -> Any:
     value = evaluate(expr.operand, scope)
     if value is None:
         return None
+    return _in_values(
+        value, [evaluate(item, scope) for item in expr.items], expr.negated
+    )
+
+
+def _in_values(value: Any, candidates: Iterable[Any], negated: bool) -> Any:
     saw_null = False
-    for item in expr.items:
-        candidate = evaluate(item, scope)
+    for candidate in candidates:
         if candidate is None:
             saw_null = True
         elif _compare_eq(value, candidate):
-            return False if expr.negated else True
+            return False if negated else True
     if saw_null:
         return None
-    return True if expr.negated else False
+    return True if negated else False
 
 
-def _between(expr: ast.Between, scope: RowScope) -> Any:
-    value = evaluate(expr.operand, scope)
-    low = evaluate(expr.low, scope)
-    high = evaluate(expr.high, scope)
+def _between_values(value: Any, low: Any, high: Any, negated: bool) -> Any:
     if value is None or low is None or high is None:
         return None
     lo_value, lo_bound = _comparable(value, low)
     hi_value, hi_bound = _comparable(value, high)
     result = lo_bound <= lo_value and hi_value <= hi_bound
-    return (not result) if expr.negated else result
+    return (not result) if negated else result
 
 
-def _like(expr: ast.Like, scope: RowScope) -> Any:
-    value = evaluate(expr.operand, scope)
-    pattern = evaluate(expr.pattern, scope)
-    if value is None or pattern is None:
-        return None
-    import re
-
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
     regex_parts = []
-    for ch in str(pattern):
+    for ch in pattern:
         if ch == "%":
             regex_parts.append(".*")
         elif ch == "_":
             regex_parts.append(".")
         else:
             regex_parts.append(re.escape(ch))
-    matched = re.fullmatch("".join(regex_parts), str(value), re.DOTALL) is not None
-    return (not matched) if expr.negated else matched
+    return re.compile("".join(regex_parts), re.DOTALL)
+
+
+def _like_values(value: Any, pattern: Any, negated: bool) -> Any:
+    if value is None or pattern is None:
+        return None
+    matched = _like_regex(str(pattern)).fullmatch(str(value)) is not None
+    return (not matched) if negated else matched
 
 
 _SCALAR_FUNCTIONS = {
@@ -255,6 +363,226 @@ def _scalar_function(expr: ast.FunctionCall, scope: RowScope) -> Any:
     if any(a is None for a in args):
         return None
     return handler(args)
+
+
+# ---------------------------------------------------------------------------
+# compiled evaluation
+# ---------------------------------------------------------------------------
+
+class ScopeLayout:
+    """Compile-time shape of the runtime scope tuple.
+
+    Maps binding names (table name or alias) to tuple slots and records
+    each binding's column names, so column references resolve — and
+    unknown/ambiguous names fail — once per statement instead of per row.
+    """
+
+    __slots__ = ("slots", "columns")
+
+    def __init__(self, bindings: Iterable[Tuple[str, Sequence[str]]]) -> None:
+        self.slots: Dict[str, int] = {}
+        self.columns: List[Tuple[str, ...]] = []
+        for name, cols in bindings:
+            if name in self.slots:
+                raise DatabaseError(f"duplicate table binding {name!r}")
+            self.slots[name] = len(self.columns)
+            self.columns.append(tuple(cols))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def resolve(self, ref: ast.ColumnRef) -> Tuple[int, str]:
+        """The (slot, column) a reference denotes; raises like RowScope."""
+        if ref.table is not None:
+            slot = self.slots.get(ref.table)
+            if slot is None:
+                raise DatabaseError(f"unknown table binding {ref.table!r}")
+            if ref.name not in self.columns[slot]:
+                raise DatabaseError(f"unknown column {ref.table}.{ref.name}")
+            return slot, ref.name
+        hits = [i for i, cols in enumerate(self.columns) if ref.name in cols]
+        if not hits:
+            raise DatabaseError(f"unknown column {ref.name!r}")
+        if len(hits) > 1:
+            raise DatabaseError(f"ambiguous column reference {ref.name!r}")
+        return hits[0], ref.name
+
+
+def compile_expression(expr: ast.Expression, layout: ScopeLayout) -> Compiled:
+    """Compile an expression to a closure ``fn(rows, parameters) -> value``.
+
+    ``rows`` is a tuple of row dicts laid out by ``layout``.  Semantics
+    match :func:`evaluate` exactly, but name resolution, operator dispatch,
+    and LIKE-pattern compilation happen here, once, instead of per row.
+    """
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda rows, parameters: value
+    if isinstance(expr, ast.Null):
+        return lambda rows, parameters: None
+    if isinstance(expr, ast.ColumnRef):
+        slot, name = layout.resolve(expr)
+        return lambda rows, parameters: rows[slot][name]
+    if isinstance(expr, ast.Parameter):
+        index = expr.index
+
+        def parameter(rows: Rows, parameters: Sequence[Any]) -> Any:
+            try:
+                return parameters[index]
+            except IndexError:
+                raise DatabaseError(
+                    f"missing bind parameter at index {index}"
+                ) from None
+
+        return parameter
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, layout)
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expression(expr.operand, layout)
+        if expr.op == "NOT":
+            def negate(rows: Rows, parameters: Sequence[Any]) -> Any:
+                value = operand(rows, parameters)
+                if value is None:
+                    return None
+                return not bool(value)
+
+            return negate
+
+        def minus(rows: Rows, parameters: Sequence[Any]) -> Any:
+            value = operand(rows, parameters)
+            if value is None:
+                return None
+            return -_numeric(value)
+
+        return minus
+    if isinstance(expr, ast.IsNull):
+        operand = compile_expression(expr.operand, layout)
+        if expr.negated:
+            return lambda rows, parameters: operand(rows, parameters) is not None
+        return lambda rows, parameters: operand(rows, parameters) is None
+    if isinstance(expr, ast.InList):
+        operand = compile_expression(expr.operand, layout)
+        items = tuple(compile_expression(i, layout) for i in expr.items)
+        negated = expr.negated
+
+        def in_list(rows: Rows, parameters: Sequence[Any]) -> Any:
+            value = operand(rows, parameters)
+            if value is None:
+                return None
+            return _in_values(
+                value, (item(rows, parameters) for item in items), negated
+            )
+
+        return in_list
+    if isinstance(expr, ast.Between):
+        operand = compile_expression(expr.operand, layout)
+        low = compile_expression(expr.low, layout)
+        high = compile_expression(expr.high, layout)
+        negated = expr.negated
+        return lambda rows, parameters: _between_values(
+            operand(rows, parameters),
+            low(rows, parameters),
+            high(rows, parameters),
+            negated,
+        )
+    if isinstance(expr, ast.Like):
+        operand = compile_expression(expr.operand, layout)
+        negated = expr.negated
+        if isinstance(expr.pattern, ast.Literal):
+            regex = _like_regex(str(expr.pattern.value))
+
+            def like_const(rows: Rows, parameters: Sequence[Any]) -> Any:
+                value = operand(rows, parameters)
+                if value is None:
+                    return None
+                matched = regex.fullmatch(str(value)) is not None
+                return (not matched) if negated else matched
+
+            return like_const
+        pattern = compile_expression(expr.pattern, layout)
+        return lambda rows, parameters: _like_values(
+            operand(rows, parameters), pattern(rows, parameters), negated
+        )
+    if isinstance(expr, ast.FunctionCall):
+        return _compile_function(expr, layout)
+    if isinstance(expr, ast.Star):
+        raise DatabaseError("'*' is only valid in SELECT lists and COUNT(*)")
+    raise DatabaseError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _compile_binary(expr: ast.BinaryOp, layout: ScopeLayout) -> Compiled:
+    op = expr.op
+    left = compile_expression(expr.left, layout)
+    right = compile_expression(expr.right, layout)
+    if op == "AND":
+        def kleene_and(rows: Rows, parameters: Sequence[Any]) -> Any:
+            lhs = left(rows, parameters)
+            if lhs is False:
+                return False  # short-circuit: right side never evaluated
+            rhs = right(rows, parameters)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+
+        return kleene_and
+    if op == "OR":
+        def kleene_or(rows: Rows, parameters: Sequence[Any]) -> Any:
+            lhs = left(rows, parameters)
+            if lhs is True:
+                return True
+            rhs = right(rows, parameters)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return kleene_or
+    handler = _BINARY_VALUE_OPS.get(op)
+    if handler is None:
+        raise DatabaseError(f"unknown operator {op!r}")
+
+    def apply(rows: Rows, parameters: Sequence[Any]) -> Any:
+        lhs = left(rows, parameters)
+        rhs = right(rows, parameters)
+        if lhs is None or rhs is None:
+            return None
+        return handler(lhs, rhs)
+
+    return apply
+
+
+def _compile_function(expr: ast.FunctionCall, layout: ScopeLayout) -> Compiled:
+    name = expr.name
+    if name in AGGREGATE_FUNCTIONS:
+        raise DatabaseError(
+            f"aggregate {name} not allowed here (only in SELECT/HAVING)"
+        )
+    if name == "COALESCE":
+        args = tuple(compile_expression(a, layout) for a in expr.args)
+
+        def coalesce(rows: Rows, parameters: Sequence[Any]) -> Any:
+            for arg in args:
+                value = arg(rows, parameters)
+                if value is not None:
+                    return value
+            return None
+
+        return coalesce
+    handler = _SCALAR_FUNCTIONS.get(name)
+    if handler is None:
+        raise DatabaseError(f"unknown function {name}")
+    args = tuple(compile_expression(a, layout) for a in expr.args)
+
+    def call(rows: Rows, parameters: Sequence[Any]) -> Any:
+        values = [arg(rows, parameters) for arg in args]
+        if any(v is None for v in values):
+            return None
+        return handler(values)
+
+    return call
 
 
 # ---------------------------------------------------------------------------

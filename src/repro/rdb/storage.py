@@ -61,17 +61,28 @@ class _UniqueIndex:
             del self._entries[key]
 
 
+_EMPTY_ROWIDS: frozenset = frozenset()
+
+
 class _SecondaryIndex:
-    """Non-unique index: single-column value -> set of row ids."""
+    """Non-unique index: single-column value -> set of row ids.
+
+    Frozen views of the id sets are cached per value so repeated lookups
+    (FK existence checks, index probes) hand out the same immutable set
+    instead of rebuilding a copy on every call; any mutation for a value
+    drops that value's cached view.
+    """
 
     def __init__(self, column: str) -> None:
         self.column = column
         self._entries: Dict[Any, Set[int]] = {}
+        self._frozen: Dict[Any, frozenset] = {}
 
     def insert(self, row: Row, rowid: int) -> None:
         value = row.get(self.column)
         if value is not None:
             self._entries.setdefault(value, set()).add(rowid)
+            self._frozen.pop(value, None)
 
     def remove(self, row: Row, rowid: int) -> None:
         value = row.get(self.column)
@@ -81,9 +92,21 @@ class _SecondaryIndex:
                 ids.discard(rowid)
                 if not ids:
                     del self._entries[value]
+            self._frozen.pop(value, None)
 
-    def lookup(self, value: Any) -> Set[int]:
-        return self._entries.get(value, set())
+    def lookup(self, value: Any) -> frozenset:
+        """Frozen view of the row ids holding ``value`` (cached)."""
+        view = self._frozen.get(value)
+        if view is None:
+            ids = self._entries.get(value)
+            if not ids:
+                return _EMPTY_ROWIDS
+            view = frozenset(ids)
+            self._frozen[value] = view
+        return view
+
+    def contains(self, value: Any) -> bool:
+        return value in self._entries
 
 
 class TableData:
@@ -187,11 +210,26 @@ class TableData:
     # -- lookups -----------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[int, Row]]:
-        yield from list(self.rows.items())
+        """Yield live (rowid, row) pairs in insertion order, zero-copy.
+
+        The rows are the stored dicts themselves — callers must not mutate
+        them, and callers that mutate the *table* while iterating must use
+        :meth:`snapshot` instead.
+        """
+        return iter(self.rows.items())
+
+    def snapshot(self) -> List[Tuple[int, Row]]:
+        """Materialized (rowid, row) list, safe to hold across mutations.
+
+        Row dicts are still the live ones; only the iteration is detached.
+        """
+        return list(self.rows.items())
 
     def find_by_unique(
         self, columns: Tuple[str, ...], key: Tuple[Any, ...]
     ) -> Optional[int]:
+        """Point lookup: the rowid holding ``key`` in the index on
+        ``columns``, or None (no such index / no such key)."""
         for index in self.unique_indexes:
             if index.columns == columns:
                 return index.lookup(key)
@@ -202,20 +240,35 @@ class TableData:
             return None
         return self.find_by_unique(self.table.primary_key, key)
 
-    def find_by_value(self, column: str, value: Any) -> Set[int]:
+    def unique_index_columns(self) -> List[Tuple[str, ...]]:
+        """Column tuples of the unique indexes, primary key first."""
+        return [index.columns for index in self.unique_indexes]
+
+    def find_by_value(self, column: str, value: Any) -> frozenset:
+        """Row ids whose ``column`` equals ``value``.
+
+        With a secondary index this is a cached frozen view — no per-call
+        set rebuild; without one it falls back to a scan.
+        """
         index = self.secondary_indexes.get(column)
         if index is not None:
-            return set(index.lookup(value))
-        return {
+            return index.lookup(value)
+        return frozenset(
             rowid
             for rowid, row in self.rows.items()
             if row.get(column) == value
-        }
+        )
+
+    def rows_for_value(self, column: str, value: Any) -> Iterator[Tuple[int, Row]]:
+        """Point probe: (rowid, row) pairs for ``column = value`` in
+        insertion (rowid) order."""
+        for rowid in sorted(self.find_by_value(column, value)):
+            yield rowid, self.rows[rowid]
 
     def has_value(self, column: str, value: Any) -> bool:
         index = self.secondary_indexes.get(column)
         if index is not None:
-            return bool(index.lookup(value))
+            return index.contains(value)
         return any(row.get(column) == value for row in self.rows.values())
 
     def __len__(self) -> int:
