@@ -1,0 +1,140 @@
+"""Prepare-once/execute-many vs. parse-per-call (ISSUE 2 acceptance).
+
+The Session API's claim: ``session.prepare(op)`` pays parsing once and
+caches the translated SQL against the database state version, so repeated
+``execute()`` replays statements through the engine's plan cache instead
+of re-running the whole parse → translate pipeline.  The facade
+(``OntoAccess.update``) re-parses and re-translates per call.
+
+Measured on the publication workload:
+
+* ``test_facade_update_per_call``     — 100x ``OntoAccess.update(op)``
+* ``test_prepared_execute``           — ``prepare(op)`` once, 100x ``execute()``
+* ``test_prepared_execute_bindings``  — placeholder template, alternating
+  bindings per execute (amortizes the parse, re-translates on change)
+* ``test_prepared_speedup_floor``     — asserts the ≥5x acceptance floor
+  and prints the measured ratio
+
+Artifacts land in ``BENCH_prepared.json`` via the conftest writer.
+"""
+
+import time
+
+from repro import OntoAccess
+from repro.workloads.generator import (
+    WorkloadConfig,
+    generate_dataset,
+    populate_database,
+)
+from repro.workloads.publication import build_database, build_mapping
+
+from conftest import report
+
+PREFIXES = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+"""
+
+#: The repeated operation: idempotent after the first execution (set
+#: semantics), so both sides measure the steady state of repeat traffic.
+INSERT_TEAM = PREFIXES + """
+INSERT DATA {
+    ex:team9999 foaf:name "Database Technology" ;
+                ont:teamCode "DBTG" .
+}
+"""
+
+MODIFY_TEMPLATE = PREFIXES + """
+MODIFY
+DELETE { ?x foaf:mbox ?m . }
+INSERT { ?x foaf:mbox ?new . }
+WHERE  { ?x foaf:family_name ?who ; foaf:mbox ?m . }
+"""
+
+EXECUTIONS = 100
+
+
+def _mediator(authors: int = 100) -> OntoAccess:
+    db = build_database()
+    populate_database(
+        db,
+        generate_dataset(WorkloadConfig(authors=authors, publications=authors)),
+    )
+    return OntoAccess(db, build_mapping(db), validate=False)
+
+
+def test_facade_update_per_call(benchmark):
+    """Parse + translate every call: the legacy per-request cost."""
+    mediator = _mediator()
+    mediator.update(INSERT_TEAM)  # warm: later calls are state no-ops
+    benchmark(lambda: mediator.update(INSERT_TEAM))
+
+
+def test_prepared_execute(benchmark):
+    """Parse once, translate once per state change, replay afterwards."""
+    session = _mediator().session()
+    prepared = session.prepare(INSERT_TEAM)
+    prepared.execute()  # warm: reach the replay steady state
+    prepared.execute()
+    benchmark(prepared.execute)
+
+
+def test_prepared_execute_bindings(benchmark):
+    """Prepared MODIFY with bindings: the parse is amortized; each
+    execute re-translates because it changes the database."""
+    session = _mediator().session()
+    prepared = session.prepare(MODIFY_TEMPLATE)
+    state = {"flip": False}
+
+    def run():
+        state["flip"] = not state["flip"]
+        prepared.execute(
+            bindings={
+                "who": "Generated7",
+                "new": f"mailto:{'a' if state['flip'] else 'b'}@example.org",
+            }
+        )
+
+    run()
+    benchmark(run)
+
+
+def _best_of(rounds: int, fn) -> float:
+    """Best per-execution time in us over several rounds — immune to a
+    single scheduler pause landing in one measurement (CI runners)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(EXECUTIONS):
+            fn()
+        best = min(best, (time.perf_counter() - start) / EXECUTIONS * 1e6)
+    return best
+
+
+def test_prepared_speedup_floor():
+    """ISSUE 2 acceptance: prepared execution is ≥5x cheaper per call."""
+    facade = _mediator()
+    facade.update(INSERT_TEAM)  # warm: later calls are state no-ops
+    facade_us = _best_of(3, lambda: facade.update(INSERT_TEAM))
+
+    session = _mediator().session()
+    prepared = session.prepare(INSERT_TEAM)
+    prepared.execute()
+    prepared.execute()
+    prepared_us = _best_of(3, prepared.execute)
+
+    ratio = facade_us / prepared_us
+    report(
+        "prepare-once/execute-many vs parse-per-call "
+        f"({EXECUTIONS} executions, publication workload)",
+        [
+            f"facade update():     {facade_us:8.1f} us/op",
+            f"prepared execute():  {prepared_us:8.1f} us/op",
+            f"speedup:             {ratio:8.1f}x (acceptance floor: 5x)",
+        ],
+    )
+    assert ratio >= 5.0, (
+        f"prepared execution is only {ratio:.1f}x faster "
+        f"({prepared_us:.1f} vs {facade_us:.1f} us)"
+    )

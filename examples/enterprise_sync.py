@@ -102,12 +102,14 @@ def main() -> None:
     exported = dept_a.dump()
     print(f"\nA exports {len(exported)} triples")
 
-    # B imports the exchanged graph through its own mediator: the same
-    # triples land in completely different tables/columns.
+    # B imports the exchanged graph through a session: the whole import is
+    # one atomic batch (one database transaction — either every exported
+    # entity lands in B's schema or none does), and the same triples land
+    # in completely different tables/columns.
     request = UpdateRequest(operations=(InsertData(tuple(exported)),))
-    result = dept_b.update(request)
+    result = dept_b.session().execute_all([request])
     print(f"B translated the import into {result.statements_executed()} SQL "
-          "statements:")
+          "statements (one transaction):")
     for line in result.sql():
         print("   " + line)
 
@@ -120,13 +122,16 @@ def main() -> None:
     for surname, label in rows:
         print(f"   {surname:>6} works in {label}")
 
-    # And on the semantic level both stores now answer the same query.
+    # And on the semantic level both stores now answer the same query —
+    # prepared once per session, reusable for continuous sync monitoring.
     query = (
         PREFIXES
         + "SELECT ?n WHERE { ?x foaf:family_name ?n . } ORDER BY ?n"
     )
-    names_a = [r[0].lexical for r in dept_a.query(query).rows()]
-    names_b = [r[0].lexical for r in dept_b.query(query).rows()]
+    prepared_a = dept_a.session().prepare(query)
+    prepared_b = dept_b.session().prepare(query)
+    names_a = [r[0].lexical for r in prepared_a.execute().rows()]
+    names_b = [r[0].lexical for r in prepared_b.execute().rows()]
     print(f"\nsame SPARQL query on A: {names_a}")
     print(f"same SPARQL query on B: {names_b}")
     assert names_a == names_b

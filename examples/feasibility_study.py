@@ -79,10 +79,10 @@ def banner(text: str) -> None:
     print("=" * 72)
 
 
-def run(mediator: OntoAccess, label: str, request: str) -> None:
+def run(session, label: str, request: str) -> None:
     banner(label)
     print(request.strip())
-    result = mediator.update(request)
+    result = session.execute(request)
     print("\n-- translated SQL (executed in one transaction):")
     for line in result.sql():
         print("   " + line)
@@ -91,6 +91,7 @@ def run(mediator: OntoAccess, label: str, request: str) -> None:
 def main() -> None:
     db = build_database()
     mediator = OntoAccess(db, build_mapping(db))
+    session = mediator.session()
 
     banner("Table 1: Use case mapping overview")
     print(f"{'table -> class':<34} attribute -> property")
@@ -98,24 +99,24 @@ def main() -> None:
     for left, right in table1_rows(mediator.mapping):
         print(f"{left:<34} {right}")
 
-    run(mediator, "Listing 13 -> Listing 14 (single-table INSERT DATA)", LISTING_13)
+    run(session, "Listing 13 -> Listing 14 (single-table INSERT DATA)", LISTING_13)
     run(
-        mediator,
+        session,
         "Listing 15 -> Listing 16 (complete dataset, FK-sorted INSERTs)",
         LISTING_15,
     )
-    run(mediator, "Listing 17 -> Listing 18 (attribute DELETE DATA)", LISTING_17)
+    run(session, "Listing 17 -> Listing 18 (attribute DELETE DATA)", LISTING_17)
 
     # Listing 17 removed the email; restore it so the MODIFY of Listing 11
     # has its one result binding, as in the paper's standalone example.
-    mediator.update(
+    session.execute(
         PREFIXES
         + "INSERT DATA { ex:author6 foaf:mbox <mailto:hert@ifi.uzh.ch> . }"
     )
 
     banner("Listing 11 -> Listing 12 (MODIFY via Algorithm 2)")
     print(LISTING_11.strip())
-    result = mediator.update(LISTING_11)
+    result = session.execute(LISTING_11)
     op = result.operations[0]
     print(f"\n-- WHERE clause evaluated via translated SQL: {op.used_sql_select}")
     print(f"-- result bindings: {op.bindings}")

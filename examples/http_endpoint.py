@@ -1,10 +1,16 @@
 #!/usr/bin/env python3
-"""The prototype HTTP endpoint (paper Section 6), exercised by a client.
+"""The HTTP endpoint (paper Section 6), shaped after the SPARQL Protocol.
 
 Starts the OntoAccess endpoint on an ephemeral port, then acts as a remote
-Semantic Web client: posts SPARQL/Update requests, inspects the RDF
-feedback (both a confirmation and a semantically rich error message),
-queries the data, and fetches the mapping document.
+Semantic Web client: posts SPARQL/Update requests
+(``application/sparql-update``), inspects the RDF feedback (confirmation
+and a semantically rich error message), queries with SPARQL JSON results
+via content negotiation, runs an atomic batch through ``POST /batch``, and
+fetches the mapping document.
+
+The endpoint drives one shared Session, so the repeated requests below hit
+its prepared-operation cache — parse and translation are paid once per
+distinct operation text, not per request.
 
 Run:  python examples/http_endpoint.py
 """
@@ -32,6 +38,19 @@ PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 PREFIX ex:   <http://example.org/db/>
 INSERT DATA { ex:author7 foaf:firstName "Nameless" . }
 """
+
+BATCH = [
+    """
+    PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+    PREFIX ex:   <http://example.org/db/>
+    INSERT DATA { ex:author8 foaf:family_name "Reif" . }
+    """,
+    """
+    PREFIX ont: <http://example.org/ontology#>
+    PREFIX ex:  <http://example.org/db/>
+    INSERT DATA { ex:team6 ont:teamCode "DBTG" . }
+    """,
+]
 
 QUERY = """
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
@@ -63,7 +82,19 @@ def main() -> None:
         print(f"   message: {feedback.message}")
         print(f"   hint:    {feedback.hint}")
 
-        print("\n== POST /query")
+        print("\n== POST /batch (two requests, ONE database transaction)")
+        feedback = client.batch(BATCH)
+        print(f"   ok={feedback.ok}, author rows now "
+              f"{db.row_count('author')}, team rows {db.row_count('team')}")
+
+        print("\n== POST /query (Accept: application/sparql-results+json)")
+        document = client.query_json(QUERY)
+        print(f"   variables: {document['head']['vars']}")
+        for binding in document["results"]["bindings"]:
+            values = {k: v["value"] for k, v in binding.items()}
+            print(f"   binding:   {values}")
+
+        print("\n== POST /query (default tab-separated rendering)")
         print(client.query_text(QUERY))
 
         print("== GET /dump (first lines)")

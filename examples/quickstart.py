@@ -3,8 +3,9 @@
 
 Builds the paper's publication database (Figure 1), auto-generates the R3M
 mapping with the paper's vocabulary (Table 1), and walks the core write
-path: INSERT DATA → SQL INSERT, incremental INSERT DATA → SQL UPDATE,
-DELETE DATA → SQL UPDATE/DELETE, plus a query over the mediated data.
+path through the Session API: prepared operations (parse + translate once,
+execute many times, placeholder bindings), an atomic batch, a query, and —
+for back-compat — the legacy ``OntoAccess.update`` facade.
 
 Run:  python examples/quickstart.py
 """
@@ -28,25 +29,27 @@ def show(title, sql_lines):
 def main() -> None:
     db = build_database()
     mediator = OntoAccess(db, build_mapping(db))
+    session = mediator.session()
 
-    # 1. INSERT DATA about a new team (paper Listing 13 -> Listing 14).
-    insert_team = PREFIXES + """
+    # 1. One-shot execute (paper Listing 13 -> Listing 14).
+    result = session.execute(PREFIXES + """
     INSERT DATA {
         ex:team4 foaf:name "Database Technology" ;
                  ont:teamCode "DBTG" .
     }
-    """
-    result = mediator.update(insert_team)
+    """)
     show("INSERT DATA (new team) translated to", result.sql())
 
-    # 2. Incremental data entry: first only the mandatory last name ...
-    result = mediator.update(
-        PREFIXES + 'INSERT DATA { ex:author1 foaf:family_name "Hert" . }'
-    )
-    show("INSERT DATA (minimal author) translated to", result.sql())
+    # 2. Prepared operation with placeholders: parsed once, executed with
+    #    different bindings — the SQL prepared-statement idiom for SPARQL.
+    insert_author = session.prepare(PREFIXES + """
+    INSERT DATA { ex:author1 foaf:family_name ?last . }
+    """)
+    result = insert_author.execute(bindings={"last": "Hert"})
+    show("prepared INSERT DATA executed with bindings", result.sql())
 
-    # ... then more triples about the same entity become an SQL UPDATE.
-    result = mediator.update(
+    # ... later triples about the same entity become an SQL UPDATE.
+    result = session.execute(
         PREFIXES
         + """INSERT DATA {
             ex:author1 foaf:firstName "Matthias" ;
@@ -56,29 +59,37 @@ def main() -> None:
     )
     show("second INSERT DATA (same author) translated to", result.sql())
 
-    # 3. DELETE DATA of one attribute → UPDATE ... SET email = NULL.
-    result = mediator.update(
-        PREFIXES
-        + "DELETE DATA { ex:author1 foaf:mbox <mailto:hert@ifi.uzh.ch> . }"
-    )
-    show("DELETE DATA (one attribute) translated to", result.sql())
+    # 3. An atomic batch: both operations inside ONE database transaction
+    #    (the facade would commit each operation separately).
+    batch = session.execute_all([
+        PREFIXES + 'INSERT DATA { ex:team5 foaf:name "Software Evolution" . }',
+        PREFIXES + "DELETE DATA { ex:author1 foaf:mbox <mailto:hert@ifi.uzh.ch> . }",
+    ])
+    show("batch of 2 operations, one transaction", batch.sql())
 
-    # 4. Query the relational data with SPARQL (translated to SQL).
-    outcome = mediator.query_outcome(
-        PREFIXES
-        + """SELECT ?name ?team WHERE {
-            ?a foaf:family_name ?name ;
-               ont:team ?t .
-            ?t foaf:name ?team .
-        }"""
-    )
-    print("\n== SPARQL SELECT evaluated via SQL:")
+    # 4. Prepared query: the SPARQL->SQL translation is computed once and
+    #    reused; execution goes through the engine's compiled plan cache.
+    by_team = session.prepare(PREFIXES + """
+    SELECT ?name ?team WHERE {
+        ?a foaf:family_name ?name ;
+           ont:team ?t .
+        ?t foaf:name ?team .
+    }""")
+    outcome = by_team.outcome()
+    print("\n== prepared SPARQL SELECT evaluated via SQL:")
     print("   " + (outcome.select_sql or "(fallback)"))
     for row in outcome.result.rows():
         print("   result:", ", ".join(term.n3() for term in row))
 
-    # 5. The database state, dumped as RDF.
-    print(f"\n== final state: {len(mediator.dump())} triples, "
+    # 5. Back-compat: the legacy facade still works — one-shot parse +
+    #    translate + execute per call, one transaction per operation.
+    result = mediator.update(
+        PREFIXES + 'INSERT DATA { ex:team6 ont:teamCode "LEGACY" . }'
+    )
+    show("legacy OntoAccess.update facade", result.sql())
+
+    # 6. The database state, dumped as RDF.
+    print(f"\n== final state: {len(session.dump())} triples, "
           f"{db.row_count('author')} author row(s), "
           f"{db.row_count('team')} team row(s)")
 

@@ -21,7 +21,9 @@ Quickstart::
     ''')
 """
 
+from .core.backend import Backend, RelationalBackend, TripleStoreBackend
 from .core.mediator import OntoAccess, OperationResult, UpdateResult
+from .core.session import PreparedQuery, PreparedUpdate, Session
 from .errors import (
     MappingError,
     ReproError,
@@ -37,14 +39,20 @@ from .r3m.parser import parse_mapping
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "Database",
     "DatabaseMapping",
     "Graph",
     "MappingError",
     "OntoAccess",
     "OperationResult",
+    "PreparedQuery",
+    "PreparedUpdate",
+    "RelationalBackend",
     "ReproError",
+    "Session",
     "TranslationError",
+    "TripleStoreBackend",
     "UnsupportedPatternError",
     "UpdateResult",
     "generate_mapping",

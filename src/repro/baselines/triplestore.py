@@ -55,6 +55,12 @@ class NativeTripleStore:
 
         return native_query(self.graph, q, prefixes=prefixes)
 
+    def apply_operation(self, operation) -> Tuple[int, int]:
+        """Apply one update operation; returns (added, removed)."""
+        from ..sparql.engine import apply_operation as native_apply
+
+        return native_apply(self.graph, operation)
+
     def __len__(self) -> int:
         return len(self.graph)
 
@@ -85,14 +91,14 @@ class MappingAwareTripleStore(NativeTripleStore):
             request = parse_update(request, prefixes=prefixes)
         added = removed = 0
         for operation in request.operations:
-            a, r = self._apply(operation)
+            a, r = self.apply_operation(operation)
             added += a
             removed += r
         return {"added": added, "removed": removed}
 
     # ------------------------------------------------------------------
 
-    def _apply(self, operation) -> Tuple[int, int]:
+    def apply_operation(self, operation) -> Tuple[int, int]:
         """Apply one operation with row-implied rdf:type semantics.
 
         A relational row always carries its class, so inserting any triple

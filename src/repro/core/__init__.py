@@ -7,6 +7,7 @@ Public API::
     from repro.core import dump_database, execute_query
 """
 
+from .backend import Backend, RelationalBackend, TripleStoreBackend
 from .common import EntityRef, group_by_subject, identify_entity, literal_for_column
 from .delete_data import translate_delete_data
 from .dump import dump_database, dump_table
@@ -16,12 +17,19 @@ from .mediator import OntoAccess, OperationResult, UpdateResult
 from .modify import ModifyPlan, bindings_for_pattern, plan_binding, plan_modify
 from .query import QueryOutcome, execute_query
 from .select_translate import TranslatedSelect, translate_pattern
+from .session import PreparedQuery, PreparedUpdate, Session
 from .sorting import sort_statements, topological_table_order
 
 __all__ = [
+    "Backend",
     "EntityRef",
     "ModifyPlan",
     "OntoAccess",
+    "PreparedQuery",
+    "PreparedUpdate",
+    "RelationalBackend",
+    "Session",
+    "TripleStoreBackend",
     "OperationResult",
     "QueryOutcome",
     "TranslatedSelect",

@@ -1,0 +1,570 @@
+"""Pluggable execution backends behind the Session API.
+
+A :class:`Backend` is the uniform surface a :class:`repro.core.session.
+Session` drives: translate/execute one SPARQL/Update operation, run a
+query, control a transaction, dump the store as RDF.  Two implementations
+exist:
+
+* :class:`RelationalBackend` — the paper's mediation pipeline: SPARQL is
+  translated to SQL (Sections 5.1/5.2) and executed on the relational
+  engine.  This is the backend the :class:`~repro.core.mediator.OntoAccess`
+  facade uses.
+* :class:`TripleStoreBackend` — the native in-memory triple store
+  (:mod:`repro.sparql.engine`), the paper's comparison point and the
+  semantic oracle of the equivalence suite.
+
+Because both speak the same interface, equivalence tests and benchmarks
+drive both through one :class:`Session`, and per-operation transaction
+scope lives in exactly one place (the session), never in the backend.
+
+Backends do NOT begin/commit transactions around operations themselves —
+``execute_operation`` always runs inside a transaction the caller opened.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+from ..errors import (
+    DatabaseError,
+    IntegrityError,
+    TransactionError,
+    TranslationError,
+)
+from ..rdb.engine import Database
+from ..rdf.graph import Graph
+from ..rdf.namespace import PrefixMap
+from ..r3m.model import DatabaseMapping
+from ..sparql.query_ast import Query
+from ..sparql.update_ast import (
+    Clear,
+    DeleteData,
+    InsertData,
+    Modify,
+    UpdateOperation,
+)
+from ..sql import ast
+from ..sql.render import render
+from .delete_data import translate_delete_data
+from .dump import dump_database
+from .feedback import confirmation_graph
+from .insert_data import translate_insert_data
+from .modify import bindings_for_pattern, plan_binding, plan_modify
+from .query import QueryOutcome, execute_query, outcome_from_solutions
+
+__all__ = [
+    "Backend",
+    "OperationResult",
+    "RelationalBackend",
+    "TripleStoreBackend",
+    "UpdateResult",
+    "operation_kind",
+]
+
+
+@dataclass
+class OperationResult:
+    """Outcome of one translated + executed update operation."""
+
+    kind: str  # 'insert-data' | 'delete-data' | 'modify' | 'clear'
+    statements: List[ast.Statement] = field(default_factory=list)
+    rows_affected: int = 0
+    bindings: int = 0
+    #: True when a MODIFY evaluated its WHERE via translated SQL
+    used_sql_select: Optional[bool] = None
+
+    def sql(self) -> List[str]:
+        return [render(s) for s in self.statements]
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of a whole SPARQL/Update request."""
+
+    operations: List[OperationResult] = field(default_factory=list)
+
+    def sql(self) -> List[str]:
+        return [line for op in self.operations for line in op.sql()]
+
+    def statements_executed(self) -> int:
+        return sum(len(op.statements) for op in self.operations)
+
+    def rows_affected(self) -> int:
+        return sum(op.rows_affected for op in self.operations)
+
+    def feedback(self) -> Graph:
+        """The RDF confirmation message for this result."""
+        return confirmation_graph(
+            statements_executed=self.statements_executed(),
+            operations=len(self.operations),
+        )
+
+
+def operation_kind(operation: UpdateOperation) -> str:
+    if isinstance(operation, InsertData):
+        return "insert-data"
+    if isinstance(operation, DeleteData):
+        return "delete-data"
+    if isinstance(operation, Modify):
+        return "modify"
+    if isinstance(operation, Clear):
+        return "clear"
+    return type(operation).__name__.lower()
+
+
+class Backend(abc.ABC):
+    """Uniform execution surface over one storage engine.
+
+    Subclasses must call ``super().__init__()``: the backend owns the
+    reentrant lock that every :class:`~repro.core.session.Session` over
+    it shares, because transaction state is backend-global and two
+    sessions on one store must never interleave.
+    """
+
+    #: Short identifier used in diagnostics and test parametrization.
+    name: str = "backend"
+
+    def __init__(self) -> None:
+        self._session_lock = threading.RLock()
+
+    # -- write path ----------------------------------------------------
+
+    @abc.abstractmethod
+    def execute_operation(self, operation: UpdateOperation) -> OperationResult:
+        """Execute one operation inside the caller's open transaction."""
+
+    def translate_operation(
+        self, operation: UpdateOperation
+    ) -> List[ast.Statement]:
+        """Dry-run translation (backends without SQL return nothing)."""
+        return []
+
+    def prepare_operation(self, operation: UpdateOperation) -> "PreparedOp":
+        """A reusable handle for repeated execution of one operation."""
+        return PreparedOp(self, operation)
+
+    # -- transactions ---------------------------------------------------
+
+    @abc.abstractmethod
+    def begin(self) -> None: ...
+
+    @abc.abstractmethod
+    def commit(self) -> None: ...
+
+    @abc.abstractmethod
+    def rollback(self) -> None: ...
+
+    @abc.abstractmethod
+    def in_transaction(self) -> bool: ...
+
+    # -- read path ------------------------------------------------------
+
+    @abc.abstractmethod
+    def query_outcome(
+        self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
+    ) -> QueryOutcome: ...
+
+    def prepare_query(self, q: Query) -> "PreparedQueryPlan":
+        return PreparedQueryPlan(self, q)
+
+    @abc.abstractmethod
+    def dump(self) -> Graph:
+        """Materialize the whole store as an RDF graph."""
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def state_version(self) -> Any:
+        """Opaque token that changes whenever visible state may have
+        changed; prepared operations key their caches on it."""
+        return object()  # never equal: no caching by default
+
+    def wrap_error(self, exc: Exception) -> Exception:
+        """Map an engine-level error to the client-facing exception."""
+        return exc
+
+
+class PreparedOp:
+    """Default prepared handle: re-executes the operation each time."""
+
+    __slots__ = ("backend", "operation")
+
+    def __init__(self, backend: Backend, operation: UpdateOperation) -> None:
+        self.backend = backend
+        self.operation = operation
+
+    def execute(self) -> OperationResult:
+        return self.backend.execute_operation(self.operation)
+
+
+class PreparedQueryPlan:
+    """Default prepared query: re-runs the full query path each time."""
+
+    __slots__ = ("backend", "query")
+
+    def __init__(self, backend: Backend, query: Query) -> None:
+        self.backend = backend
+        self.query = query
+
+    def outcome(self) -> QueryOutcome:
+        return self.backend.query_outcome(self.query)
+
+
+# ---------------------------------------------------------------------------
+# the mediation pipeline as a backend
+# ---------------------------------------------------------------------------
+
+class RelationalBackend(Backend):
+    """The paper's mediator pipeline: SPARQL/Update → SQL → RDB."""
+
+    name = "rdb"
+
+    def __init__(
+        self,
+        db: Database,
+        mapping: DatabaseMapping,
+        optimize_modify: bool = True,
+        force_query_fallback: bool = False,
+    ) -> None:
+        super().__init__()
+        self.db = db
+        self._mapping = mapping
+        #: Bumped when the mapping object is replaced, so prepared
+        #: translations keyed on the state version invalidate.  In-place
+        #: mutation of a DatabaseMapping is not tracked — replace the
+        #: mapping (or build a new mediator) to change it safely.
+        self._mapping_generation = 0
+        self.optimize_modify = optimize_modify
+        self.force_query_fallback = force_query_fallback
+
+    @property
+    def mapping(self) -> DatabaseMapping:
+        return self._mapping
+
+    @mapping.setter
+    def mapping(self, value: DatabaseMapping) -> None:
+        self._mapping = value
+        self._mapping_generation += 1
+
+    # -- write path ----------------------------------------------------
+
+    def translate_operation(
+        self, operation: UpdateOperation
+    ) -> List[ast.Statement]:
+        if isinstance(operation, InsertData):
+            return translate_insert_data(self.mapping, self.db, operation.triples)
+        if isinstance(operation, DeleteData):
+            return translate_delete_data(self.mapping, self.db, operation.triples)
+        if isinstance(operation, Modify):
+            plan = plan_modify(
+                self.mapping,
+                self.db,
+                operation,
+                optimize_redundant_deletes=self.optimize_modify,
+                force_fallback=self.force_query_fallback,
+            )
+            return plan.all_statements()
+        if isinstance(operation, Clear):
+            return [
+                ast.Delete(table=name)
+                for name in reversed(safe_clear_order(self.mapping, self.db))
+            ]
+        raise TranslationError(
+            f"unsupported operation {type(operation).__name__}",
+            code=TranslationError.UNSUPPORTED,
+        )
+
+    def execute_operation(self, operation: UpdateOperation) -> OperationResult:
+        if isinstance(operation, Modify):
+            return self._execute_modify(operation)
+        statements = self.translate_operation(operation)
+        return self.run_statements(operation_kind(operation), statements)
+
+    def run_statements(
+        self, kind: str, statements: List[ast.Statement]
+    ) -> OperationResult:
+        """Execute already-translated statements (translation replay)."""
+        # Copy: callers may mutate result.statements, and the prepared-op
+        # replay cache holds the original list.
+        result = OperationResult(kind=kind, statements=list(statements))
+        for statement in statements:
+            outcome = self.db.execute(statement)
+            result.rows_affected += outcome.rowcount
+        return result
+
+    def _execute_modify(self, operation: Modify) -> OperationResult:
+        """Algorithm 2: evaluate WHERE, then per binding translate and
+        execute the DELETE DATA / INSERT DATA pair (lines 7–13)."""
+        solutions, used_sql, _ = bindings_for_pattern(
+            self.mapping,
+            self.db,
+            operation.where,
+            force_fallback=self.force_query_fallback,
+        )
+        result = OperationResult(
+            kind="modify", bindings=len(solutions), used_sql_select=used_sql
+        )
+        for solution in solutions:
+            # Re-plan against the current state: earlier bindings may
+            # have changed rows this binding touches.
+            step = plan_binding(
+                self.mapping,
+                self.db,
+                operation,
+                solution,
+                optimize_redundant_deletes=self.optimize_modify,
+            )
+            for statement in step.all_statements():
+                outcome = self.db.execute(statement)
+                result.rows_affected += outcome.rowcount
+                result.statements.append(statement)
+        return result
+
+    def prepare_operation(self, operation: UpdateOperation) -> PreparedOp:
+        return _PreparedRdbOp(self, operation)
+
+    # -- transactions ---------------------------------------------------
+
+    def begin(self) -> None:
+        self.db.begin()
+
+    def commit(self) -> None:
+        self.db.commit()
+
+    def rollback(self) -> None:
+        self.db.rollback()
+
+    def in_transaction(self) -> bool:
+        return self.db.in_transaction()
+
+    # -- read path ------------------------------------------------------
+
+    def query_outcome(
+        self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
+    ) -> QueryOutcome:
+        return execute_query(
+            self.mapping,
+            self.db,
+            q,
+            prefixes=prefixes,
+            force_fallback=self.force_query_fallback,
+        )
+
+    def prepare_query(self, q: Query) -> PreparedQueryPlan:
+        return _PreparedRdbQuery(self, q)
+
+    def dump(self) -> Graph:
+        return dump_database(self.mapping, self.db)
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def state_version(self) -> Tuple[int, int, int]:
+        return (
+            self._mapping_generation,
+            self.db.schema_version,
+            self.db.data_version,
+        )
+
+    def query_state_version(self) -> Tuple[int, int]:
+        """What prepared query translations depend on: mapping + schema
+        (pattern translation never reads row data)."""
+        return (self._mapping_generation, self.db.schema_version)
+
+    def wrap_error(self, exc: Exception) -> Exception:
+        if isinstance(exc, (IntegrityError, DatabaseError)):
+            return wrap_db_error(exc)
+        return exc
+
+
+class _PreparedRdbOp(PreparedOp):
+    """Prepared relational operation with a translation-replay cache.
+
+    Translation is a pure function of (mapping, database state); the
+    database state is identified by :meth:`Database.state_version`.  As
+    long as the version is unchanged since the last translation, the
+    cached SQL statements are replayed without re-running Algorithm 1 —
+    the steady state for repeated idempotent operations.  Any change
+    (including the replay itself affecting rows) bumps the version and
+    forces a fresh translation, so semantics never drift from the
+    unprepared path.
+
+    MODIFY interleaves translation and execution per binding (Algorithm
+    2), so it is never replayed from cache — only its parse is amortized.
+    """
+
+    __slots__ = ("_cached",)
+
+    def __init__(self, backend: RelationalBackend, operation: UpdateOperation) -> None:
+        super().__init__(backend, operation)
+        #: (state version at translation, translated statements) or None
+        self._cached: Optional[Tuple[Any, List[ast.Statement]]] = None
+
+    def execute(self) -> OperationResult:
+        backend = self.backend
+        if isinstance(self.operation, Modify):
+            return backend.execute_operation(self.operation)
+        kind = operation_kind(self.operation)
+        version = backend.state_version()
+        if self._cached is not None and self._cached[0] == version:
+            return backend.run_statements(kind, self._cached[1])
+        statements = backend.translate_operation(self.operation)
+        self._cached = (version, statements)
+        return backend.run_statements(kind, statements)
+
+
+class _PreparedRdbQuery(PreparedQueryPlan):
+    """Prepared relational query: the SPARQL→SQL pattern translation is
+    computed once per (mapping, schema) version (it never depends on row
+    data) and re-executed against current data on every call; executions
+    share the planner's compiled plan for the translated SELECT."""
+
+    __slots__ = ("_version", "_translated", "_sql", "_unsupported")
+
+    def __init__(self, backend: RelationalBackend, query: Query) -> None:
+        super().__init__(backend, query)
+        self._version: Optional[Tuple[int, int]] = None
+        self._translated = None
+        self._sql: Optional[str] = None
+        self._unsupported = False
+
+    def outcome(self) -> QueryOutcome:
+        backend = self.backend
+        if backend.force_query_fallback:
+            return backend.query_outcome(self.query)
+        version = backend.query_state_version()
+        if self._version != version:
+            from ..errors import UnsupportedPatternError
+            from .select_translate import translate_pattern
+
+            self._version = version
+            try:
+                self._translated = translate_pattern(
+                    backend.mapping, backend.db, self.query.where
+                )
+                self._sql = self._translated.sql()  # render once, not per call
+                self._unsupported = False
+            except UnsupportedPatternError:
+                self._translated = None
+                self._sql = None
+                self._unsupported = True
+        if self._unsupported:
+            # Known-untranslatable for this schema: go straight to the
+            # dump evaluation instead of re-attempting translation.
+            from ..sparql.algebra import evaluate_pattern
+            from .dump import dump_database
+
+            graph = dump_database(backend.mapping, backend.db)
+            return outcome_from_solutions(
+                self.query,
+                evaluate_pattern(graph, self.query.where),
+                used_sql=False,
+            )
+        return outcome_from_solutions(
+            self.query,
+            self._translated.execute(),
+            used_sql=True,
+            select_sql=self._sql,
+        )
+
+
+# ---------------------------------------------------------------------------
+# the native triple store as a backend
+# ---------------------------------------------------------------------------
+
+class TripleStoreBackend(Backend):
+    """Native in-memory triple store behind the same Session interface.
+
+    Wraps a :class:`~repro.baselines.triplestore.NativeTripleStore` (or
+    its mapping-aware subclass, the equivalence oracle).  Transactions use
+    the graph's undo journal: ``begin`` starts recording inverse
+    operations, ``rollback`` replays them — O(changes), not O(graph).
+    """
+
+    name = "triplestore"
+
+    def __init__(self, store) -> None:
+        super().__init__()
+        self.store = store
+        self._version = 0
+
+    @property
+    def graph(self) -> Graph:
+        return self.store.graph
+
+    # -- write path ----------------------------------------------------
+
+    def execute_operation(self, operation: UpdateOperation) -> OperationResult:
+        added, removed = self.store.apply_operation(operation)
+        self._version += 1
+        return OperationResult(
+            kind=operation_kind(operation), rows_affected=added + removed
+        )
+
+    # -- transactions ---------------------------------------------------
+    # Error contract mirrors the relational engine's transaction control
+    # (TransactionError on misuse) so backends stay swappable.
+
+    def begin(self) -> None:
+        if self.store.graph.journaling():
+            raise TransactionError("a transaction is already open")
+        self.store.graph.start_journal()
+
+    def commit(self) -> None:
+        if not self.store.graph.journaling():
+            raise TransactionError("no transaction is open")
+        self.store.graph.commit_journal()
+
+    def rollback(self) -> None:
+        if not self.store.graph.journaling():
+            raise TransactionError("no transaction is open")
+        self.store.graph.rollback_journal()
+        self._version += 1
+
+    def in_transaction(self) -> bool:
+        return self.store.graph.journaling()
+
+    # -- read path ------------------------------------------------------
+
+    def query_outcome(
+        self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
+    ) -> QueryOutcome:
+        return QueryOutcome(
+            result=self.store.query(q, prefixes=prefixes), used_sql=False
+        )
+
+    def dump(self) -> Graph:
+        return self.store.graph.copy()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def state_version(self) -> int:
+        return self._version
+
+
+# ---------------------------------------------------------------------------
+# shared helpers (previously private to the mediator)
+# ---------------------------------------------------------------------------
+
+def wrap_db_error(exc: Exception) -> TranslationError:
+    if isinstance(exc, IntegrityError):
+        return TranslationError(
+            f"database rejected the update: {exc}",
+            code=TranslationError.CONSTRAINT_VIOLATION,
+            details={
+                "table": exc.table,
+                "attribute": exc.column,
+                "constraint": exc.constraint,
+            },
+        )
+    return TranslationError(
+        f"database error: {exc}", code=TranslationError.CONSTRAINT_VIOLATION
+    )
+
+
+def safe_clear_order(mapping: DatabaseMapping, db: Database) -> List[str]:
+    """Tables in parents-first order; CLEAR deletes in reverse."""
+    from .sorting import topological_table_order
+
+    return topological_table_order(mapping.all_table_names(), db.schema)

@@ -23,74 +23,40 @@ Every SPARQL/Update operation executes inside one database transaction
 ("all generated SQL statements that correspond to a single SPARQL/Update
 operation are executed within the context of one database transaction to
 ensure the atomicity of the SPARQL/Update operation", Section 5.1).
+
+Since ISSUE 2 the facade is a thin shim over the Session API: execution
+lives in :class:`~repro.core.backend.RelationalBackend` and transaction
+scope in :class:`~repro.core.session.Session`.  Call :meth:`OntoAccess.
+session` for the amortizing interface (prepared operations, batches,
+explicit transactions, alternative backends).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from ..errors import DatabaseError, IntegrityError, TranslationError
+from ..errors import TranslationError
 from ..rdb.engine import Database
 from ..rdf.graph import Graph
 from ..rdf.namespace import PrefixMap
 from ..r3m.model import DatabaseMapping
 from ..r3m.validator import validate_mapping
 from ..sparql.query_ast import Query
-from ..sparql.update_ast import (
-    Clear,
-    DeleteData,
-    InsertData,
-    Modify,
-    UpdateOperation,
-    UpdateRequest,
-)
+from ..sparql.update_ast import UpdateRequest
 from ..sparql.update_parser import parse_update
 from ..sql import ast
 from ..sql.render import render
-from .delete_data import translate_delete_data
-from .dump import dump_database
-from .feedback import confirmation_graph, error_graph
-from .insert_data import translate_insert_data
-from .modify import ModifyPlan, bindings_for_pattern, plan_binding, plan_modify
-from .query import QueryOutcome, execute_query
+from .backend import (
+    Backend,
+    OperationResult,
+    RelationalBackend,
+    UpdateResult,
+)
+from .feedback import error_graph
+from .query import QueryOutcome
+from .session import Session
 
 __all__ = ["OntoAccess", "OperationResult", "UpdateResult"]
-
-
-@dataclass
-class OperationResult:
-    """Outcome of one translated + executed update operation."""
-
-    kind: str  # 'insert-data' | 'delete-data' | 'modify' | 'clear'
-    statements: List[ast.Statement] = field(default_factory=list)
-    rows_affected: int = 0
-    bindings: int = 0
-    #: True when a MODIFY evaluated its WHERE via translated SQL
-    used_sql_select: Optional[bool] = None
-
-    def sql(self) -> List[str]:
-        return [render(s) for s in self.statements]
-
-
-@dataclass
-class UpdateResult:
-    """Outcome of a whole SPARQL/Update request."""
-
-    operations: List[OperationResult] = field(default_factory=list)
-
-    def sql(self) -> List[str]:
-        return [line for op in self.operations for line in op.sql()]
-
-    def statements_executed(self) -> int:
-        return sum(len(op.statements) for op in self.operations)
-
-    def feedback(self) -> Graph:
-        """The RDF confirmation message for this result."""
-        return confirmation_graph(
-            statements_executed=self.statements_executed(),
-            operations=len(self.operations),
-        )
 
 
 class OntoAccess:
@@ -105,11 +71,52 @@ class OntoAccess:
         force_query_fallback: bool = False,
     ) -> None:
         self.db = db
-        self.mapping = mapping
-        self.optimize_modify = optimize_modify
-        self.force_query_fallback = force_query_fallback
         if validate:
             validate_mapping(mapping, db)
+        self._backend = RelationalBackend(
+            db,
+            mapping,
+            optimize_modify=optimize_modify,
+            force_query_fallback=force_query_fallback,
+        )
+        self._session = Session(self._backend)
+
+    # Translation knobs stay mutable attributes of the facade; they are
+    # shared with (not copied into) the backend.
+    @property
+    def mapping(self) -> DatabaseMapping:
+        return self._backend.mapping
+
+    @mapping.setter
+    def mapping(self, value: DatabaseMapping) -> None:
+        # Forwarded so reassignment keeps affecting execution (and bumps
+        # the backend's mapping generation, invalidating prepared SQL).
+        self._backend.mapping = value
+
+    @property
+    def optimize_modify(self) -> bool:
+        return self._backend.optimize_modify
+
+    @optimize_modify.setter
+    def optimize_modify(self, value: bool) -> None:
+        self._backend.optimize_modify = value
+
+    @property
+    def force_query_fallback(self) -> bool:
+        return self._backend.force_query_fallback
+
+    @force_query_fallback.setter
+    def force_query_fallback(self, value: bool) -> None:
+        self._backend.force_query_fallback = value
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+
+    def session(self, backend: Optional[Backend] = None) -> Session:
+        """A new :class:`Session` over this mediator's backend (or any
+        other backend), with its own prepared-operation cache."""
+        return Session(backend if backend is not None else self._backend)
 
     # ------------------------------------------------------------------
     # write path
@@ -126,12 +133,7 @@ class OntoAccess:
         invalid from the RDB perspective; nothing is persisted for the
         failing operation (one transaction per operation).
         """
-        if isinstance(request, str):
-            request = parse_update(request, prefixes=prefixes)
-        result = UpdateResult()
-        for operation in request.operations:
-            result.operations.append(self._execute_operation(operation))
-        return result
+        return self._session.execute(request, prefixes=prefixes)
 
     def try_update(
         self,
@@ -154,8 +156,11 @@ class OntoAccess:
         if isinstance(request, str):
             request = parse_update(request, prefixes=prefixes)
         statements: List[ast.Statement] = []
-        for operation in request.operations:
-            statements.extend(self._translate_operation(operation))
+        # Translation reads row data (current_row, link lookups), so it
+        # must serialize with concurrent writers like every session entry.
+        with self._session._lock:
+            for operation in request.operations:
+                statements.extend(self._backend.translate_operation(operation))
         return statements
 
     def translate_sql(
@@ -165,113 +170,6 @@ class OntoAccess:
     ) -> List[str]:
         """Dry-run translation rendered to SQL text (the paper's listings)."""
         return [render(s) for s in self.translate(request, prefixes=prefixes)]
-
-    def _translate_operation(
-        self, operation: UpdateOperation
-    ) -> List[ast.Statement]:
-        if isinstance(operation, InsertData):
-            return translate_insert_data(self.mapping, self.db, operation.triples)
-        if isinstance(operation, DeleteData):
-            return translate_delete_data(self.mapping, self.db, operation.triples)
-        if isinstance(operation, Modify):
-            plan = plan_modify(
-                self.mapping,
-                self.db,
-                operation,
-                optimize_redundant_deletes=self.optimize_modify,
-                force_fallback=self.force_query_fallback,
-            )
-            return plan.all_statements()
-        if isinstance(operation, Clear):
-            return [
-                ast.Delete(table=name)
-                for name in reversed(
-                    _safe_clear_order(self.mapping, self.db)
-                )
-            ]
-        raise TranslationError(
-            f"unsupported operation {type(operation).__name__}",
-            code=TranslationError.UNSUPPORTED,
-        )
-
-    def _execute_operation(self, operation: UpdateOperation) -> OperationResult:
-        if isinstance(operation, InsertData):
-            statements = translate_insert_data(
-                self.mapping, self.db, operation.triples
-            )
-            return self._run("insert-data", statements)
-        if isinstance(operation, DeleteData):
-            statements = translate_delete_data(
-                self.mapping, self.db, operation.triples
-            )
-            return self._run("delete-data", statements)
-        if isinstance(operation, Modify):
-            return self._execute_modify(operation)
-        if isinstance(operation, Clear):
-            statements = self._translate_operation(operation)
-            return self._run("clear", statements)
-        raise TranslationError(
-            f"unsupported operation {type(operation).__name__}",
-            code=TranslationError.UNSUPPORTED,
-        )
-
-    def _run(self, kind: str, statements: List[ast.Statement]) -> OperationResult:
-        """Execute translated statements in one transaction."""
-        result = OperationResult(kind=kind, statements=statements)
-        self.db.begin()
-        try:
-            for statement in statements:
-                outcome = self.db.execute(statement)
-                result.rows_affected += outcome.rowcount
-            self.db.commit()
-        except (IntegrityError, DatabaseError) as exc:
-            if self.db.in_transaction():
-                self.db.rollback()
-            raise _wrap_db_error(exc) from exc
-        except Exception:
-            if self.db.in_transaction():
-                self.db.rollback()
-            raise
-        return result
-
-    def _execute_modify(self, operation: Modify) -> OperationResult:
-        """Algorithm 2: evaluate WHERE, then per binding translate and
-        execute the DELETE DATA / INSERT DATA pair (lines 7–13)."""
-        solutions, used_sql, _ = bindings_for_pattern(
-            self.mapping,
-            self.db,
-            operation.where,
-            force_fallback=self.force_query_fallback,
-        )
-        result = OperationResult(
-            kind="modify", bindings=len(solutions), used_sql_select=used_sql
-        )
-        self.db.begin()
-        try:
-            for solution in solutions:
-                # Re-plan against the current state: earlier bindings may
-                # have changed rows this binding touches.
-                step = plan_binding(
-                    self.mapping,
-                    self.db,
-                    operation,
-                    solution,
-                    optimize_redundant_deletes=self.optimize_modify,
-                )
-                for statement in step.all_statements():
-                    outcome = self.db.execute(statement)
-                    result.rows_affected += outcome.rowcount
-                    result.statements.append(statement)
-            self.db.commit()
-        except (IntegrityError, DatabaseError) as exc:
-            if self.db.in_transaction():
-                self.db.rollback()
-            raise _wrap_db_error(exc) from exc
-        except Exception:
-            if self.db.in_transaction():
-                self.db.rollback()
-            raise
-        return result
 
     # ------------------------------------------------------------------
     # read path
@@ -291,37 +189,8 @@ class OntoAccess:
         prefixes: Optional[PrefixMap] = None,
     ) -> QueryOutcome:
         """Like :meth:`query` but exposing how the query was evaluated."""
-        return execute_query(
-            self.mapping,
-            self.db,
-            q,
-            prefixes=prefixes,
-            force_fallback=self.force_query_fallback,
-        )
+        return self._session.query_outcome(q, prefixes=prefixes)
 
     def dump(self) -> Graph:
         """Materialize the whole mapped database as RDF."""
-        return dump_database(self.mapping, self.db)
-
-
-def _wrap_db_error(exc: Exception) -> TranslationError:
-    if isinstance(exc, IntegrityError):
-        return TranslationError(
-            f"database rejected the update: {exc}",
-            code=TranslationError.CONSTRAINT_VIOLATION,
-            details={
-                "table": exc.table,
-                "attribute": exc.column,
-                "constraint": exc.constraint,
-            },
-        )
-    return TranslationError(
-        f"database error: {exc}", code=TranslationError.CONSTRAINT_VIOLATION
-    )
-
-
-def _safe_clear_order(mapping: DatabaseMapping, db: Database) -> List[str]:
-    """Tables in parents-first order; CLEAR deletes in reverse."""
-    from .sorting import topological_table_order
-
-    return topological_table_order(mapping.all_table_names(), db.schema)
+        return self._session.dump()  # session lock: no torn reads

@@ -5,6 +5,11 @@ this module completes it.  SELECT/ASK WHERE patterns inside the
 translatable fragment run as a single translated SQL statement; everything
 else falls back to evaluating over the RDB dump, so all of SPARQL keeps
 working (translation is an optimization, never a semantic restriction).
+
+The helpers are split so the prepared-query path
+(:class:`repro.core.session.PreparedQuery`) can translate a pattern once
+and re-execute it many times: pattern translation depends only on the
+mapping and the schema, never on row data.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from ..sparql.query_parser import parse_query
 from .dump import dump_database
 from .select_translate import translate_pattern
 
-__all__ = ["QueryOutcome", "execute_query"]
+__all__ = ["QueryOutcome", "execute_query", "outcome_from_solutions"]
 
 
 @dataclass
@@ -34,6 +39,30 @@ class QueryOutcome:
     result: Union[SelectResult, bool, Graph]
     used_sql: bool
     select_sql: Optional[str] = None
+
+
+def outcome_from_solutions(
+    q: Query, solutions, used_sql: bool, select_sql: Optional[str] = None
+) -> QueryOutcome:
+    """Shape raw WHERE solutions into the query-form-specific result."""
+    if isinstance(q, SelectQuery):
+        return QueryOutcome(
+            result=apply_select_modifiers(q, solutions),
+            used_sql=used_sql,
+            select_sql=select_sql,
+        )
+    if isinstance(q, AskQuery):
+        return QueryOutcome(
+            result=bool(solutions), used_sql=used_sql, select_sql=select_sql
+        )
+    if isinstance(q, ConstructQuery):
+        constructed = Graph()
+        for solution in solutions:
+            constructed.add_all(instantiate(q.template, solution))
+        return QueryOutcome(
+            result=constructed, used_sql=used_sql, select_sql=select_sql
+        )
+    raise TypeError(f"unknown query type {type(q).__name__}")
 
 
 def execute_query(
@@ -50,40 +79,12 @@ def execute_query(
     if not force_fallback:
         try:
             translated = translate_pattern(mapping, db, q.where)
-            solutions = translated.execute()
-            if isinstance(q, SelectQuery):
-                return QueryOutcome(
-                    result=apply_select_modifiers(q, solutions),
-                    used_sql=True,
-                    select_sql=translated.sql(),
-                )
-            if isinstance(q, AskQuery):
-                return QueryOutcome(
-                    result=bool(solutions),
-                    used_sql=True,
-                    select_sql=translated.sql(),
-                )
-            if isinstance(q, ConstructQuery):
-                constructed = Graph()
-                for solution in solutions:
-                    constructed.add_all(instantiate(q.template, solution))
-                return QueryOutcome(
-                    result=constructed,
-                    used_sql=True,
-                    select_sql=translated.sql(),
-                )
+            return outcome_from_solutions(
+                q, translated.execute(), used_sql=True, select_sql=translated.sql()
+            )
         except UnsupportedPatternError:
             pass
 
     graph = dump_database(mapping, db)
     solutions = evaluate_pattern(graph, q.where)
-    if isinstance(q, SelectQuery):
-        return QueryOutcome(
-            result=apply_select_modifiers(q, solutions), used_sql=False
-        )
-    if isinstance(q, AskQuery):
-        return QueryOutcome(result=bool(solutions), used_sql=False)
-    constructed = Graph()
-    for solution in solutions:
-        constructed.add_all(instantiate(q.template, solution))
-    return QueryOutcome(result=constructed, used_sql=False)
+    return outcome_from_solutions(q, solutions, used_sql=False)

@@ -47,6 +47,14 @@ class Database:
         self._txn: Optional[Transaction] = None
         #: Count of statements executed (used by benchmarks).
         self.statements_executed = 0
+        #: Monotonic counters identifying the visible state.  Prepared
+        #: operations (:mod:`repro.core.session`) cache translated SQL
+        #: keyed by these: ``data_version`` bumps whenever row data may
+        #: have changed (DML that affected rows, rollback), and
+        #: ``schema_version`` bumps on DDL.  Over-bumping is safe (it only
+        #: forces a re-translation); missing a bump would not be.
+        self.data_version = 0
+        self.schema_version = 0
 
     # ------------------------------------------------------------------
     # transaction control
@@ -64,6 +72,8 @@ class Database:
         except Exception:
             txn.rollback()
             self._txn = None
+            # state reverted: translations cached mid-transaction are stale
+            self.data_version += 1
             raise
         txn.commit_cleanup()
         self._txn = None
@@ -72,6 +82,11 @@ class Database:
         txn = self._require_txn()
         txn.rollback()
         self._txn = None
+        self.data_version += 1  # state reverted: cached translations are stale
+
+    def state_version(self) -> tuple:
+        """Opaque token identifying the current visible state."""
+        return (self.schema_version, self.data_version)
 
     def in_transaction(self) -> bool:
         return self._txn is not None
@@ -175,11 +190,14 @@ class Database:
             if self._txn is not None:
                 savepoint = self._txn.statement_savepoint()
                 try:
-                    return self._run_dml(stmt, self._txn, parameters)
+                    result = self._run_dml(stmt, self._txn, parameters)
                 except Exception:
                     # statement-level atomicity inside the transaction
                     self._txn.rollback_to(savepoint)
                     raise
+                if result.rowcount:
+                    self.data_version += 1
+                return result
             txn = Transaction(mode=self.constraint_mode)
             try:
                 result = self._run_dml(stmt, txn, parameters)
@@ -189,6 +207,8 @@ class Database:
                     txn.rollback()
                 raise
             txn.commit_cleanup()
+            if result.rowcount:
+                self.data_version += 1
             return result
         raise DatabaseError(f"cannot execute {type(stmt).__name__}")
 
@@ -286,6 +306,7 @@ class Database:
             del self.data[stmt.name]
             raise
         self.planner.invalidate()  # cached plans may predate the new table
+        self.schema_version += 1
         return Result(columns=[], rows=[])
 
     def _drop_table(self, stmt: ast.DropTable) -> Result:
@@ -296,6 +317,8 @@ class Database:
         self.schema.drop(stmt.name)
         del self.data[stmt.name]
         self.planner.invalidate()  # cached plans reference the dropped table
+        self.schema_version += 1
+        self.data_version += 1  # the dropped table's rows are gone
         return Result(columns=[], rows=[])
 
     # ------------------------------------------------------------------

@@ -278,10 +278,7 @@ class Executor:
             elif len(ref_columns) == 1:
                 found = parent_data.has_value(ref_columns[0], values[0])
             else:
-                found = any(
-                    all(r.get(c) == v for c, v in zip(ref_columns, values))
-                    for _, r in parent_data.scan()
-                )
+                found = parent_data.has_key(ref_columns, values)
             if not found:
                 raise IntegrityError(
                     f"foreign key violation: {table.name}."
@@ -336,13 +333,7 @@ class Executor:
             if len(fk.columns) == 1:
                 referenced = child_data.has_value(fk.columns[0], values[0])
             else:
-                referenced = any(
-                    all(
-                        r.get(c) == v
-                        for c, v in zip(fk.columns, values)
-                    )
-                    for _, r in child_data.scan()
-                )
+                referenced = child_data.has_key(tuple(fk.columns), values)
             if referenced:
                 raise IntegrityError(
                     f"foreign key violation: rows in {child.name!r} still "

@@ -109,6 +109,45 @@ class _SecondaryIndex:
         return value in self._entries
 
 
+class _CompositeIndex:
+    """Non-unique index over a column tuple: key tuple -> set of row ids.
+
+    Backs composite-foreign-key existence checks so multi-column FK
+    validation probes a hash instead of scanning the table.  Keys with a
+    NULL component are not indexed (a NULL FK component never violates,
+    and SQL composite keys with NULLs never match).
+    """
+
+    __slots__ = ("columns", "_entries")
+
+    def __init__(self, columns: Tuple[str, ...]) -> None:
+        self.columns = columns
+        self._entries: Dict[Tuple[Any, ...], Set[int]] = {}
+
+    def key_for(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        key = tuple(row.get(col) for col in self.columns)
+        if any(v is None for v in key):
+            return None
+        return key
+
+    def insert(self, row: Row, rowid: int) -> None:
+        key = self.key_for(row)
+        if key is not None:
+            self._entries.setdefault(key, set()).add(rowid)
+
+    def remove(self, row: Row, rowid: int) -> None:
+        key = self.key_for(row)
+        if key is not None:
+            ids = self._entries.get(key)
+            if ids is not None:
+                ids.discard(rowid)
+                if not ids:
+                    del self._entries[key]
+
+    def contains_key(self, key: Tuple[Any, ...]) -> bool:
+        return key in self._entries
+
+
 class TableData:
     """Rows plus indexes for one table."""
 
@@ -131,10 +170,18 @@ class TableData:
         # Secondary indexes accelerate FK existence checks both ways:
         # child-side lookup by FK value and parent-side reverse lookup.
         self.secondary_indexes: Dict[str, _SecondaryIndex] = {}
+        # Composite (multi-column) indexes for composite FKs; additional
+        # ones are built on demand via :meth:`ensure_composite_index`.
+        self.composite_indexes: Dict[Tuple[str, ...], _CompositeIndex] = {}
         for fk in table.foreign_keys:
             if len(fk.columns) == 1:
                 col = fk.columns[0]
                 self.secondary_indexes.setdefault(col, _SecondaryIndex(col))
+            else:
+                columns = tuple(fk.columns)
+                self.composite_indexes.setdefault(
+                    columns, _CompositeIndex(columns)
+                )
 
     # -- mutation (raw: no constraint semantics beyond uniqueness) -------------
 
@@ -165,6 +212,8 @@ class TableData:
             raise
         for index in self.secondary_indexes.values():
             index.insert(row, rowid)
+        for index in self.composite_indexes.values():
+            index.insert(row, rowid)
         self.rows[rowid] = dict(row)
         return rowid
 
@@ -173,6 +222,8 @@ class TableData:
         for index in self.unique_indexes:
             index.remove(row, rowid)
         for index in self.secondary_indexes.values():
+            index.remove(row, rowid)
+        for index in self.composite_indexes.values():
             index.remove(row, rowid)
         return row
 
@@ -196,6 +247,9 @@ class TableData:
         for index in self.secondary_indexes.values():
             index.remove(old, rowid)
             index.insert(new, rowid)
+        for index in self.composite_indexes.values():
+            index.remove(old, rowid)
+            index.insert(new, rowid)
         self.rows[rowid] = new
         return old
 
@@ -204,6 +258,8 @@ class TableData:
         for index in self.unique_indexes:
             index.insert(row, rowid, self.table.name)
         for index in self.secondary_indexes.values():
+            index.insert(row, rowid)
+        for index in self.composite_indexes.values():
             index.insert(row, rowid)
         self.rows[rowid] = dict(row)
 
@@ -264,6 +320,27 @@ class TableData:
         insertion (rowid) order."""
         for rowid in sorted(self.find_by_value(column, value)):
             yield rowid, self.rows[rowid]
+
+    def ensure_composite_index(self, columns: Tuple[str, ...]) -> _CompositeIndex:
+        """The composite index on ``columns``, built from the current rows
+        on first request and maintained incrementally afterwards.
+
+        Used by the constraint checker so composite-FK validation (both
+        the child-side existence probe and the parent-side RESTRICT
+        check) stays index-backed instead of falling back to full scans.
+        """
+        columns = tuple(columns)
+        index = self.composite_indexes.get(columns)
+        if index is None:
+            index = _CompositeIndex(columns)
+            for rowid, row in self.rows.items():
+                index.insert(row, rowid)
+            self.composite_indexes[columns] = index
+        return index
+
+    def has_key(self, columns: Tuple[str, ...], key: Tuple[Any, ...]) -> bool:
+        """Index-backed composite existence probe."""
+        return self.ensure_composite_index(columns).contains_key(tuple(key))
 
     def has_value(self, column: str, value: Any) -> bool:
         index = self.secondary_indexes.get(column)

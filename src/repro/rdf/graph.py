@@ -55,6 +55,9 @@ class Graph:
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
+        #: Active undo journal: inverse operations recorded per effective
+        #: mutation (see :meth:`start_journal`), or None when inactive.
+        self._journal: Optional[list] = None
         if triples is not None:
             for triple in triples:
                 self.add(triple)
@@ -74,6 +77,8 @@ class Graph:
         _index_add(self._pos, p, o, s)
         _index_add(self._osp, o, s, p)
         self._size += 1
+        if self._journal is not None:
+            self._journal.append((False, triple))  # undo: remove it again
         return True
 
     def remove(self, triple: Triple) -> bool:
@@ -85,7 +90,45 @@ class Graph:
         _index_remove(self._pos, p, o, s)
         _index_remove(self._osp, o, s, p)
         self._size -= 1
+        if self._journal is not None:
+            self._journal.append((True, triple))  # undo: add it back
         return True
+
+    # -- undo journal ------------------------------------------------------
+
+    def start_journal(self) -> None:
+        """Begin recording inverse operations for every effective mutation.
+
+        Powers cheap O(changes) transactions over the graph (see
+        :class:`repro.core.backend.TripleStoreBackend`) — a snapshot copy
+        would cost O(graph) per transaction instead.
+        """
+        if self._journal is not None:
+            raise ValueError("a journal is already active")
+        self._journal = []
+
+    def commit_journal(self) -> None:
+        """Stop journaling, keeping all mutations."""
+        self._require_journal()
+        self._journal = None
+
+    def rollback_journal(self) -> None:
+        """Undo every journaled mutation (newest first), stop journaling."""
+        entries = self._require_journal()
+        self._journal = None  # undo operations must not journal themselves
+        for was_removal, triple in reversed(entries):
+            if was_removal:
+                self.add(triple)
+            else:
+                self.remove(triple)
+
+    def journaling(self) -> bool:
+        return self._journal is not None
+
+    def _require_journal(self) -> list:
+        if self._journal is None:
+            raise ValueError("no journal is active")
+        return self._journal
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add every triple; return the number of new ones."""
@@ -106,6 +149,8 @@ class Graph:
         return self.remove_all(victims)
 
     def clear(self) -> None:
+        if self._journal is not None:
+            self._journal.extend((True, t) for t in self)
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()

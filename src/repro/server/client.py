@@ -1,15 +1,19 @@
 """HTTP client for the OntoAccess endpoint (stdlib urllib).
 
 Gives applications the remote-manipulation interface the paper describes:
-send SPARQL/Update, receive the parsed RDF feedback graph.
+send SPARQL/Update, receive the parsed RDF feedback graph.  Mirrors the
+SPARQL-Protocol shape of the endpoint: ``application/sparql-update`` /
+``application/sparql-query`` request bodies, JSON query results via
+content negotiation, and atomic batches via ``POST /batch``.
 """
 
 from __future__ import annotations
 
+import json
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 from ..rdf.graph import Graph
 from ..rdf.namespace import OA, RDF
@@ -64,12 +68,51 @@ class OntoAccessClient:
         )
         return Feedback.from_graph(parse_turtle(body), http_ok=status == 200)
 
+    def batch(self, updates: Union[str, Sequence[str]]) -> Feedback:
+        """POST a batch executed inside one database transaction.
+
+        Pass several SPARQL/Update request strings (sent as a JSON array)
+        or a single multi-operation request.  All-or-nothing: on error the
+        endpoint persists nothing and the feedback carries the cause.
+        """
+        if isinstance(updates, str):
+            status, body = self._post(
+                protocol.BATCH_PATH, updates, protocol.CONTENT_SPARQL_UPDATE
+            )
+        else:
+            status, body = self._post(
+                protocol.BATCH_PATH,
+                json.dumps(list(updates)),
+                protocol.CONTENT_JSON,
+            )
+        return _feedback_from_body(status, body)
+
     def query_text(self, sparql_query: str) -> str:
         """POST a SPARQL query; returns the raw textual response."""
         _, body = self._post(
             protocol.QUERY_PATH, sparql_query, protocol.CONTENT_SPARQL_QUERY
         )
         return body
+
+    def query_json(self, sparql_query: str) -> dict:
+        """POST a SPARQL query asking for SPARQL 1.1 JSON results.
+
+        Returns the parsed document: ``{"head": {"vars": [...]},
+        "results": {"bindings": [...]}}`` for SELECT, ``{"head": {},
+        "boolean": ...}`` for ASK.  Raises :class:`~repro.errors.
+        ReproError` with the server's message on a non-200 response.
+        """
+        status, body = self._post(
+            protocol.QUERY_PATH,
+            sparql_query,
+            protocol.CONTENT_SPARQL_QUERY,
+            accept=protocol.CONTENT_SPARQL_JSON,
+        )
+        if status != 200:
+            from ..errors import ReproError
+
+            raise ReproError(f"query failed (HTTP {status}): {body.strip()}")
+        return json.loads(body)
 
     def dump(self) -> Graph:
         """GET the full RDF dump of the mediated database."""
@@ -81,11 +124,20 @@ class OntoAccessClient:
 
     # ------------------------------------------------------------------
 
-    def _post(self, path: str, body: str, content_type: str):
+    def _post(
+        self,
+        path: str,
+        body: str,
+        content_type: str,
+        accept: Optional[str] = None,
+    ):
+        headers = {"Content-Type": content_type}
+        if accept is not None:
+            headers["Accept"] = accept
         request = urllib.request.Request(
             self.base_url + path,
             data=body.encode("utf-8"),
-            headers={"Content-Type": content_type},
+            headers=headers,
             method="POST",
         )
         try:
@@ -99,3 +151,15 @@ class OntoAccessClient:
             self.base_url + path, timeout=self.timeout
         ) as response:
             return response.read().decode("utf-8")
+
+
+def _feedback_from_body(status: int, body: str) -> Feedback:
+    """Feedback from a response that is usually Turtle but may be a
+    plain-text error (e.g. /batch body-validation failures)."""
+    try:
+        graph = parse_turtle(body)
+    except Exception:
+        return Feedback(
+            ok=status == 200, graph=Graph(), message=body.strip() or None
+        )
+    return Feedback.from_graph(graph, http_ok=status == 200)

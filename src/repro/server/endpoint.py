@@ -5,18 +5,25 @@ Usage::
     from repro.server import OntoAccessEndpoint
     endpoint = OntoAccessEndpoint(mediator, port=0)   # 0 = ephemeral port
     endpoint.start()
-    ...  # clients POST SPARQL/Update to http://localhost:{endpoint.port}/update
+    ...  # clients POST SPARQL to http://localhost:{endpoint.port}/update
     endpoint.stop()
 
-The endpoint is intentionally small: request routing and HTTP concerns
-live here, all semantics live in the mediator.  ``handle_update`` /
-``handle_query`` are also callable directly (no network) so tests can
-exercise the protocol logic in isolation.
+The endpoint is intentionally small: request routing, content negotiation
+and HTTP concerns live here, all semantics live in the mediator's
+:class:`~repro.core.session.Session`.  The endpoint drives one shared
+session, so repeated operation texts hit the prepared-operation cache
+(parse + translation amortized across requests) and the session's internal
+lock serializes the ``ThreadingHTTPServer``'s concurrent handlers — no
+interleaved transactions, no corrupted caches.  ``handle_update`` /
+``handle_query`` / ``handle_batch`` are also callable directly (no
+network) so tests can exercise the protocol logic in isolation.
 """
 
 from __future__ import annotations
 
+import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -32,10 +39,13 @@ __all__ = ["OntoAccessEndpoint"]
 
 
 class OntoAccessEndpoint:
-    """Serves a mediator over HTTP."""
+    """Serves a mediator over HTTP (SPARQL-Protocol-shaped)."""
 
     def __init__(self, mediator: OntoAccess, host: str = "127.0.0.1", port: int = 0) -> None:
         self.mediator = mediator
+        #: One session shared by all handler threads: its lock serializes
+        #: execution; its prepared cache amortizes repeated texts.
+        self.session = mediator.session()
         self.host = host
         self._requested_port = port
         self._server: Optional[ThreadingHTTPServer] = None
@@ -43,40 +53,99 @@ class OntoAccessEndpoint:
         #: simple request counters for monitoring/benchmarks
         self.requests_served = 0
         self.errors_returned = 0
+        self._stats_lock = threading.Lock()
+
+    def _count(self, error: bool = False) -> None:
+        with self._stats_lock:
+            self.requests_served += 1
+            if error:
+                self.errors_returned += 1
 
     # ------------------------------------------------------------------
     # protocol handlers (network-independent)
     # ------------------------------------------------------------------
 
     def handle_update(self, body: str) -> Response:
-        """POST /update: translate + execute, answer with RDF feedback."""
-        self.requests_served += 1
+        """POST /update: translate + execute, answer with RDF feedback.
+
+        Placeholders are rejected at parse time (the wire protocol has no
+        bindings), preserving the submission's concreteness rule.
+        """
         try:
-            result = self.mediator.update(body)
-        except (TranslationError,) as exc:
-            self.errors_returned += 1
+            result = self.session.prepare_update(
+                body, allow_placeholders=False
+            ).execute()
+        except TranslationError as exc:
+            self._count(error=True)
             return Response.turtle(error_graph(exc), status=400)
         except SPARQLParseError as exc:
-            self.errors_returned += 1
-            parse_error = TranslationError(
-                f"cannot parse request: {exc}",
-                code=TranslationError.UNSUPPORTED,
-            )
-            return Response.turtle(error_graph(parse_error), status=400)
+            self._count(error=True)
+            return Response.turtle(error_graph(_parse_error(exc)), status=400)
+        self._count()
         return Response.turtle(result.feedback(), status=200)
 
-    def handle_query(self, body: str) -> Response:
-        """POST /query: SELECT/ASK/CONSTRUCT over the mediated database."""
-        self.requests_served += 1
+    def handle_batch(self, body: str, content_type: Optional[str] = None) -> Response:
+        """POST /batch: all operations inside one database transaction.
+
+        ``application/json`` bodies carry an array of SPARQL/Update
+        request strings; anything else is one (possibly multi-operation)
+        SPARQL/Update request.  On error nothing is persisted.
+        """
         try:
-            result = self.mediator.query(body)
+            if (
+                content_type
+                and content_type.split(";")[0].strip().lower()
+                == protocol.CONTENT_JSON
+            ):
+                requests = json.loads(body)
+                if not isinstance(requests, list) or not all(
+                    isinstance(r, str) for r in requests
+                ):
+                    self._count(error=True)
+                    return Response.text(
+                        "batch body must be a JSON array of SPARQL/Update "
+                        "strings",
+                        status=400,
+                    )
+            else:
+                requests = [body]
+            result = self.session.execute_all(requests)
+        except json.JSONDecodeError as exc:
+            self._count(error=True)
+            return Response.text(f"invalid JSON body: {exc}", status=400)
+        except TranslationError as exc:
+            self._count(error=True)
+            return Response.turtle(error_graph(exc), status=400)
+        except SPARQLParseError as exc:
+            self._count(error=True)
+            return Response.turtle(error_graph(_parse_error(exc)), status=400)
+        self._count()
+        return Response.turtle(result.feedback(), status=200)
+
+    def handle_query(self, body: str, accept: Optional[str] = None) -> Response:
+        """POST /query (or GET): SELECT/ASK/CONSTRUCT over the mediated
+        database, content-negotiated via ``accept``."""
+        try:
+            result = self.session.query(body)
         except (ReproError,) as exc:
-            self.errors_returned += 1
+            self._count(error=True)
             return Response.text(f"error: {exc}", status=400)
+        self._count()
+        wants_json = protocol.accepts(accept, protocol.CONTENT_SPARQL_JSON)
         if isinstance(result, bool):
+            if wants_json:
+                return Response.json(
+                    protocol.render_ask_json(result),
+                    content_type=protocol.CONTENT_SPARQL_JSON,
+                )
             return Response.text("true" if result else "false")
         if isinstance(result, Graph):
             return Response.turtle(result)
+        if wants_json:
+            return Response.json(
+                protocol.render_select_json(result),
+                content_type=protocol.CONTENT_SPARQL_JSON,
+            )
         return Response(
             status=200,
             body=protocol.render_select_result(result),
@@ -84,11 +153,11 @@ class OntoAccessEndpoint:
         )
 
     def handle_dump(self) -> Response:
-        self.requests_served += 1
-        return Response.turtle(self.mediator.dump())
+        self._count()
+        return Response.turtle(self.session.dump())
 
     def handle_mapping(self) -> Response:
-        self.requests_served += 1
+        self._count()
         return Response(
             status=200,
             body=mapping_to_turtle(self.mediator.mapping),
@@ -129,18 +198,41 @@ class OntoAccessEndpoint:
             def do_POST(self) -> None:
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length).decode("utf-8")
-                if self.path == protocol.UPDATE_PATH:
+                path = urllib.parse.urlsplit(self.path).path
+                accept = self.headers.get("Accept")
+                content_type = self.headers.get("Content-Type")
+                if path == protocol.UPDATE_PATH:
                     self._send(endpoint.handle_update(body))
-                elif self.path == protocol.QUERY_PATH:
-                    self._send(endpoint.handle_query(body))
+                elif path == protocol.QUERY_PATH:
+                    self._send(endpoint.handle_query(body, accept=accept))
+                elif path == protocol.BATCH_PATH:
+                    self._send(
+                        endpoint.handle_batch(body, content_type=content_type)
+                    )
                 else:
                     self._send(Response.text("not found", status=404))
 
             def do_GET(self) -> None:
-                if self.path == protocol.DUMP_PATH:
+                split = urllib.parse.urlsplit(self.path)
+                if split.path == protocol.DUMP_PATH:
                     self._send(endpoint.handle_dump())
-                elif self.path == protocol.MAPPING_PATH:
+                elif split.path == protocol.MAPPING_PATH:
                     self._send(endpoint.handle_mapping())
+                elif split.path == protocol.QUERY_PATH:
+                    # SPARQL Protocol: GET /query?query=<urlencoded>
+                    params = urllib.parse.parse_qs(split.query)
+                    queries = params.get("query")
+                    if not queries:
+                        endpoint._count(error=True)
+                        self._send(
+                            Response.text("missing query parameter", status=400)
+                        )
+                        return
+                    self._send(
+                        endpoint.handle_query(
+                            queries[0], accept=self.headers.get("Accept")
+                        )
+                    )
                 else:
                     self._send(Response.text("not found", status=404))
 
@@ -165,3 +257,10 @@ class OntoAccessEndpoint:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+def _parse_error(exc: SPARQLParseError) -> TranslationError:
+    return TranslationError(
+        f"cannot parse request: {exc}",
+        code=TranslationError.UNSUPPORTED,
+    )

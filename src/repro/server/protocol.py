@@ -1,51 +1,70 @@
 """Wire protocol of the OntoAccess HTTP endpoint.
 
 The prototype (paper Section 6) is "implemented as a HTTP endpoint" that
-"allows clients to remotely manipulate the relational data": SPARQL/Update
-operations arrive in HTTP requests, the translated SQL runs on the
-database, and "a confirmation or error message ... is then converted to an
-RDF representation and sent back to the client."
+"allows clients to remotely manipulate the relational data".  Since
+ISSUE 2 the endpoint is shaped after the W3C SPARQL Protocol: operations
+arrive as ``application/sparql-update`` / ``application/sparql-query``
+request bodies, and responses are content-negotiated.
 
 Endpoints:
 
 * ``POST /update`` — body: SPARQL/Update (``application/sparql-update``);
   response: RDF feedback graph as Turtle (confirmation or error, HTTP 200
   vs 400).
-* ``POST /query``  — body: SPARQL query; response: SELECT results as a
-  simple tab-separated table, ASK as ``true``/``false``, CONSTRUCT as
-  Turtle.
+* ``POST /query`` / ``GET /query?query=…`` — body (or ``query`` URL
+  parameter): a SPARQL query.  Response depends on the ``Accept`` header:
+  ``application/sparql-results+json`` returns SPARQL 1.1 JSON results for
+  SELECT/ASK; the default is a simple tab-separated table for SELECT and
+  ``true``/``false`` for ASK.  CONSTRUCT always returns Turtle.
+* ``POST /batch``   — a batch executed inside **one** database
+  transaction (all-or-nothing, :meth:`Session.execute_all`).  Body is
+  either a JSON array of SPARQL/Update request strings
+  (``application/json``) or a single multi-operation request
+  (``application/sparql-update``).
 * ``GET /dump``    — the mapped database as Turtle.
 * ``GET /mapping`` — the R3M mapping document as Turtle.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Optional
 
 from ..rdf.graph import Graph
 from ..rdf.serialize import to_turtle
+from ..rdf.terms import BNode, Literal, Term, URIRef
 
 __all__ = [
     "UPDATE_PATH",
     "QUERY_PATH",
+    "BATCH_PATH",
     "DUMP_PATH",
     "MAPPING_PATH",
     "CONTENT_TURTLE",
     "CONTENT_SPARQL_UPDATE",
     "CONTENT_SPARQL_QUERY",
+    "CONTENT_SPARQL_JSON",
+    "CONTENT_JSON",
+    "CONTENT_TEXT",
     "Response",
+    "accepts",
+    "render_ask_json",
+    "render_select_json",
     "render_select_result",
 ]
 
 UPDATE_PATH = "/update"
 QUERY_PATH = "/query"
+BATCH_PATH = "/batch"
 DUMP_PATH = "/dump"
 MAPPING_PATH = "/mapping"
 
 CONTENT_TURTLE = "text/turtle; charset=utf-8"
 CONTENT_SPARQL_UPDATE = "application/sparql-update"
 CONTENT_SPARQL_QUERY = "application/sparql-query"
+CONTENT_SPARQL_JSON = "application/sparql-results+json"
+CONTENT_JSON = "application/json"
 CONTENT_TEXT = "text/plain; charset=utf-8"
 
 
@@ -65,6 +84,33 @@ class Response:
     def text(cls, body: str, status: int = 200) -> "Response":
         return cls(status=status, body=body, content_type=CONTENT_TEXT)
 
+    @classmethod
+    def json(cls, payload, status: int = 200, content_type: str = CONTENT_JSON) -> "Response":
+        return cls(
+            status=status,
+            body=json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            content_type=content_type,
+        )
+
+
+def accepts(accept: Optional[str], media_type: str) -> bool:
+    """True when the Accept header explicitly lists ``media_type``.
+
+    Deliberately minimal: exact media-type membership, no q-values.  An
+    absent header or ``*/*`` selects the endpoint's default rendering, so
+    they do not count as an explicit request.
+    """
+    if not accept:
+        return False
+    for part in accept.split(","):
+        if part.split(";")[0].strip().lower() == media_type:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# result renderings
+# ---------------------------------------------------------------------------
 
 def render_select_result(result) -> str:
     """SELECT results as a header + tab-separated rows (one per solution)."""
@@ -75,3 +121,35 @@ def render_select_result(result) -> str:
             "\t".join("" if term is None else term.n3() for term in row)
         )
     return "\n".join(lines) + "\n"
+
+
+def _term_json(term: Term) -> dict:
+    """One RDF term in SPARQL 1.1 Query Results JSON form."""
+    if isinstance(term, URIRef):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        binding = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            binding["xml:lang"] = term.language
+        elif term.datatype is not None:
+            binding["datatype"] = term.datatype
+        return binding
+    raise TypeError(f"cannot serialize {type(term).__name__} to JSON")
+
+
+def render_select_json(result) -> dict:
+    """SELECT results as a SPARQL 1.1 Query Results JSON document."""
+    variables = [v.name for v in result.variables]
+    bindings = []
+    for solution in result.solutions:
+        bindings.append(
+            {v.name: _term_json(t) for v, t in solution.items() if t is not None}
+        )
+    return {"head": {"vars": variables}, "results": {"bindings": bindings}}
+
+
+def render_ask_json(value: bool) -> dict:
+    """ASK results as a SPARQL 1.1 Query Results JSON document."""
+    return {"head": {}, "boolean": bool(value)}

@@ -16,7 +16,10 @@ that the submission's MODIFY generalizes:
     Clear       := 'CLEAR'
 
 INSERT DATA / DELETE DATA payloads must be concrete (no variables) — the
-parser enforces this, matching the submission.
+parser enforces this, matching the submission.  Prepared operations
+(:mod:`repro.core.session`) relax the rule: with ``allow_placeholders``
+the data blocks may contain variables that are bound to concrete terms at
+execute time, mirroring SQL prepared-statement parameters.
 """
 
 from __future__ import annotations
@@ -38,12 +41,26 @@ from .update_ast import (
 __all__ = ["parse_update", "UpdateParser"]
 
 
-def parse_update(text: str, prefixes: Optional[PrefixMap] = None) -> UpdateRequest:
-    """Parse a SPARQL/Update request string."""
-    return UpdateParser(text, prefixes=prefixes).request()
+def parse_update(
+    text: str,
+    prefixes: Optional[PrefixMap] = None,
+    allow_placeholders: bool = False,
+) -> UpdateRequest:
+    """Parse a SPARQL/Update request string.
+
+    ``allow_placeholders`` permits variables inside INSERT DATA / DELETE
+    DATA blocks (prepared-operation templates); by default the submission's
+    concreteness rule is enforced.
+    """
+    parser = UpdateParser(text, prefixes=prefixes)
+    parser.allow_placeholders = allow_placeholders
+    return parser.request()
 
 
 class UpdateParser(SPARQLParserBase):
+    #: When True, data blocks may contain variables (prepared templates).
+    allow_placeholders = False
+
     def request(self) -> UpdateRequest:
         self.parse_prologue()
         operations: List[UpdateOperation] = [self._operation()]
@@ -118,9 +135,10 @@ class UpdateParser(SPARQLParserBase):
         self.expect("{")
         triples = self.parse_triples_block(allow_variables=True)
         self.expect("}")
-        for triple in triples:
-            if not triple.is_concrete():
-                raise self.error(
-                    f"{operation} must not contain variables: {triple.n3()}"
-                )
+        if not self.allow_placeholders:
+            for triple in triples:
+                if not triple.is_concrete():
+                    raise self.error(
+                        f"{operation} must not contain variables: {triple.n3()}"
+                    )
         return tuple(triples)

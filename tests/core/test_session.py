@@ -1,0 +1,550 @@
+"""Tests for the Session / PreparedOperation API (ISSUE 2 tentpole).
+
+Covers: prepared updates (translation replay keyed on the database state
+version), placeholder bindings, prepared queries, atomic batches via
+``execute_all``, explicit transaction scope, the pluggable-backend
+contract, and the facade staying a thin shim over a default session.
+"""
+
+import threading
+
+import pytest
+
+from repro import (
+    OntoAccess,
+    RelationalBackend,
+    Session,
+    TranslationError,
+    TripleStoreBackend,
+)
+from repro.baselines import MappingAwareTripleStore
+from repro.core.session import PreparedQuery, PreparedUpdate
+from repro.rdf.terms import Literal, URIRef
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+PREFIXES = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+"""
+
+INSERT_TEAM = PREFIXES + """
+INSERT DATA {
+    ex:team4 foaf:name "Database Technology" ;
+             ont:teamCode "DBTG" .
+}
+"""
+
+INSERT_TEAM_TEMPLATE = PREFIXES + """
+INSERT DATA {
+    ex:team7 foaf:name ?name ;
+             ont:teamCode ?code .
+}
+"""
+
+QUERY_NAMES = (
+    PREFIXES + "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+)
+
+BAD_INSERT = PREFIXES + 'INSERT DATA { ex:author9 foaf:firstName "NoLast" . }'
+
+
+def make_mediator(seed: bool = True) -> OntoAccess:
+    db = build_database()
+    if seed:
+        seed_feasibility_data(db)
+    return OntoAccess(db, build_mapping(db))
+
+
+@pytest.fixture
+def mediator():
+    return make_mediator()
+
+
+@pytest.fixture
+def session(mediator):
+    return mediator.session()
+
+
+class TestPrepare:
+    def test_prepare_sniffs_update_vs_query(self, session):
+        assert isinstance(session.prepare(INSERT_TEAM), PreparedUpdate)
+        assert isinstance(session.prepare(QUERY_NAMES), PreparedQuery)
+
+    def test_sniffing_ignores_keywords_inside_iris_and_strings(self, session):
+        """'delete' inside a prefix IRI must not route a SELECT to the
+        update parser (and vice versa)."""
+        query = (
+            "PREFIX ex: <http://example.org/delete/>\n"
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+            "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+        )
+        assert isinstance(session.prepare(query), PreparedQuery)
+        update = (
+            "PREFIX ex: <http://example.org/select/>\n"
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+            'INSERT DATA { ex:author3 foaf:family_name "AskConstruct" . }'
+        )
+        assert isinstance(session.prepare(update), PreparedUpdate)
+        commented = (
+            "# first delete nothing, then query\n"
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+            "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+        )
+        assert isinstance(session.prepare(commented), PreparedQuery)
+
+    def test_prepare_falls_back_when_sniff_is_wrong(self, session):
+        """A prefix *label* shaped like an update keyword fools the
+        sniff; the parse-failure fallback must still route correctly."""
+        query = (
+            "PREFIX insert: <http://example.org/i/>\n"
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+            "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+        )
+        prepared = session.prepare(query)
+        assert isinstance(prepared, PreparedQuery)
+        assert len(prepared.execute().rows()) == 1
+
+    def test_prepare_is_cached_by_text(self, session):
+        assert session.prepare(INSERT_TEAM) is session.prepare(INSERT_TEAM)
+        assert session.prepare(QUERY_NAMES) is session.prepare(QUERY_NAMES)
+
+    def test_prepared_update_matches_facade_sql(self, session):
+        prepared = session.prepare(INSERT_TEAM)
+        facade = make_mediator()
+        assert prepared.execute().sql() == facade.update(INSERT_TEAM).sql()
+
+    def test_repeated_execute_is_idempotent(self, session, mediator):
+        prepared = session.prepare(INSERT_TEAM)
+        for _ in range(5):
+            prepared.execute()
+        assert mediator.db.get_row_by_pk("team", (4,)) is not None
+        assert mediator.db.row_count("team") == 2  # seed team + team4
+
+    def test_replay_cache_sees_external_state_changes(self, session, mediator):
+        """The translation cache must invalidate when anyone else changes
+        the database between two executes of the same prepared op."""
+        prepared = session.prepare(INSERT_TEAM)
+        prepared.execute()
+        prepared.execute()  # steady state: translation replayed
+        # an outside write deletes the row behind the prepared op's back
+        mediator.db.execute("DELETE FROM team WHERE id = 4")
+        assert mediator.db.get_row_by_pk("team", (4,)) is None
+        prepared.execute()  # must re-translate, not replay the no-op
+        assert mediator.db.get_row_by_pk("team", (4,)) is not None
+
+    def test_prepared_translation_error_repeats(self, session):
+        prepared = session.prepare(BAD_INSERT)
+        for _ in range(2):
+            with pytest.raises(TranslationError):
+                prepared.execute()
+
+
+class TestBindings:
+    def test_insert_with_bound_literals(self, session, mediator):
+        prepared = session.prepare(INSERT_TEAM_TEMPLATE)
+        prepared.execute(bindings={"name": "Systems", "code": "SYS"})
+        row = mediator.db.get_row_by_pk("team", (7,))
+        assert row == {"id": 7, "name": "Systems", "code": "SYS"}
+
+    def test_bindings_accept_terms_and_python_values(self, session, mediator):
+        prepared = session.prepare(
+            PREFIXES + "INSERT DATA { ex:author8 foaf:family_name ?last . }"
+        )
+        prepared.execute(bindings={"last": Literal("Gall")})
+        assert mediator.db.get_row_by_pk("author", (8,))["lastname"] == "Gall"
+
+    def test_unbound_placeholder_is_rejected(self, session):
+        prepared = session.prepare(INSERT_TEAM_TEMPLATE)
+        with pytest.raises(TranslationError, match="unbound placeholder"):
+            prepared.execute()
+        with pytest.raises(TranslationError, match="unbound placeholder"):
+            prepared.execute(bindings={"name": "only one"})
+
+    def test_modify_with_bound_where(self, session, mediator):
+        prepared = session.prepare(
+            PREFIXES
+            + """
+            MODIFY
+            DELETE { ?x foaf:mbox ?m . }
+            INSERT { ?x foaf:mbox ?new . }
+            WHERE { ?x foaf:family_name ?who ; foaf:mbox ?m . }
+            """
+        )
+        prepared.execute(
+            bindings={
+                "who": "Hert",
+                "new": URIRef("mailto:new@example.org"),
+            }
+        )
+        assert mediator.db.get_row_by_pk("author", (6,))["email"] == (
+            "new@example.org"
+        )
+
+    def test_distinct_bindings_insert_distinct_rows(self, session, mediator):
+        prepared = session.prepare(
+            PREFIXES + "INSERT DATA { ex:team8 ont:teamCode ?c . }"
+        )
+        # first execution creates the row; a later different binding is a
+        # (correctly rejected) multi-value overwrite
+        prepared.execute(bindings={"c": "A"})
+        with pytest.raises(TranslationError):
+            prepared.execute(bindings={"c": "B"})
+        assert mediator.db.get_row_by_pk("team", (8,))["code"] == "A"
+
+
+class TestPreparedQuery:
+    def test_query_reflects_state_changes(self, session):
+        prepared = session.prepare(QUERY_NAMES)
+        before = {r[0].lexical for r in prepared.execute().rows()}
+        assert before == {"Hert"}
+        session.execute(
+            PREFIXES + 'INSERT DATA { ex:author2 foaf:family_name "Reif" . }'
+        )
+        after = {r[0].lexical for r in prepared.execute().rows()}
+        assert after == {"Hert", "Reif"}
+
+    def test_query_bindings_narrow_results(self, session):
+        prepared = session.prepare(QUERY_NAMES)
+        session.execute(
+            PREFIXES + 'INSERT DATA { ex:author2 foaf:family_name "Reif" . }'
+        )
+        rows = prepared.execute(bindings={"n": "Reif"}).rows()
+        assert len(rows) == 1
+
+    def test_prepared_outcome_uses_sql(self, session):
+        outcome = session.prepare(QUERY_NAMES).outcome()
+        assert outcome.used_sql
+        assert "SELECT" in (outcome.select_sql or "")
+
+    def test_prepared_untranslatable_query_falls_back(self, session):
+        """A pattern outside the translatable fragment is remembered as
+        unsupported and evaluated over the dump on every execute."""
+        prepared = session.prepare("SELECT ?p WHERE { ?x ?p ?o . }")
+        first = prepared.outcome()
+        assert not first.used_sql
+        second = prepared.outcome()  # the cached-unsupported path
+        assert not second.used_sql
+        assert len(second.result) == len(first.result) > 0
+
+    def test_prepared_query_survives_ddl(self, session, mediator):
+        prepared = session.prepare(QUERY_NAMES)
+        prepared.execute()
+        mediator.db.execute(
+            "CREATE TABLE extra (id INTEGER PRIMARY KEY)"
+        )  # schema_version bump: translation must be rebuilt, not crash
+        assert {r[0].lexical for r in prepared.execute().rows()} == {"Hert"}
+
+
+class TestBatchesAndTransactions:
+    def test_execute_all_commits_all(self, session, mediator):
+        result = session.execute_all(
+            [
+                PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }',
+                PREFIXES + 'INSERT DATA { ex:team2 foaf:name "Two" . }',
+            ]
+        )
+        assert len(result.operations) == 2
+        assert mediator.db.row_count("team") == 3  # seed + 2
+
+    def test_execute_all_is_atomic(self, session, mediator):
+        """Facade semantics commit op 1 even when op 2 fails; a batch
+        must roll everything back."""
+        before = mediator.db.row_count("team")
+        with pytest.raises(TranslationError):
+            session.execute_all(
+                [
+                    PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }',
+                    BAD_INSERT,
+                ]
+            )
+        assert mediator.db.row_count("team") == before
+        assert not mediator.db.in_transaction()
+
+    def test_facade_commits_leading_ops(self, mediator):
+        """Contrast case: the one-txn-per-operation facade rule."""
+        request = (
+            PREFIXES
+            + 'INSERT DATA { ex:team1 foaf:name "One" . } ; '
+            + 'INSERT DATA { ex:author9 foaf:firstName "NoLast" . }'
+        )
+        with pytest.raises(TranslationError):
+            mediator.update(request)
+        assert mediator.db.get_row_by_pk("team", (1,)) is not None
+
+    def test_transaction_context_commits(self, session, mediator):
+        with session.transaction():
+            session.execute(PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }')
+            session.execute(PREFIXES + 'INSERT DATA { ex:team2 foaf:name "Two" . }')
+        assert mediator.db.row_count("team") == 3
+        assert not mediator.db.in_transaction()
+
+    def test_transaction_context_rolls_back(self, session, mediator):
+        before = mediator.db.row_count("team")
+        with pytest.raises(TranslationError):
+            with session.transaction():
+                session.execute(
+                    PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }'
+                )
+                session.execute(BAD_INSERT)
+        assert mediator.db.row_count("team") == before
+        assert not mediator.db.in_transaction()
+
+    def test_error_never_leaves_transaction_open(self, session, mediator):
+        with pytest.raises(TranslationError):
+            session.execute(BAD_INSERT)
+        assert not mediator.db.in_transaction()
+        # the session is immediately usable again
+        session.execute(PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }')
+        assert mediator.db.get_row_by_pk("team", (1,)) is not None
+
+
+def _triplestore_session(mediator: OntoAccess) -> Session:
+    store = MappingAwareTripleStore(
+        mediator.mapping, mediator.db, graph=mediator.dump()
+    )
+    return Session(TripleStoreBackend(store))
+
+
+class TestPluggableBackends:
+    """Both Backend implementations behind one Session interface."""
+
+    def test_same_ops_same_graph(self, mediator):
+        rdb = mediator.session()
+        native = _triplestore_session(mediator)
+        ops = [
+            PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }',
+            PREFIXES
+            + 'INSERT DATA { ex:author1 foaf:family_name "Solo" ; ont:team ex:team1 . }',
+            PREFIXES + 'DELETE DATA { ex:author1 ont:team ex:team1 . }',
+        ]
+        for op in ops:
+            rdb.execute(op)
+            native.execute(op)
+        assert rdb.dump() == native.dump()
+
+    def test_prepared_operations_on_both_backends(self, mediator):
+        rdb = mediator.session()
+        native = _triplestore_session(mediator)
+        for sess in (rdb, native):
+            prepared = sess.prepare(INSERT_TEAM)
+            prepared.execute()
+            prepared.execute()
+        assert rdb.dump() == native.dump()
+
+    def test_batch_rolls_back_on_both_backends(self, mediator):
+        rdb = mediator.session()
+        native = _triplestore_session(mediator)
+        baseline = rdb.dump()
+        ops = [
+            PREFIXES + 'INSERT DATA { ex:team1 foaf:name "One" . }',
+            "NOT SPARQL {",
+        ]
+        for sess in (rdb, native):
+            with pytest.raises(Exception):
+                sess.execute_all(ops)
+        assert rdb.dump() == baseline
+        assert native.dump() == baseline
+
+    def test_queries_agree_across_backends(self, mediator):
+        rdb = mediator.session()
+        native = _triplestore_session(mediator)
+        op = PREFIXES + 'INSERT DATA { ex:author2 foaf:family_name "Reif" . }'
+        rdb.execute(op)
+        native.execute(op)
+        names_rdb = sorted(r[0].lexical for r in rdb.query(QUERY_NAMES).rows())
+        names_native = sorted(
+            r[0].lexical for r in native.query(QUERY_NAMES).rows()
+        )
+        assert names_rdb == names_native == ["Hert", "Reif"]
+
+    def test_triplestore_explicit_rollback_restores_graph(self, mediator):
+        """The graph undo journal (O(changes), not a snapshot) must
+        restore the oracle exactly on explicit rollback."""
+        native = _triplestore_session(mediator)
+        before = native.dump()
+        native.begin()
+        native.execute(
+            PREFIXES + 'INSERT DATA { ex:author2 foaf:family_name "Reif" . }'
+        )
+        assert len(native.dump()) > len(before)
+        native.rollback()
+        assert native.dump() == before
+        with native.transaction():
+            native.execute(
+                PREFIXES + 'INSERT DATA { ex:author2 foaf:family_name "Reif" . }'
+            )
+        assert len(native.dump()) == len(before) + 2  # name + implied type
+
+    def test_transaction_misuse_raises_uniformly(self, mediator):
+        """Both backends raise TransactionError (a ReproError) for
+        commit/rollback without an open transaction, so Session code
+        survives a backend swap."""
+        from repro.errors import TransactionError
+
+        for sess in (mediator.session(), _triplestore_session(mediator)):
+            with pytest.raises(TransactionError):
+                sess.commit()
+            with pytest.raises(TransactionError):
+                sess.rollback()
+            with pytest.raises(TransactionError):
+                sess.begin()
+                sess.begin()
+            sess.rollback()
+
+    def test_backend_names(self, mediator):
+        assert RelationalBackend(mediator.db, mediator.mapping).name == "rdb"
+        assert _triplestore_session(mediator).backend.name == "triplestore"
+
+
+class TestFacadeShim:
+    def test_facade_session_shares_database(self, mediator):
+        session = mediator.session()
+        session.execute(INSERT_TEAM)
+        # visible through the facade and its dump
+        assert mediator.db.get_row_by_pk("team", (4,)) is not None
+        assert len(mediator.dump()) > 0
+
+    def test_mutated_result_does_not_poison_replay_cache(self, session, mediator):
+        """result.statements is the caller's to mutate; the prepared
+        replay cache must hold its own copy."""
+        prepared = session.prepare(INSERT_TEAM)
+        prepared.execute()
+        steady = prepared.execute()  # replayed (no-op) result
+        steady.operations[0].statements.append("garbage")
+        again = prepared.execute()
+        assert "garbage" not in again.operations[0].statements
+        assert mediator.db.get_row_by_pk("team", (4,)) is not None
+
+    def test_mapping_reassignment_reaches_execution(self, mediator):
+        """oa.mapping = new_mapping must affect later calls (and
+        invalidate prepared translations via the mapping generation)."""
+        from repro.workloads.publication import build_mapping
+
+        session = mediator.session()
+        prepared = session.prepare(QUERY_NAMES)
+        assert len(prepared.execute().rows()) == 1
+        new_mapping = build_mapping(mediator.db)
+        mediator.mapping = new_mapping
+        assert mediator.mapping is new_mapping
+        assert mediator._backend.mapping is new_mapping
+        # prepared objects keep working, re-translated under the new mapping
+        assert len(prepared.execute().rows()) == 1
+
+    def test_facade_flags_propagate_to_backend(self, mediator):
+        mediator.force_query_fallback = True
+        assert not mediator.query_outcome(QUERY_NAMES).used_sql
+        mediator.force_query_fallback = False
+        assert mediator.query_outcome(QUERY_NAMES).used_sql
+
+
+class TestSessionThreadSafety:
+    def test_sessions_over_one_backend_share_the_lock(self, mediator):
+        """Transaction state lives in the backend, so every session over
+        the same backend must serialize on one lock — including the
+        facade's internal session."""
+        s1 = mediator.session()
+        s2 = mediator.session()
+        assert s1._lock is s2._lock
+        assert s1._lock is mediator._session._lock
+
+    def test_concurrent_sessions_never_interleave_transactions(self, mediator):
+        """A facade update racing an endpoint-style session update must
+        not join or roll back the other's transaction."""
+        other = mediator.session()
+        errors = []
+
+        def facade_worker(i):
+            try:
+                mediator.update(
+                    PREFIXES
+                    + f'INSERT DATA {{ ex:team{i + 20} foaf:name "F{i}" . }}'
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def session_worker(i):
+            try:
+                if i % 2:
+                    with pytest.raises(TranslationError):
+                        other.execute(BAD_INSERT)
+                else:
+                    other.execute(
+                        PREFIXES
+                        + f'INSERT DATA {{ ex:team{i + 40} foaf:name "S{i}" . }}'
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=facade_worker, args=(i,)) for i in range(6)
+        ] + [threading.Thread(target=session_worker, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not mediator.db.in_transaction()
+        assert mediator.db.row_count("team") == 1 + 6 + 3  # seed + facade + even sessions
+
+    def test_facade_dump_serializes_with_writers(self, mediator):
+        """mediator.dump() must hold the session lock: a dump racing a
+        writer used to crash with 'dictionary changed size during
+        iteration'."""
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                i += 1
+                try:
+                    mediator.update(
+                        PREFIXES
+                        + f'INSERT DATA {{ ex:team{i + 50} foaf:name "W{i}" . }}'
+                    )
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        def dumper():
+            try:
+                for _ in range(30):
+                    mediator.dump()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        w = threading.Thread(target=writer)
+        d = threading.Thread(target=dumper)
+        w.start()
+        d.start()
+        d.join()
+        stop.set()
+        w.join()
+        assert not errors
+
+    def test_concurrent_executes_serialize(self, mediator):
+        session = mediator.session()
+        errors = []
+
+        def worker(i: int) -> None:
+            try:
+                session.execute(
+                    PREFIXES
+                    + f'INSERT DATA {{ ex:team{i + 10} foaf:name "T{i}" . }}'
+                )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert mediator.db.row_count("team") == 9  # seed + 8
+        assert not mediator.db.in_transaction()

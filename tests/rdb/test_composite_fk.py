@@ -1,0 +1,185 @@
+"""Composite foreign keys stay index-backed (ISSUE 2 satellite).
+
+The constraint checker used to fall back to full table scans for
+multi-column foreign keys (both the child-side existence probe and the
+parent-side RESTRICT check).  These tests pin the semantics and — via
+``TableData.scan`` instrumentation — prove the probes never scan.
+"""
+
+import pytest
+
+from repro.errors import IntegrityError
+from repro.rdb.engine import Database
+from repro.rdb.storage import TableData
+
+DDL = """
+CREATE TABLE region (
+    country VARCHAR(2),
+    code VARCHAR(10),
+    name VARCHAR(100),
+    PRIMARY KEY (country, code)
+);
+CREATE TABLE warehouse (
+    id INTEGER PRIMARY KEY,
+    country VARCHAR(2),
+    region_code VARCHAR(10),
+    FOREIGN KEY (country, region_code) REFERENCES region (country, code)
+);
+"""
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script(DDL)
+    database.execute(
+        "INSERT INTO region (country, code, name) VALUES ('CH', 'ZH', 'Zurich')"
+    )
+    database.execute(
+        "INSERT INTO region (country, code, name) VALUES ('CH', 'BE', 'Bern')"
+    )
+    return database
+
+
+@pytest.fixture
+def scan_counter(monkeypatch):
+    counts = {}
+    original = TableData.scan
+
+    def counted(self):
+        counts[self.table.name] = counts.get(self.table.name, 0) + 1
+        return original(self)
+
+    monkeypatch.setattr(TableData, "scan", counted)
+    return counts
+
+
+class TestCompositeFkSemantics:
+    def test_valid_composite_fk_insert(self, db):
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) VALUES (1, 'CH', 'ZH')"
+        )
+        assert db.row_count("warehouse") == 1
+
+    def test_missing_composite_target_rejected(self, db):
+        with pytest.raises(IntegrityError, match="foreign key"):
+            db.execute(
+                "INSERT INTO warehouse (id, country, region_code) "
+                "VALUES (1, 'CH', 'GE')"
+            )
+
+    def test_partial_match_is_not_a_match(self, db):
+        # ('DE', 'ZH') matches neither row even though each component
+        # appears somewhere in the parent table
+        with pytest.raises(IntegrityError, match="foreign key"):
+            db.execute(
+                "INSERT INTO warehouse (id, country, region_code) "
+                "VALUES (1, 'DE', 'ZH')"
+            )
+
+    def test_null_component_never_violates(self, db):
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) "
+            "VALUES (1, 'CH', NULL)"
+        )
+        assert db.row_count("warehouse") == 1
+
+    def test_parent_delete_restricted_while_referenced(self, db):
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) VALUES (1, 'CH', 'ZH')"
+        )
+        with pytest.raises(IntegrityError, match="still"):
+            db.execute("DELETE FROM region WHERE code = 'ZH'")
+        # the unreferenced parent row can go
+        db.execute("DELETE FROM region WHERE code = 'BE'")
+        assert db.row_count("region") == 1
+
+    def test_parent_delete_allowed_after_child_removed(self, db):
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) VALUES (1, 'CH', 'ZH')"
+        )
+        db.execute("DELETE FROM warehouse WHERE id = 1")
+        db.execute("DELETE FROM region WHERE code = 'ZH'")
+        assert db.row_count("region") == 1
+
+    def test_child_update_revalidates_composite_fk(self, db):
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) VALUES (1, 'CH', 'ZH')"
+        )
+        db.execute("UPDATE warehouse SET region_code = 'BE' WHERE id = 1")
+        with pytest.raises(IntegrityError, match="foreign key"):
+            db.execute("UPDATE warehouse SET region_code = 'GE' WHERE id = 1")
+
+    def test_rollback_keeps_composite_index_consistent(self, db):
+        db.begin()
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) VALUES (1, 'CH', 'ZH')"
+        )
+        db.rollback()
+        # the undone child row must not block the parent delete
+        db.execute("DELETE FROM region WHERE code = 'ZH'")
+        assert db.row_count("region") == 1
+
+
+class TestCompositeFkProbesAreIndexBacked:
+    def test_child_side_probe_never_scans(self, db, scan_counter):
+        """Composite-FK existence checks must hit the composite index on
+        the parent; the parent's ref columns are its PK here, but the
+        probe path is exercised with non-PK ref columns below."""
+        db.execute(
+            "INSERT INTO warehouse (id, country, region_code) VALUES (1, 'CH', 'ZH')"
+        )
+        assert scan_counter.get("region", 0) == 0
+
+    def test_parent_side_probe_scans_at_most_once(self, db):
+        """RESTRICT checks probe the child's composite FK index.  The
+        index exists from CREATE TABLE, so deletes never scan the child."""
+        for i in range(50):
+            db.execute(
+                f"INSERT INTO warehouse (id, country, region_code) "
+                f"VALUES ({i}, 'CH', 'ZH')"
+            )
+        counts = {}
+        original = TableData.scan
+
+        def counted(self):
+            counts[self.table.name] = counts.get(self.table.name, 0) + 1
+            return original(self)
+
+        try:
+            TableData.scan = counted
+            with pytest.raises(IntegrityError):
+                db.execute("DELETE FROM region WHERE code = 'ZH'")
+            db.execute("DELETE FROM region WHERE code = 'BE'")
+        finally:
+            TableData.scan = original
+        assert counts.get("warehouse", 0) == 0
+
+    def test_non_pk_composite_ref_columns_probe_via_ensure_index(self, db):
+        """Ref columns that are not the parent PK get an on-demand
+        composite index; after the first build, checks are probes."""
+        db.execute_script(
+            """
+            CREATE TABLE grid (
+                id INTEGER PRIMARY KEY,
+                x INTEGER,
+                y INTEGER,
+                UNIQUE (x, y)
+            );
+            CREATE TABLE marker (
+                id INTEGER PRIMARY KEY,
+                x INTEGER,
+                y INTEGER,
+                FOREIGN KEY (x, y) REFERENCES grid (x, y)
+            );
+            """
+        )
+        db.execute("INSERT INTO grid (id, x, y) VALUES (1, 3, 4)")
+        db.execute("INSERT INTO marker (id, x, y) VALUES (1, 3, 4)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO marker (id, x, y) VALUES (2, 9, 9)")
+        # the on-demand index is now installed and maintained
+        grid_data = db.table_data("grid")
+        assert ("x", "y") in grid_data.composite_indexes
+        db.execute("INSERT INTO grid (id, x, y) VALUES (2, 9, 9)")
+        db.execute("INSERT INTO marker (id, x, y) VALUES (2, 9, 9)")

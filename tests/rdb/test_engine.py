@@ -335,3 +335,54 @@ class TestDirectAccess:
     def test_unknown_table(self, db):
         with pytest.raises(CatalogError):
             db.table_data("nope")
+
+
+class TestStateVersions:
+    """data_version/schema_version drive prepared-translation replay; a
+    missed bump replays SQL against a state that no longer exists."""
+
+    def test_dml_bumps_data_version(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        v = db.data_version
+        db.execute("INSERT INTO t (id) VALUES (1)")
+        assert db.data_version > v
+        v = db.data_version
+        db.execute("DELETE FROM t WHERE id = 99")  # affects nothing
+        assert db.data_version == v
+
+    def test_rollback_bumps_data_version(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.begin()
+        db.execute("INSERT INTO t (id) VALUES (1)")
+        v = db.data_version
+        db.rollback()
+        assert db.data_version > v
+
+    def test_failed_deferred_commit_bumps_data_version(self):
+        """commit() failing a deferred FK check reverts the data, so it
+        must invalidate translation caches exactly like rollback()."""
+        db = Database(constraint_mode="deferred")
+        db.execute_script(
+            """
+            CREATE TABLE p (id INTEGER PRIMARY KEY);
+            CREATE TABLE c (id INTEGER PRIMARY KEY, p INTEGER REFERENCES p(id));
+            """
+        )
+        db.begin()
+        db.execute("INSERT INTO c (id, p) VALUES (1, 99)")
+        v = db.data_version
+        with pytest.raises(IntegrityError):
+            db.commit()
+        assert db.data_version > v
+        assert not db.in_transaction()
+
+    def test_ddl_bumps_schema_version(self):
+        db = Database()
+        v = db.schema_version
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        assert db.schema_version > v
+        v = db.schema_version
+        db.execute("DROP TABLE t")
+        assert db.schema_version > v

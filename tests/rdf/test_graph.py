@@ -196,3 +196,48 @@ class TestStatistics:
         assert small_graph.subject_count() == 0
         assert small_graph.predicate_count() == 0
         assert len(small_graph) == 0
+
+
+class TestUndoJournal:
+    """O(changes) transactions: record inverse ops, replay on rollback."""
+
+    def test_rollback_restores_adds_and_removes(self, small_graph):
+        before = small_graph.copy()
+        small_graph.start_journal()
+        small_graph.add(t(EX.author3, FOAF.firstName, Literal("Harald")))
+        small_graph.remove(t(EX.author1, FOAF.family_name, Literal("Hert")))
+        small_graph.rollback_journal()
+        assert small_graph == before
+        assert not small_graph.journaling()
+
+    def test_rollback_restores_clear(self, small_graph):
+        before = small_graph.copy()
+        small_graph.start_journal()
+        small_graph.clear()
+        assert len(small_graph) == 0
+        small_graph.rollback_journal()
+        assert small_graph == before
+
+    def test_commit_keeps_changes(self, small_graph):
+        small_graph.start_journal()
+        small_graph.add(t(EX.author3, FOAF.firstName, Literal("Harald")))
+        small_graph.commit_journal()
+        assert t(EX.author3, FOAF.firstName, Literal("Harald")) in small_graph
+
+    def test_noop_mutations_are_not_journaled(self, small_graph):
+        """Re-adding a present triple / removing an absent one records
+        nothing, so rollback cannot over-undo."""
+        present = t(EX.author1, FOAF.firstName, Literal("Matthias"))
+        small_graph.start_journal()
+        small_graph.add(present)  # already there
+        small_graph.remove(t(EX.author3, FOAF.name, Literal("nope")))
+        small_graph.rollback_journal()
+        assert present in small_graph
+
+    def test_nested_journal_rejected(self, small_graph):
+        small_graph.start_journal()
+        with pytest.raises(ValueError):
+            small_graph.start_journal()
+        small_graph.commit_journal()
+        with pytest.raises(ValueError):
+            small_graph.commit_journal()

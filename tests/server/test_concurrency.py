@@ -1,0 +1,189 @@
+"""Concurrent endpoint traffic (ISSUE 2 satellite).
+
+N threads POSTing through the ``ThreadingHTTPServer`` must serialize on
+the shared session: every update lands exactly once, failing requests
+never leave a transaction open, and the engine's plan cache stays
+coherent under the mixed load.
+"""
+
+import threading
+
+import pytest
+
+from repro import OntoAccess
+from repro.server import OntoAccessClient, OntoAccessEndpoint
+from repro.workloads.publication import (
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+PREFIXES = """
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ont:  <http://example.org/ontology#>
+PREFIX ex:   <http://example.org/db/>
+"""
+
+BAD_UPDATE = PREFIXES + 'INSERT DATA { ex:author99 foaf:firstName "NoLast" . }'
+
+QUERY = PREFIXES + "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+
+
+@pytest.fixture
+def endpoint():
+    db = build_database()
+    seed_feasibility_data(db)
+    return OntoAccessEndpoint(OntoAccess(db, build_mapping(db)))
+
+
+def run_threads(workers):
+    threads = [threading.Thread(target=w) for w in workers]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestConcurrentUpdates:
+    N_THREADS = 8
+    PER_THREAD = 5
+
+    def test_all_updates_land_exactly_once(self, endpoint):
+        failures = []
+
+        def worker(thread_id: int):
+            client = OntoAccessClient(endpoint.url)
+            for j in range(self.PER_THREAD):
+                team = 100 + thread_id * self.PER_THREAD + j
+                feedback = client.update(
+                    PREFIXES
+                    + f'INSERT DATA {{ ex:team{team} foaf:name "T{team}" . }}'
+                )
+                if not feedback.ok:
+                    failures.append((thread_id, j, feedback.message))
+
+        with endpoint:
+            run_threads(
+                [lambda i=i: worker(i) for i in range(self.N_THREADS)]
+            )
+        assert not failures
+        db = endpoint.mediator.db
+        assert db.row_count("team") == 1 + self.N_THREADS * self.PER_THREAD
+        assert not db.in_transaction()
+
+    def test_identical_updates_from_all_threads(self, endpoint):
+        """Every thread hammers the same text: the shared prepared-op
+        cache serves all of them; set semantics keep it a single row."""
+        op = PREFIXES + 'INSERT DATA { ex:team4 foaf:name "Database" . }'
+        results = []
+
+        def worker():
+            client = OntoAccessClient(endpoint.url)
+            for _ in range(self.PER_THREAD):
+                results.append(client.update(op).ok)
+
+        with endpoint:
+            run_threads([worker for _ in range(self.N_THREADS)])
+        assert all(results)
+        db = endpoint.mediator.db
+        assert db.row_count("team") == 2  # seed team + team4
+        assert not db.in_transaction()
+
+    def test_failing_requests_leave_no_transaction_open(self, endpoint):
+        statuses = []
+
+        def worker(thread_id: int):
+            client = OntoAccessClient(endpoint.url)
+            for j in range(self.PER_THREAD):
+                if (thread_id + j) % 2:
+                    statuses.append(client.update(BAD_UPDATE).ok)
+                else:
+                    team = 200 + thread_id * self.PER_THREAD + j
+                    statuses.append(
+                        client.update(
+                            PREFIXES
+                            + f'INSERT DATA {{ ex:team{team} ont:teamCode "C{team}" . }}'
+                        ).ok
+                    )
+
+        with endpoint:
+            run_threads(
+                [lambda i=i: worker(i) for i in range(self.N_THREADS)]
+            )
+        db = endpoint.mediator.db
+        assert not db.in_transaction()
+        # exactly the successful half persisted
+        expected_ok = sum(
+            1
+            for i in range(self.N_THREADS)
+            for j in range(self.PER_THREAD)
+            if (i + j) % 2 == 0
+        )
+        assert statuses.count(True) == expected_ok
+        assert db.row_count("team") == 1 + expected_ok
+        assert db.row_count("author") == 1  # the bad author never landed
+        # counters match the traffic (served under the stats lock)
+        assert endpoint.requests_served == self.N_THREADS * self.PER_THREAD
+        assert endpoint.errors_returned == statuses.count(False)
+
+    def test_mixed_queries_and_updates(self, endpoint):
+        """Readers interleaved with writers: every response is internally
+        consistent and the plan cache stays usable afterwards."""
+        problems = []
+
+        def writer(thread_id: int):
+            client = OntoAccessClient(endpoint.url)
+            for j in range(self.PER_THREAD):
+                author = 300 + thread_id * self.PER_THREAD + j
+                feedback = client.update(
+                    PREFIXES
+                    + f'INSERT DATA {{ ex:author{author} foaf:family_name "L{author}" . }}'
+                )
+                if not feedback.ok:
+                    problems.append(feedback.message)
+
+        def reader():
+            client = OntoAccessClient(endpoint.url)
+            for _ in range(self.PER_THREAD):
+                document = client.query_json(QUERY)
+                names = {
+                    b["n"]["value"]
+                    for b in document["results"]["bindings"]
+                }
+                if "Hert" not in names:  # the seed row must always be there
+                    problems.append(f"lost seed row, saw {sorted(names)[:3]}")
+
+        with endpoint:
+            run_threads(
+                [lambda i=i: writer(i) for i in range(4)]
+                + [reader for _ in range(4)]
+            )
+        assert not problems
+        db = endpoint.mediator.db
+        assert db.row_count("author") == 1 + 4 * self.PER_THREAD
+        assert not db.in_transaction()
+        # the plan cache survived: a fresh query still answers correctly
+        rows = endpoint.mediator.query(QUERY).rows()
+        assert len(rows) == 1 + 4 * self.PER_THREAD
+
+    def test_concurrent_batches_are_atomic(self, endpoint):
+        """Each thread posts a two-op batch with a failing second op;
+        nothing may persist from any of them."""
+        db = endpoint.mediator.db
+        before = db.row_count("team")
+
+        def worker(thread_id: int):
+            client = OntoAccessClient(endpoint.url)
+            feedback = client.batch(
+                [
+                    PREFIXES
+                    + f'INSERT DATA {{ ex:team{400 + thread_id} foaf:name "X" . }}',
+                    BAD_UPDATE,
+                ]
+            )
+            assert not feedback.ok
+
+        with endpoint:
+            run_threads([lambda i=i: worker(i) for i in range(self.N_THREADS)])
+        assert db.row_count("team") == before
+        assert not db.in_transaction()

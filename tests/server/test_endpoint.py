@@ -145,3 +145,137 @@ class TestOverHTTP:
             second = client.update(UPDATE_OK.replace("team4", "team7"))
             assert second.ok
             assert endpoint.mediator.db.row_count("team") == 3  # seed + 2
+
+
+SELECT_NAMES = (
+    'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+    'SELECT ?n WHERE { ?x foaf:family_name ?n . }'
+)
+
+ASK_HERT = (
+    'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+    'ASK { ?x foaf:family_name "Hert" . }'
+)
+
+
+class TestSPARQLProtocol:
+    """Content negotiation, GET /query, and the /batch route."""
+
+    def test_select_json_results(self, endpoint):
+        response = endpoint.handle_query(
+            SELECT_NAMES, accept="application/sparql-results+json"
+        )
+        assert response.status == 200
+        assert response.content_type == "application/sparql-results+json"
+        import json
+
+        document = json.loads(response.body)
+        assert document["head"]["vars"] == ["n"]
+        values = [
+            b["n"]["value"] for b in document["results"]["bindings"]
+        ]
+        assert values == ["Hert"]
+        binding = document["results"]["bindings"][0]["n"]
+        assert binding["type"] == "literal"
+
+    def test_ask_json_results(self, endpoint):
+        response = endpoint.handle_query(
+            ASK_HERT, accept="application/sparql-results+json"
+        )
+        import json
+
+        assert json.loads(response.body) == {"head": {}, "boolean": True}
+
+    def test_default_rendering_unchanged(self, endpoint):
+        assert endpoint.handle_query(ASK_HERT).body == "true"
+        assert "?n" in endpoint.handle_query(SELECT_NAMES).body
+
+    def test_query_json_over_http(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            document = client.query_json(SELECT_NAMES)
+            assert document["head"]["vars"] == ["n"]
+            assert document["results"]["bindings"][0]["n"]["value"] == "Hert"
+
+    def test_query_via_get(self, endpoint):
+        import json
+        import urllib.parse
+        import urllib.request
+
+        with endpoint:
+            url = (
+                endpoint.url
+                + "/query?"
+                + urllib.parse.urlencode({"query": ASK_HERT})
+            )
+            request = urllib.request.Request(
+                url, headers={"Accept": "application/sparql-results+json"}
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert json.loads(response.read())["boolean"] is True
+
+    def test_batch_commits_all(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            feedback = client.batch(
+                [UPDATE_OK, UPDATE_OK.replace("team4", "team7")]
+            )
+            assert feedback.ok
+        assert endpoint.mediator.db.row_count("team") == 3
+
+    def test_batch_rolls_back_on_error(self, endpoint):
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            feedback = client.batch([UPDATE_OK, UPDATE_BAD])
+            assert not feedback.ok
+            assert feedback.code == "missing-required-property"
+        # the batch is atomic: the valid first op was rolled back too
+        assert endpoint.mediator.db.get_row_by_pk("team", (4,)) is None
+        assert not endpoint.mediator.db.in_transaction()
+
+    def test_batch_single_request_body(self, endpoint):
+        """A plain sparql-update body (no JSON) is one batch."""
+        response = endpoint.handle_batch(UPDATE_OK)
+        assert response.status == 200
+        assert endpoint.mediator.db.get_row_by_pk("team", (4,)) is not None
+
+    def test_batch_invalid_json(self, endpoint):
+        response = endpoint.handle_batch(
+            "{not json", content_type="application/json"
+        )
+        assert response.status == 400
+
+    def test_batch_non_list_json(self, endpoint):
+        response = endpoint.handle_batch(
+            '{"a": 1}', content_type="application/json"
+        )
+        assert response.status == 400
+
+    def test_update_with_placeholders_rejected_at_parse(self, endpoint):
+        """The wire protocol has no bindings, so the submission's
+        concreteness rule stays enforced over HTTP."""
+        response = endpoint.handle_update(
+            'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+            'PREFIX ex: <http://example.org/db/> '
+            'INSERT DATA { ex:team9 foaf:name ?name . }'
+        )
+        assert response.status == 400
+        assert "unsupported-request" in response.body
+        assert "variables" in response.body
+
+    def test_batch_with_invalid_item_surfaces_server_message(self, endpoint):
+        """JSON-validation failures come back as text/plain; the client
+        must surface the message rather than choke on Turtle parsing."""
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            feedback = client.batch([UPDATE_OK, 123])  # non-string item
+            assert not feedback.ok
+            assert "JSON array" in feedback.message
+
+    def test_query_json_raises_on_error(self, endpoint):
+        from repro.errors import ReproError
+
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            with pytest.raises(ReproError, match="HTTP 400"):
+                client.query_json("SELECT ?x WHERE {")
