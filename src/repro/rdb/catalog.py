@@ -18,7 +18,7 @@ from ..errors import CatalogError
 from ..sql import ast as sql_ast
 from .types import SQLType
 
-__all__ = ["Column", "ForeignKey", "Table", "Schema"]
+__all__ = ["Column", "ForeignKey", "Index", "Table", "Schema"]
 
 
 @dataclass
@@ -52,6 +52,22 @@ class ForeignKey:
                 f"expected single-column foreign key, got {self.columns}"
             )
         return self.columns[0]
+
+
+@dataclass
+class Index:
+    """A secondary index declared via ``CREATE INDEX``.
+
+    ``owns_hash`` records whether the DDL built the hash index (vs.
+    inheriting an FK-maintained one), so ``DROP INDEX`` removes exactly
+    what ``CREATE INDEX`` added and never strips FK acceleration.
+    """
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    unique: bool = False
+    owns_hash: bool = False
 
 
 class Table:
@@ -152,6 +168,9 @@ class Schema:
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        #: CREATE INDEX registry: index name -> metadata (names are
+        #: schema-global, as in most SQL dialects).
+        self._indexes: Dict[str, Index] = {}
 
     def add(self, table: Table) -> None:
         if table.name in self._tables:
@@ -168,9 +187,46 @@ class Schema:
                     f"cannot drop table {name!r}: referenced by {other.name!r}"
                 )
         try:
-            return self._tables.pop(name)
+            table = self._tables.pop(name)
         except KeyError:
             raise CatalogError(f"no such table: {name!r}") from None
+        # The dropped table's declared indexes go with it.
+        for index_name in [
+            n for n, idx in self._indexes.items() if idx.table == name
+        ]:
+            del self._indexes[index_name]
+        return table
+
+    # -- CREATE INDEX registry ----------------------------------------------
+
+    def add_index(self, index: Index) -> None:
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        table = self.table(index.table)
+        for col in index.columns:
+            if not table.has_column(col):
+                raise CatalogError(
+                    f"no column {col!r} in table {index.table!r}"
+                )
+        self._indexes[index.name] = index
+
+    def drop_index(self, name: str) -> Index:
+        try:
+            return self._indexes.pop(name)
+        except KeyError:
+            raise CatalogError(f"no such index: {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        return name in self._indexes
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no such index: {name!r}") from None
+
+    def indexes_for(self, table: str) -> List[Index]:
+        return [idx for idx in self._indexes.values() if idx.table == table]
 
     def table(self, name: str) -> Table:
         try:

@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 from ..errors import CatalogError, DatabaseError, TransactionError
 from ..sql import ast
 from ..sql.parser import parse_statements
-from .catalog import Column, ForeignKey, Schema, Table
+from .catalog import Column, ForeignKey, Index, Schema, Table
 from .executor import Executor, Result
 from .planner import Planner
 from .storage import TableData
@@ -184,6 +184,10 @@ class Database:
             return self._create_table(stmt)
         if isinstance(stmt, ast.DropTable):
             return self._drop_table(stmt)
+        if isinstance(stmt, ast.CreateIndex):
+            return self._create_index(stmt)
+        if isinstance(stmt, ast.DropIndex):
+            return self._drop_index(stmt)
 
         # DML: run inside the open transaction, or autocommit a fresh one.
         if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
@@ -319,6 +323,76 @@ class Database:
         self.planner.invalidate()  # cached plans reference the dropped table
         self.schema_version += 1
         self.data_version += 1  # the dropped table's rows are gone
+        return Result(columns=[], rows=[])
+
+    def _create_index(self, stmt: ast.CreateIndex) -> Result:
+        if self.schema.has_index(stmt.name):
+            if stmt.if_not_exists:
+                return Result(columns=[], rows=[])
+            raise CatalogError(f"index {stmt.name!r} already exists")
+        table = self.schema.table(stmt.table)
+        table_data = self.table_data(stmt.table)
+        columns = tuple(stmt.columns)
+        index = Index(
+            name=stmt.name, table=stmt.table, columns=columns, unique=stmt.unique
+        )
+        self.schema.add_index(index)  # validates table + columns
+        try:
+            if stmt.unique:
+                # May raise IntegrityError when existing rows collide;
+                # add_unique_index leaves nothing behind in that case.
+                table_data.add_unique_index(columns, "unique index")
+                table.uniques.append(columns)  # planner point-lookup path
+                if len(columns) == 1:
+                    # Like real engines, a single-column unique index is
+                    # ordered: ranges and ORDER BY can walk it too.
+                    table_data.ensure_ordered_index(columns[0])
+            elif len(columns) == 1:
+                index.owns_hash = table_data.ensure_secondary_index(columns[0])
+                table_data.ensure_ordered_index(columns[0])
+            else:
+                table_data.ensure_composite_index(columns)
+        except Exception:
+            self.schema.drop_index(stmt.name)
+            raise
+        self.planner.invalidate()  # cached plans may now have a better path
+        self.schema_version += 1
+        return Result(columns=[], rows=[])
+
+    def _drop_index(self, stmt: ast.DropIndex) -> Result:
+        if not self.schema.has_index(stmt.name):
+            if stmt.if_exists:
+                return Result(columns=[], rows=[])
+            raise CatalogError(f"no such index: {stmt.name!r}")
+        index = self.schema.drop_index(stmt.name)
+        table_data = self.table_data(index.table)
+        if index.unique:
+            table_data.drop_unique_index(index.columns, "unique index")
+            table = self.schema.table(index.table)
+            if index.columns in table.uniques:
+                table.uniques.remove(index.columns)
+        elif len(index.columns) > 1:
+            # Composite indexes are also rebuilt on demand by the FK
+            # checker, so dropping one is always safe.
+            table_data.drop_composite_index(index.columns)
+        if len(index.columns) == 1:
+            column = index.columns[0]
+            survivors = [
+                idx
+                for idx in self.schema.indexes_for(index.table)
+                if idx.columns == (column,)
+            ]
+            if survivors:
+                # Shared structures survive; hand hash-index ownership to
+                # a sibling so the last drop still removes it.
+                if index.owns_hash and not any(s.owns_hash for s in survivors):
+                    survivors[0].owns_hash = True
+            else:
+                table_data.drop_ordered_index(column)
+                if index.owns_hash:
+                    table_data.drop_secondary_index(column)
+        self.planner.invalidate()  # cached plans reference the dropped index
+        self.schema_version += 1
         return Result(columns=[], rows=[])
 
     # ------------------------------------------------------------------

@@ -7,8 +7,20 @@ Section 5/6 measurements rest on:
 
 * **Access-path selection** — equality conjuncts in WHERE are matched
   against the table's primary-key/unique hash indexes (point lookup) and
-  single-column secondary indexes (index probe); only when neither applies
-  does the plan fall back to a full scan.
+  single-column secondary indexes (index probe); range conjuncts (``<``,
+  ``<=``, ``>``, ``>=``, ``BETWEEN``) and prefix ``LIKE`` match ordered
+  indexes (range/prefix scan); only when nothing applies does the plan
+  fall back to a full scan.  Competing paths are ranked by estimated
+  cardinality from table statistics (row counts and per-column distinct
+  counts, both O(1) reads off incrementally maintained index structures).
+* **Index-ordered scans** — ``ORDER BY`` on an ordered-indexed column of
+  the first pipeline table walks the index in key order instead of
+  sorting, and ``LIMIT`` then stops after the first rows.
+* **Join reordering** — all-INNER joins are replanned from a shared
+  predicate pool: the most selective access path starts the pipeline and
+  remaining tables join greedily by estimated cardinality (the SPARQL
+  translator's star-shaped joins are the main beneficiary).  LEFT/CROSS
+  joins keep their written order, which their semantics require.
 * **Predicate pushdown** — WHERE is split into conjuncts and each runs at
   the earliest pipeline stage where all referenced bindings are bound:
   base-table filters during the scan, single-table filters of an INNER
@@ -24,13 +36,22 @@ Section 5/6 measurements rest on:
   instead of rebuilding dicts.
 
 Plans are cached per statement AST (frozen dataclasses hash) in an LRU;
-DDL invalidates the cache through :meth:`Planner.invalidate`.
+DDL invalidates the cache through :meth:`Planner.invalidate`.  Statistics
+are read at plan time, so a cached plan keeps its shape until the next
+DDL — stale statistics can cost performance, never correctness.
+
+Setting :attr:`Planner.force_scan` disables every index path, join
+reordering, and hash joins: base tables are always scanned and joins run
+as naive nested loops.  The differential-testing harness uses this as the
+semantic oracle every planner-chosen plan is compared against (toggle it
+before any plan is cached, or call :meth:`Planner.invalidate` after).
 """
 
 from __future__ import annotations
 
 import heapq
 from collections import OrderedDict
+from itertools import islice
 from typing import (
     Any,
     Callable,
@@ -57,7 +78,8 @@ from .expressions import (
     combine_unary,
     compile_expression,
 )
-from .storage import TableData
+from .storage import UNBOUNDED, TableData
+from .types import DateType, StringType
 
 __all__ = ["Planner", "CompiledSelect", "CompiledMutation"]
 
@@ -142,6 +164,87 @@ def _column_eq_const(
     return None
 
 
+_FLIPPED_COMPARISON = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class _RangeMatch:
+    """One conjunct recognized as a range or prefix bound on a column.
+
+    ``lo``/``hi`` are bound expressions over no bindings (or None);
+    ``prefix`` is the literal prefix of a ``LIKE 'abc%'`` conjunct.
+    """
+
+    __slots__ = ("column", "lo", "lo_inclusive", "hi", "hi_inclusive", "prefix")
+
+    def __init__(
+        self,
+        column: str,
+        lo: Optional[ast.Expression] = None,
+        lo_inclusive: bool = True,
+        hi: Optional[ast.Expression] = None,
+        hi_inclusive: bool = True,
+        prefix: Optional[str] = None,
+    ) -> None:
+        self.column = column
+        self.lo = lo
+        self.lo_inclusive = lo_inclusive
+        self.hi = hi
+        self.hi_inclusive = hi_inclusive
+        self.prefix = prefix
+
+
+def _match_range_conjunct(
+    expr: ast.Expression, slot: int, layout: ScopeLayout
+) -> Optional[_RangeMatch]:
+    """Match a conjunct shaped like ``<slot's column> (<|<=|>|>=) const``,
+    ``column BETWEEN const AND const``, or ``column LIKE 'prefix%'``."""
+    if isinstance(expr, ast.BinaryOp) and expr.op in _FLIPPED_COMPARISON:
+        sides = [expr.left, expr.right]
+        for i, side in enumerate(sides):
+            other = sides[1 - i]
+            if not isinstance(side, ast.ColumnRef):
+                continue
+            if layout.resolve(side) != (slot, side.name):
+                continue
+            if _referenced_slots(other, layout):
+                continue
+            op = expr.op if i == 0 else _FLIPPED_COMPARISON[expr.op]
+            if op == "<":
+                return _RangeMatch(side.name, hi=other, hi_inclusive=False)
+            if op == "<=":
+                return _RangeMatch(side.name, hi=other, hi_inclusive=True)
+            if op == ">":
+                return _RangeMatch(side.name, lo=other, lo_inclusive=False)
+            return _RangeMatch(side.name, lo=other, lo_inclusive=True)
+    if isinstance(expr, ast.Between) and not expr.negated:
+        operand = expr.operand
+        if (
+            isinstance(operand, ast.ColumnRef)
+            and layout.resolve(operand) == (slot, operand.name)
+            and not _referenced_slots(expr.low, layout)
+            and not _referenced_slots(expr.high, layout)
+        ):
+            return _RangeMatch(operand.name, lo=expr.low, hi=expr.high)
+    if isinstance(expr, ast.Like) and not expr.negated:
+        operand = expr.operand
+        pattern = expr.pattern
+        if (
+            isinstance(operand, ast.ColumnRef)
+            and isinstance(pattern, ast.Literal)
+            and isinstance(pattern.value, str)
+            and layout.resolve(operand) == (slot, operand.name)
+        ):
+            text = pattern.value
+            if (
+                len(text) > 1
+                and text.endswith("%")
+                and "%" not in text[:-1]
+                and "_" not in text
+            ):
+                return _RangeMatch(operand.name, prefix=text[:-1])
+    return None
+
+
 def _filtered(
     scopes: Iterator[Rows],
     predicates: Sequence[Compiled],
@@ -163,8 +266,10 @@ class _BaseAccess:
     """How the first (or only) table of a statement is read.
 
     ``kind`` is ``'point'`` (unique-index lookup), ``'probe'``
-    (secondary-index equality), or ``'scan'``.  Residual predicates are
-    the stage-0 conjuncts not consumed by the chosen index.
+    (secondary-index equality), ``'range'`` / ``'prefix'`` (ordered-index
+    walk), ``'ordered'`` (full ordered-index scan for ORDER BY), or
+    ``'scan'``.  Residual predicates are the stage-0 conjuncts not
+    consumed by the chosen index.
     """
 
     def __init__(
@@ -177,6 +282,13 @@ class _BaseAccess:
         key_fns: Sequence[Compiled] = (),
         probe_column: str = "",
         probe_fn: Optional[Compiled] = None,
+        range_column: str = "",
+        lo_fn: Optional[Compiled] = None,
+        hi_fn: Optional[Compiled] = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+        prefix: str = "",
+        descending: bool = False,
         residual: Sequence[_Conjunct] = (),
     ) -> None:
         self.table_name = table_name
@@ -186,6 +298,13 @@ class _BaseAccess:
         self.key_fns = tuple(key_fns)
         self.probe_column = probe_column
         self.probe_fn = probe_fn
+        self.range_column = range_column
+        self.lo_fn = lo_fn
+        self.hi_fn = hi_fn
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+        self.prefix = prefix
+        self.descending = descending
         self.residual = tuple(c.fn for c in residual)
 
     def rowid_scopes(
@@ -207,6 +326,31 @@ class _BaseAccess:
             if value is None:
                 return
             pairs = table_data.rows_for_value(self.probe_column, value)
+        elif self.kind == "range":
+            index = table_data.ordered_indexes[self.range_column]
+            lo = self.lo_fn((), parameters) if self.lo_fn is not None else UNBOUNDED
+            hi = self.hi_fn((), parameters) if self.hi_fn is not None else UNBOUNDED
+            rows = table_data.rows
+            pairs = (
+                (rowid, rows[rowid])
+                for rowid in index.range_rowids(
+                    lo, hi, self.lo_inclusive, self.hi_inclusive, self.descending
+                )
+            )
+        elif self.kind == "prefix":
+            index = table_data.ordered_indexes[self.range_column]
+            rows = table_data.rows
+            pairs = (
+                (rowid, rows[rowid])
+                for rowid in index.prefix_rowids(self.prefix)
+            )
+        elif self.kind == "ordered":
+            index = table_data.ordered_indexes[self.range_column]
+            rows = table_data.rows
+            pairs = (
+                (rowid, rows[rowid])
+                for rowid in index.ordered_rowids(self.descending)
+            )
         else:
             pairs = table_data.scan()
         residual = self.residual
@@ -219,21 +363,69 @@ class _BaseAccess:
                 yield rowid, scope
 
     def describe(self) -> str:
+        suffix = f" + {len(self.residual)} filter(s)" if self.residual else ""
         if self.kind == "point":
             return (
                 f"{self.table_name}: point lookup via {self.index_label} "
-                f"({', '.join(self.index_columns)})"
-                + (f" + {len(self.residual)} filter(s)" if self.residual else "")
+                f"({', '.join(self.index_columns)})" + suffix
             )
         if self.kind == "probe":
+            return f"{self.table_name}: index probe on {self.probe_column}" + suffix
+        if self.kind == "range":
+            lo = "(" if self.lo_fn is None else ("[" if self.lo_inclusive else "(")
+            hi = ")" if self.hi_fn is None else ("]" if self.hi_inclusive else ")")
+            direction = " desc" if self.descending else ""
             return (
-                f"{self.table_name}: index probe on {self.probe_column}"
-                + (f" + {len(self.residual)} filter(s)" if self.residual else "")
+                f"{self.table_name}: range scan{direction} on "
+                f"{self.range_column} {lo}lo..hi{hi} via ordered index" + suffix
             )
-        return (
-            f"{self.table_name}: full scan"
-            + (f" + {len(self.residual)} filter(s)" if self.residual else "")
-        )
+        if self.kind == "prefix":
+            return (
+                f"{self.table_name}: prefix scan on {self.range_column} "
+                f"(LIKE {self.prefix!r}...) via ordered index" + suffix
+            )
+        if self.kind == "ordered":
+            direction = "desc" if self.descending else "asc"
+            return (
+                f"{self.table_name}: index-ordered scan on "
+                f"{self.range_column} {direction}" + suffix
+            )
+        return f"{self.table_name}: full scan" + suffix
+
+
+class _RangeSpec:
+    """Range bounds on one column accumulated from several conjuncts."""
+
+    __slots__ = ("column", "lo", "lo_inclusive", "hi", "hi_inclusive", "consumed")
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self.lo: Optional[ast.Expression] = None
+        self.lo_inclusive = True
+        self.hi: Optional[ast.Expression] = None
+        self.hi_inclusive = True
+        self.consumed: List[_Conjunct] = []
+
+    def absorb(self, match: _RangeMatch, conjunct: _Conjunct) -> None:
+        """Take this conjunct's bounds unless a side is already set (a
+        second bound on the same side stays a residual filter)."""
+        if match.lo is not None and self.lo is not None:
+            return
+        if match.hi is not None and self.hi is not None:
+            return
+        if match.lo is None and match.hi is None:
+            return
+        if match.lo is not None:
+            self.lo, self.lo_inclusive = match.lo, match.lo_inclusive
+        if match.hi is not None:
+            self.hi, self.hi_inclusive = match.hi, match.hi_inclusive
+        self.consumed.append(conjunct)
+
+
+def _prefix_capable(table, column: str) -> bool:
+    """LIKE-prefix index scans are sound only when every stored value is
+    a string (LIKE matches ``str(value)``, which diverges for numbers)."""
+    return isinstance(table.column(column).sql_type, (StringType, DateType))
 
 
 def _choose_base_access(
@@ -244,7 +436,14 @@ def _choose_base_access(
     layout: ScopeLayout,
     conjuncts: List[_Conjunct],
 ) -> _BaseAccess:
-    """Pick the cheapest access path the table's indexes support."""
+    """Pick the access path with the lowest estimated cardinality.
+
+    Unique-index point lookups always win.  Otherwise equality probes,
+    range scans, and prefix scans compete on estimated rows produced —
+    ``rows / distinct`` for probes (statistics are O(1) reads off the
+    index structures), ``rows / 3-4`` for ranges — with the full scan as
+    the fallback.
+    """
     candidates: Dict[str, Tuple[ast.Expression, _Conjunct]] = {}
     for conjunct in conjuncts:
         match = _column_eq_const(conjunct.expr, slot, layout)
@@ -271,18 +470,93 @@ def _choose_base_access(
                     ],
                     residual=[c for c in conjuncts if id(c) not in consumed],
                 )
-        table_data = data.get(table_name)
-        if table_data is not None:
-            for column in candidates:
-                if column in table_data.secondary_indexes:
-                    value_expr, consumed = candidates[column]
-                    return _BaseAccess(
-                        table_name,
-                        "probe",
-                        probe_column=column,
-                        probe_fn=compile_expression(value_expr, layout),
-                        residual=[c for c in conjuncts if c is not consumed],
-                    )
+
+    table_data = data.get(table_name)
+    if table_data is None:
+        return _BaseAccess(table_name, "scan", residual=conjuncts)
+    rows = table_data.row_count()
+
+    #: (estimated rows, priority, builder) — lowest estimate wins; the
+    #: priority breaks ties in favour of probes (never worse than ranges).
+    best: Optional[Tuple[int, int, Callable[[], _BaseAccess]]] = None
+
+    def consider(estimate: int, priority: int, builder) -> None:
+        nonlocal best
+        if best is None or (estimate, priority) < best[:2]:
+            best = (estimate, priority, builder)
+
+    for column, (value_expr, eq_conjunct) in candidates.items():
+        if column in table_data.secondary_indexes:
+            distinct = table_data.distinct_count(column) or 1
+            consider(
+                max(1, rows // max(1, distinct)),
+                0,
+                lambda column=column, value_expr=value_expr, eq_conjunct=eq_conjunct: _BaseAccess(
+                    table_name,
+                    "probe",
+                    probe_column=column,
+                    probe_fn=compile_expression(value_expr, layout),
+                    residual=[c for c in conjuncts if c is not eq_conjunct],
+                ),
+            )
+
+    specs: Dict[str, _RangeSpec] = {}
+    prefixes: Dict[str, Tuple[str, _Conjunct]] = {}
+    for conjunct in conjuncts:
+        match = _match_range_conjunct(conjunct.expr, slot, layout)
+        if match is None or match.column not in table_data.ordered_indexes:
+            continue
+        if match.prefix is not None:
+            if match.column not in prefixes and _prefix_capable(table, match.column):
+                prefixes[match.column] = (match.prefix, conjunct)
+        else:
+            specs.setdefault(match.column, _RangeSpec(match.column)).absorb(
+                match, conjunct
+            )
+
+    for spec in specs.values():
+        if not spec.consumed:
+            continue
+        bounded_both = spec.lo is not None and spec.hi is not None
+        estimate = max(1, rows // (4 if bounded_both else 3))
+        consider(
+            estimate,
+            1,
+            lambda spec=spec: _BaseAccess(
+                table_name,
+                "range",
+                range_column=spec.column,
+                lo_fn=(
+                    compile_expression(spec.lo, layout)
+                    if spec.lo is not None
+                    else None
+                ),
+                hi_fn=(
+                    compile_expression(spec.hi, layout)
+                    if spec.hi is not None
+                    else None
+                ),
+                lo_inclusive=spec.lo_inclusive,
+                hi_inclusive=spec.hi_inclusive,
+                residual=[c for c in conjuncts if c not in spec.consumed],
+            ),
+        )
+
+    for column, (prefix, like_conjunct) in prefixes.items():
+        consider(
+            max(1, rows // 4),
+            2,
+            lambda column=column, prefix=prefix, like_conjunct=like_conjunct: _BaseAccess(
+                table_name,
+                "prefix",
+                range_column=column,
+                prefix=prefix,
+                residual=[c for c in conjuncts if c is not like_conjunct],
+            ),
+        )
+
+    if best is not None:
+        return best[2]()
     return _BaseAccess(table_name, "scan", residual=conjuncts)
 
 
@@ -467,7 +741,13 @@ class _Desc:
 
 
 def _null_safe_key(value: Any) -> Tuple[int, int, Any]:
-    """NULLs sort before everything; mixed types sort by type class."""
+    """NULLs sort before everything; mixed types sort by type class.
+
+    CONTRACT: on non-NULL values this must order exactly like
+    :func:`repro.rdb.storage._ordered_key` — the index-ordered access
+    path replaces this sort with an ordered-index walk.  Change both
+    together (a unit test asserts the orders agree).
+    """
     if value is None:
         return (0, 0, "")
     if isinstance(value, bool):
@@ -613,9 +893,11 @@ class CompiledSelect:
         schema: Schema,
         data: Dict[str, TableData],
         stmt: ast.Select,
+        force_scan: bool = False,
     ) -> None:
         self.stmt = stmt
-        self._bindings: List[Tuple[str, str]] = []  # (binding, table name)
+        self.force_scan = force_scan
+        self._bindings: List[Tuple[str, str]] = []  # (binding, table) as written
         refs: List[ast.TableRef] = []
         if stmt.table is not None:
             refs.append(stmt.table)
@@ -623,38 +905,31 @@ class CompiledSelect:
         for ref in refs:
             schema.table(ref.name)  # raises CatalogError for unknown tables
             self._bindings.append((ref.binding(), ref.name))
-        self.layout = ScopeLayout(
-            (binding, schema.table(table).column_names())
-            for binding, table in self._bindings
-        )
 
-        conjuncts = [_Conjunct(e, self.layout) for e in _split_conjuncts(stmt.where)]
-        by_stage: Dict[int, List[_Conjunct]] = {}
-        for conjunct in conjuncts:
-            by_stage.setdefault(conjunct.stage, []).append(conjunct)
-
+        #: Pipeline placement: permutation of ``_bindings`` after join
+        #: reordering; identical to it when reordering does not apply.
+        self._placement: List[Tuple[str, str]] = self._bindings
         self.base: Optional[_BaseAccess] = None
         self.constant_predicates: Tuple[Compiled, ...] = ()
-        if stmt.table is not None:
-            self.base = _choose_base_access(
-                schema, data, stmt.table.name, 0, self.layout,
-                by_stage.get(0, []),
-            )
-        else:
-            # SELECT without FROM: stage-0 conjuncts are constants.
-            self.constant_predicates = tuple(
-                c.fn for c in by_stage.get(0, [])
-            )
-
         self.steps: List[_JoinStep] = []
-        for slot, join in enumerate(stmt.joins, start=1):
-            self.steps.append(
-                self._plan_join(schema, slot, join, by_stage.get(slot, []))
+
+        reorderable = (
+            not force_scan
+            and stmt.table is not None
+            and stmt.joins
+            and all(
+                j.kind == "INNER" and j.condition is not None for j in stmt.joins
             )
+        )
+        if reorderable:
+            self._plan_reordered(schema, data, stmt)
+        else:
+            self._plan_in_written_order(schema, data, stmt)
 
         self._grouped = bool(stmt.group_by) or self._has_aggregate(stmt)
         items = self._expand_items(schema, stmt)
         self.columns: List[str] = [name for _, name in items]
+        self._index_ordered = False
         if self._grouped:
             self.group_fns = [
                 compile_expression(e, self.layout) for e in stmt.group_by
@@ -691,6 +966,213 @@ class CompiledSelect:
                             item.descending,
                         )
                     )
+            if not force_scan:
+                self._upgrade_to_index_order(data, stmt, items, alias_positions)
+
+    def _plan_in_written_order(
+        self, schema: Schema, data: Dict[str, TableData], stmt: ast.Select
+    ) -> None:
+        """The non-reordered pipeline: FROM-clause order, per-join ON
+        handling (required for LEFT/CROSS semantics; also the forced-scan
+        oracle shape)."""
+        self.layout = ScopeLayout(
+            (binding, schema.table(table).column_names())
+            for binding, table in self._bindings
+        )
+        conjuncts = [_Conjunct(e, self.layout) for e in _split_conjuncts(stmt.where)]
+        by_stage: Dict[int, List[_Conjunct]] = {}
+        for conjunct in conjuncts:
+            by_stage.setdefault(conjunct.stage, []).append(conjunct)
+
+        if stmt.table is not None:
+            if self.force_scan:
+                self.base = _BaseAccess(
+                    stmt.table.name, "scan", residual=by_stage.get(0, [])
+                )
+            else:
+                self.base = _choose_base_access(
+                    schema, data, stmt.table.name, 0, self.layout,
+                    by_stage.get(0, []),
+                )
+        else:
+            # SELECT without FROM: stage-0 conjuncts are constants.
+            self.constant_predicates = tuple(
+                c.fn for c in by_stage.get(0, [])
+            )
+
+        for slot, join in enumerate(stmt.joins, start=1):
+            self.steps.append(
+                self._plan_join(schema, slot, join, by_stage.get(slot, []))
+            )
+
+    def _plan_reordered(
+        self, schema: Schema, data: Dict[str, TableData], stmt: ast.Select
+    ) -> None:
+        """All-INNER pipelines: pool WHERE and ON conjuncts, start from the
+        most selective access path, and join the rest greedily by estimated
+        cardinality (equi-connected tables first)."""
+        original = self._bindings
+        written_layout = ScopeLayout(
+            (binding, schema.table(table).column_names())
+            for binding, table in original
+        )
+        pool: List[ast.Expression] = _split_conjuncts(stmt.where)
+        for slot, join in enumerate(stmt.joins, start=1):
+            for expr in _split_conjuncts(join.condition):
+                late = {
+                    s
+                    for s in _referenced_slots(expr, written_layout)
+                    if s > slot
+                }
+                if late:
+                    names = ", ".join(
+                        repr(original[s][0]) for s in sorted(late)
+                    )
+                    raise DatabaseError(
+                        f"join condition for {original[slot][0]!r} references "
+                        f"later binding(s) {names}"
+                    )
+                pool.append(expr)
+
+        footprints = [
+            frozenset(_referenced_slots(e, written_layout)) for e in pool
+        ]
+        estimates = [
+            _estimate_table_access(
+                schema,
+                data,
+                table,
+                binding,
+                [e for e, fp in zip(pool, footprints) if fp == frozenset({i})],
+            )
+            for i, (binding, table) in enumerate(original)
+        ]
+
+        order = [min(range(len(original)), key=lambda i: (estimates[i], i))]
+        placed = set(order)
+        remaining = [i for i in range(len(original)) if i not in placed]
+        while remaining:
+            connected = [
+                i
+                for i in remaining
+                if any(
+                    i in fp and len(fp) > 1 and fp - {i} <= placed
+                    for fp in footprints
+                )
+            ]
+            pick = min(connected or remaining, key=lambda i: (estimates[i], i))
+            order.append(pick)
+            placed.add(pick)
+            remaining.remove(pick)
+
+        self._placement = [original[i] for i in order]
+        self.layout = ScopeLayout(
+            (binding, schema.table(table).column_names())
+            for binding, table in self._placement
+        )
+        conjuncts = [_Conjunct(e, self.layout) for e in pool]
+        by_stage: Dict[int, List[_Conjunct]] = {}
+        for conjunct in conjuncts:
+            by_stage.setdefault(conjunct.stage, []).append(conjunct)
+
+        self.base = _choose_base_access(
+            schema, data, self._placement[0][1], 0, self.layout,
+            by_stage.get(0, []),
+        )
+        for slot in range(1, len(self._placement)):
+            self.steps.append(
+                self._plan_pool_join(schema, slot, by_stage.get(slot, []))
+            )
+
+    def _plan_pool_join(
+        self, schema: Schema, slot: int, conjuncts: List[_Conjunct]
+    ) -> _JoinStep:
+        """One INNER join planned from pooled conjuncts: equi conjuncts
+        against earlier slots become hash keys, single-table conjuncts
+        filter the build side, the rest run post-join."""
+        binding, table_name = self._placement[slot]
+        null_row = {name: None for name in schema.table(table_name).column_names()}
+        left_key_fns: List[Compiled] = []
+        right_columns: List[str] = []
+        build_filters: List[Compiled] = []
+        post: List[Compiled] = []
+        for conjunct in conjuncts:
+            if conjunct.slots == frozenset({slot}):
+                build_filters.append(conjunct.fn)
+                continue
+            match = _column_eq_const_or_prior(conjunct.expr, slot, self.layout)
+            if match is not None:
+                column, other = match
+                right_columns.append(column)
+                left_key_fns.append(compile_expression(other, self.layout))
+            else:
+                post.append(conjunct.fn)
+        if right_columns:
+            return _JoinStep(
+                slot, table_name, binding, "INNER", null_row,
+                strategy="hash",
+                left_key_fns=left_key_fns,
+                right_columns=right_columns,
+                build_filters=build_filters,
+                post=post,
+            )
+        # No equi connection to earlier tables: filtered cross product
+        # (post conjuncts make it an inner nested-loop join).
+        return _JoinStep(
+            slot, table_name, binding, "INNER", null_row,
+            strategy="cross",
+            build_filters=build_filters,
+            post=post,
+        )
+
+    def _upgrade_to_index_order(
+        self,
+        data: Dict[str, TableData],
+        stmt: ast.Select,
+        items: List[Tuple[ast.Expression, str]],
+        alias_positions: Dict[str, int],
+    ) -> None:
+        """Replace scan+sort with an index-ordered walk when ORDER BY is a
+        single key on an ordered-indexed column of the first pipeline
+        table (join steps preserve their input order, ties included, so
+        the emitted sequence equals what the stable sort would produce)."""
+        if len(stmt.order_by) != 1 or self.base is None:
+            return
+        if self.base.kind not in ("scan", "range"):
+            return
+        item = stmt.order_by[0]
+        expr = item.expression
+        # ORDER BY resolves output aliases first (same rule as _OrderKey);
+        # follow the indirection to the underlying expression.
+        if (
+            isinstance(expr, ast.ColumnRef)
+            and expr.table is None
+            and expr.name in alias_positions
+        ):
+            expr = items[alias_positions[expr.name]][0]
+        if not isinstance(expr, ast.ColumnRef):
+            return
+        slot, column = self.layout.resolve(expr)
+        if slot != 0:
+            return
+        table_data = data.get(self.base.table_name)
+        if table_data is None or column not in table_data.ordered_indexes:
+            return
+        if self.base.kind == "range":
+            if self.base.range_column != column:
+                return
+            self.base.descending = item.descending
+        else:
+            ordered = _BaseAccess(
+                self.base.table_name,
+                "ordered",
+                range_column=column,
+                descending=item.descending,
+            )
+            # keep the compiled residual predicates of the replaced scan
+            ordered.residual = self.base.residual
+            self.base = ordered
+        self._index_ordered = True
 
     # -- planning helpers ----------------------------------------------
 
@@ -718,6 +1200,13 @@ class CompiledSelect:
                     post.append(conjunct.fn)
 
         if join.kind == "CROSS" or join.condition is None:
+            if self.force_scan:
+                # Oracle shape: raw product, every predicate post-join.
+                return _JoinStep(
+                    slot, table_name, binding, "CROSS", null_row,
+                    strategy="cross",
+                    post=list(post) + list(build_filters),
+                )
             return _JoinStep(
                 slot, table_name, binding, "CROSS", null_row,
                 strategy="cross",
@@ -738,6 +1227,16 @@ class CompiledSelect:
                     f"join condition for {binding!r} references "
                     f"later binding(s) {names}"
                 )
+
+        if self.force_scan:
+            # Oracle shape: nested loop over the full ON condition, WHERE
+            # conjuncts post-join (after LEFT null extension).
+            return _JoinStep(
+                slot, table_name, binding, join.kind, null_row,
+                strategy="loop",
+                condition_fn=compile_expression(join.condition, self.layout),
+                post=list(post) + list(build_filters),
+            )
 
         left_key_fns: List[Compiled] = []
         right_columns: List[str] = []
@@ -856,6 +1355,18 @@ class CompiledSelect:
                 for scope in self.scopes(data, parameters)
             ]
 
+        if self._index_ordered:
+            # Rows already emerge in ORDER BY order from the ordered
+            # index; LIMIT stops the pipeline after the first rows
+            # (DISTINCT must see everything, so no early stop there).
+            scopes = self.scopes(data, parameters)
+            if stmt.limit is not None and not stmt.distinct:
+                scopes = islice(scopes, (stmt.offset or 0) + stmt.limit)
+            return [
+                tuple(fn(scope, parameters) for fn in item_fns)
+                for scope in scopes
+            ]
+
         # Precompute every sort key exactly once per row.
         order_keys = self.order_keys
         decorated: List[Tuple[Tuple[Any, ...], Tuple[Any, ...]]] = []
@@ -922,6 +1433,12 @@ class CompiledSelect:
 
     def describe(self) -> List[str]:
         lines: List[str] = []
+        if self._placement != self._bindings:
+            lines.append(
+                "join order: "
+                + " -> ".join(binding for binding, _ in self._placement)
+                + " (stats-driven reorder)"
+            )
         if self.base is None:
             lines.append("no FROM clause: single empty scope")
         else:
@@ -931,7 +1448,15 @@ class CompiledSelect:
             lines.append(f"group + aggregate -> {len(self.columns)} column(s)")
         else:
             lines.append(f"project {len(self.columns)} column(s)")
-            if self.stmt.order_by:
+            if self._index_ordered:
+                if self.stmt.limit is not None and not self.stmt.distinct:
+                    lines.append(
+                        "order by via ordered index (no sort), "
+                        f"stop after {self.stmt.limit + (self.stmt.offset or 0)}"
+                    )
+                else:
+                    lines.append("order by via ordered index (no sort)")
+            elif self.stmt.order_by:
                 if self.stmt.limit is not None and not self.stmt.distinct:
                     lines.append(
                         f"order by {len(self.stmt.order_by)} key(s), "
@@ -961,6 +1486,58 @@ def _column_eq_const_or_prior(
     return None
 
 
+def _estimate_table_access(
+    schema: Schema,
+    data: Dict[str, TableData],
+    table_name: str,
+    binding: str,
+    exprs: List[ast.Expression],
+) -> int:
+    """Estimated rows a table contributes given its single-table
+    predicates — the costing signal join reordering ranks tables by.
+
+    Mirrors :func:`_choose_base_access` at the AST level (no compilation):
+    covered unique index -> 1, equality on an indexed column ->
+    rows/distinct, range/prefix on an ordered-indexed column -> rows/3.
+    """
+    table = schema.table(table_name)
+    table_data = data.get(table_name)
+    rows = table_data.row_count() if table_data is not None else 0
+    if table_data is None or not exprs:
+        return rows
+    layout = ScopeLayout([(binding, table.column_names())])
+    eq_columns: Set[str] = set()
+    range_columns: Set[str] = set()
+    for expr in exprs:
+        match = _column_eq_const(expr, 0, layout)
+        if match is not None:
+            eq_columns.add(match[0])
+            continue
+        range_match = _match_range_conjunct(expr, 0, layout)
+        if range_match is not None:
+            range_columns.add(range_match.column)
+
+    unique_sets: List[Tuple[str, ...]] = []
+    if table.primary_key:
+        unique_sets.append(tuple(table.primary_key))
+    unique_sets.extend(tuple(u) for u in table.uniques)
+    if any(
+        columns and all(c in eq_columns for c in columns)
+        for columns in unique_sets
+    ):
+        return 1
+
+    best = rows
+    for column in eq_columns:
+        if column in table_data.secondary_indexes:
+            distinct = table_data.distinct_count(column) or 1
+            best = min(best, max(1, rows // max(1, distinct)))
+    for column in range_columns:
+        if column in table_data.ordered_indexes:
+            best = min(best, max(1, rows // 3))
+    return best
+
+
 class CompiledMutation:
     """Compiled row selection for UPDATE/DELETE: index-aware WHERE over a
     single table, plus (for UPDATE) compiled assignment expressions."""
@@ -972,6 +1549,7 @@ class CompiledMutation:
         table_name: str,
         where: Optional[ast.Expression],
         assignments: Tuple[ast.Assignment, ...] = (),
+        force_scan: bool = False,
     ) -> None:
         schema.table(table_name)  # raises CatalogError for unknown tables
         self.table_name = table_name
@@ -979,9 +1557,12 @@ class CompiledMutation:
             [(table_name, schema.table(table_name).column_names())]
         )
         conjuncts = [_Conjunct(e, self.layout) for e in _split_conjuncts(where)]
-        self.base = _choose_base_access(
-            schema, data, table_name, 0, self.layout, conjuncts
-        )
+        if force_scan:
+            self.base = _BaseAccess(table_name, "scan", residual=conjuncts)
+        else:
+            self.base = _choose_base_access(
+                schema, data, table_name, 0, self.layout, conjuncts
+            )
         self.assignment_fns: List[Tuple[str, Compiled]] = [
             (a.column, compile_expression(a.value, self.layout))
             for a in assignments
@@ -1010,9 +1591,18 @@ class Planner:
     keys; the engine invalidates the cache on DDL.
     """
 
-    def __init__(self, schema: Schema, data: Dict[str, TableData]) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        data: Dict[str, TableData],
+        force_scan: bool = False,
+    ) -> None:
         self.schema = schema
         self.data = data
+        #: When True every plan is the naive shape: full scans and nested
+        #: loops, no index paths, no reordering.  The differential harness
+        #: oracle.  Toggle before any plan is cached (or invalidate()).
+        self.force_scan = force_scan
         self._cache: "OrderedDict[ast.Statement, Any]" = OrderedDict()
         #: Planning/caching statistics (exposed for tests and diagnostics).
         self.stats = {"hits": 0, "misses": 0, "invalidations": 0}
@@ -1042,14 +1632,18 @@ class Planner:
 
     def plan_select(self, stmt: ast.Select) -> CompiledSelect:
         return self._cached(
-            stmt, lambda: CompiledSelect(self.schema, self.data, stmt)
+            stmt,
+            lambda: CompiledSelect(
+                self.schema, self.data, stmt, force_scan=self.force_scan
+            ),
         )
 
     def plan_update(self, stmt: ast.Update) -> CompiledMutation:
         return self._cached(
             stmt,
             lambda: CompiledMutation(
-                self.schema, self.data, stmt.table, stmt.where, stmt.assignments
+                self.schema, self.data, stmt.table, stmt.where, stmt.assignments,
+                force_scan=self.force_scan,
             ),
         )
 
@@ -1057,6 +1651,7 @@ class Planner:
         return self._cached(
             stmt,
             lambda: CompiledMutation(
-                self.schema, self.data, stmt.table, stmt.where
+                self.schema, self.data, stmt.table, stmt.where,
+                force_scan=self.force_scan,
             ),
         )

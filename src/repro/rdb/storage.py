@@ -1,18 +1,25 @@
-"""Row storage with primary-key/unique hash indexes.
+"""Row storage with hash and ordered secondary indexes.
 
 Each table's rows live in an insertion-ordered dict keyed by a synthetic
 row id.  Unique indexes (primary key, UNIQUE constraints) map key tuples to
-row ids; non-unique secondary indexes (maintained for foreign-key columns)
-map values to row-id sets.  All mutation goes through :class:`TableData`
-methods so indexes never drift from the rows.
+row ids; non-unique secondary indexes (maintained for foreign-key columns
+and declared via ``CREATE INDEX``) map values to row-id sets; ordered
+indexes additionally keep the distinct values sorted so range, prefix, and
+ORDER BY access paths can walk them in key order.  All mutation goes
+through :class:`TableData` methods so indexes never drift from the rows.
+
+Statistics (row counts, per-column distinct counts) are *derived* from the
+incrementally maintained index structures, so they are O(1) to read and
+O(changes) to maintain — no DML ever recounts a table.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_left, bisect_right, insort
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from ..errors import IntegrityError
+from ..errors import DatabaseError, IntegrityError
 from .catalog import Table
 
 __all__ = ["TableData"]
@@ -109,6 +116,161 @@ class _SecondaryIndex:
         return value in self._entries
 
 
+#: Sentinel for "no bound" in range probes (None means SQL NULL there).
+UNBOUNDED = object()
+
+
+def _ordered_key(value: Any) -> Tuple[int, Any]:
+    """Sort key for ordered-index entries.
+
+    Rank 0 holds everything numeric (bools compare as ints, matching the
+    expression layer's ``_comparable``/``_compare_eq`` semantics), rank 1
+    holds strings.  Values of one column always share a rank because the
+    type system coerces on insert.
+
+    CONTRACT: the total order this key induces must equal the ORDER BY
+    order of :func:`repro.rdb.planner._null_safe_key` on non-NULL values
+    — the index-ordered access path substitutes one for the other.  A new
+    value representation must be added to both (a unit test asserts the
+    orders agree).
+    """
+    if isinstance(value, (int, float)):  # bool is an int subclass
+        return (0, value)
+    if isinstance(value, str):
+        return (1, value)
+    raise DatabaseError(
+        f"cannot index value of type {type(value).__name__}"
+    )
+
+
+class _OrderedIndex:
+    """Ordered non-unique index: distinct values kept sorted.
+
+    Backs three access paths the planner emits: range scans
+    (``<``/``<=``/``>``/``>=``/``BETWEEN``), prefix scans (``LIKE 'abc%'``),
+    and index-ordered scans (ORDER BY without a sort).  Row ids within one
+    value group are kept sorted ascending so index-ordered emission matches
+    what a stable sort over the insertion-ordered scan would produce — ties
+    included — making the index path indistinguishable from scan+sort.
+
+    NULLs are not keyed (no comparison ever selects them) but are tracked
+    separately so ordered scans can emit them where ORDER BY semantics put
+    them (first ascending, last descending).
+    """
+
+    __slots__ = ("column", "_keys", "_groups", "_nulls")
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._keys: List[Tuple[int, Any]] = []  # sorted distinct keys
+        self._groups: Dict[Tuple[int, Any], List[int]] = {}  # key -> sorted rowids
+        self._nulls: List[int] = []  # sorted rowids with NULL in the column
+
+    def insert(self, row: Row, rowid: int) -> None:
+        value = row.get(self.column)
+        if value is None:
+            insort(self._nulls, rowid)
+            return
+        key = _ordered_key(value)
+        group = self._groups.get(key)
+        if group is None:
+            insort(self._keys, key)
+            self._groups[key] = [rowid]
+        else:
+            insort(group, rowid)
+
+    def remove(self, row: Row, rowid: int) -> None:
+        value = row.get(self.column)
+        if value is None:
+            i = bisect_left(self._nulls, rowid)
+            if i < len(self._nulls) and self._nulls[i] == rowid:
+                del self._nulls[i]
+            return
+        key = _ordered_key(value)
+        group = self._groups.get(key)
+        if group is None:
+            return
+        i = bisect_left(group, rowid)
+        if i < len(group) and group[i] == rowid:
+            del group[i]
+        if not group:
+            del self._groups[key]
+            k = bisect_left(self._keys, key)
+            del self._keys[k]
+
+    def distinct_count(self) -> int:
+        return len(self._groups)
+
+    def _check_comparable(self, bound: Any) -> Tuple[int, Any]:
+        """The bound's key; raises exactly like the expression layer when
+        the bound's type class cannot compare with the stored values."""
+        key = _ordered_key(bound)
+        if self._keys and self._keys[0][0] != key[0]:
+            sample = self._keys[0][1]
+            raise DatabaseError(
+                f"cannot compare {type(sample).__name__} with "
+                f"{type(bound).__name__}"
+            )
+        return key
+
+    def range_rowids(
+        self,
+        lo: Any = UNBOUNDED,
+        hi: Any = UNBOUNDED,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+        descending: bool = False,
+    ) -> Iterator[int]:
+        """Row ids with ``lo (<|<=) value (<|<=) hi`` in key order.
+
+        ``UNBOUNDED`` means no bound on that side; a ``None`` bound is SQL
+        NULL, which no comparison satisfies, so the result is empty.
+        """
+        if lo is None or hi is None:
+            return
+        keys = self._keys
+        start, end = 0, len(keys)
+        if lo is not UNBOUNDED:
+            key = self._check_comparable(lo)
+            start = bisect_left(keys, key) if lo_inclusive else bisect_right(keys, key)
+        if hi is not UNBOUNDED:
+            key = self._check_comparable(hi)
+            end = bisect_right(keys, key) if hi_inclusive else bisect_left(keys, key)
+        span = keys[start:end]
+        if descending:
+            span = reversed(span)
+        groups = self._groups
+        for key in span:
+            yield from groups[key]
+
+    def prefix_rowids(self, prefix: str) -> Iterator[int]:
+        """Row ids whose string value starts with ``prefix``, in key order.
+
+        Only meaningful on string columns (the planner checks the catalog
+        type before choosing this path).
+        """
+        keys = self._keys
+        groups = self._groups
+        for i in range(bisect_left(keys, (1, prefix)), len(keys)):
+            rank, value = keys[i]
+            if rank != 1 or not value.startswith(prefix):
+                return
+            yield from groups[keys[i]]
+
+    def ordered_rowids(self, descending: bool = False) -> Iterator[int]:
+        """Every row id in ORDER BY emission order: NULLs sort first
+        ascending / last descending; ties within a value stay in ascending
+        row-id order (what a stable sort over the scan would produce)."""
+        keys = reversed(self._keys) if descending else iter(self._keys)
+        groups = self._groups
+        if not descending:
+            yield from self._nulls
+        for key in keys:
+            yield from groups[key]
+        if descending:
+            yield from self._nulls
+
+
 class _CompositeIndex:
     """Non-unique index over a column tuple: key tuple -> set of row ids.
 
@@ -153,7 +315,11 @@ class TableData:
 
     def __init__(self, table: Table) -> None:
         self.table = table
+        #: Kept in ascending row-id order (scan order == row-id order is
+        #: the invariant ordered-index tie emission relies on); restores
+        #: out of order mark it dirty and the next scan re-sorts once.
         self.rows: Dict[int, Row] = {}
+        self._scan_order_dirty = False
         self._rowid_counter = itertools.count(1)
         self._autoincrement_next: Dict[str, int] = {
             c.name: 1 for c in table.columns.values() if c.autoincrement
@@ -170,6 +336,9 @@ class TableData:
         # Secondary indexes accelerate FK existence checks both ways:
         # child-side lookup by FK value and parent-side reverse lookup.
         self.secondary_indexes: Dict[str, _SecondaryIndex] = {}
+        # Ordered indexes (declared via CREATE INDEX) back range/prefix
+        # scans and index-ordered ORDER BY.
+        self.ordered_indexes: Dict[str, _OrderedIndex] = {}
         # Composite (multi-column) indexes for composite FKs; additional
         # ones are built on demand via :meth:`ensure_composite_index`.
         self.composite_indexes: Dict[Tuple[str, ...], _CompositeIndex] = {}
@@ -212,6 +381,8 @@ class TableData:
             raise
         for index in self.secondary_indexes.values():
             index.insert(row, rowid)
+        for index in self.ordered_indexes.values():
+            index.insert(row, rowid)
         for index in self.composite_indexes.values():
             index.insert(row, rowid)
         self.rows[rowid] = dict(row)
@@ -222,6 +393,8 @@ class TableData:
         for index in self.unique_indexes:
             index.remove(row, rowid)
         for index in self.secondary_indexes.values():
+            index.remove(row, rowid)
+        for index in self.ordered_indexes.values():
             index.remove(row, rowid)
         for index in self.composite_indexes.values():
             index.remove(row, rowid)
@@ -247,6 +420,9 @@ class TableData:
         for index in self.secondary_indexes.values():
             index.remove(old, rowid)
             index.insert(new, rowid)
+        for index in self.ordered_indexes.values():
+            index.remove(old, rowid)
+            index.insert(new, rowid)
         for index in self.composite_indexes.values():
             index.remove(old, rowid)
             index.insert(new, rowid)
@@ -254,24 +430,41 @@ class TableData:
         return old
 
     def restore(self, rowid: int, row: Row) -> None:
-        """Reinstate a previously deleted row under its original id (undo)."""
+        """Reinstate a previously deleted row under its original id (undo).
+
+        The rows dict is kept in ascending row-id order (the invariant
+        :meth:`scan` order rests on — ordered-index tie emission and the
+        stable scan+sort must stay indistinguishable), so restoring a
+        mid-table row rebuilds the dict ordering.
+        """
         for index in self.unique_indexes:
             index.insert(row, rowid, self.table.name)
         for index in self.secondary_indexes.values():
             index.insert(row, rowid)
+        for index in self.ordered_indexes.values():
+            index.insert(row, rowid)
         for index in self.composite_indexes.values():
             index.insert(row, rowid)
+        if self.rows and rowid < next(reversed(self.rows)):
+            # Undo entries replay LIFO, so a multi-row rollback would
+            # trigger this per row — defer the single O(n log n) reorder
+            # to the next scan instead.
+            self._scan_order_dirty = True
         self.rows[rowid] = dict(row)
 
     # -- lookups -----------------------------------------------------------------
 
     def scan(self) -> Iterator[Tuple[int, Row]]:
-        """Yield live (rowid, row) pairs in insertion order, zero-copy.
+        """Yield live (rowid, row) pairs in ascending row-id order,
+        zero-copy.
 
         The rows are the stored dicts themselves — callers must not mutate
         them, and callers that mutate the *table* while iterating must use
         :meth:`snapshot` instead.
         """
+        if self._scan_order_dirty:
+            self.rows = dict(sorted(self.rows.items()))
+            self._scan_order_dirty = False
         return iter(self.rows.items())
 
     def snapshot(self) -> List[Tuple[int, Row]]:
@@ -279,7 +472,7 @@ class TableData:
 
         Row dicts are still the live ones; only the iteration is detached.
         """
-        return list(self.rows.items())
+        return list(self.scan())
 
     def find_by_unique(
         self, columns: Tuple[str, ...], key: Tuple[Any, ...]
@@ -347,6 +540,74 @@ class TableData:
         if index is not None:
             return index.contains(value)
         return any(row.get(column) == value for row in self.rows.values())
+
+    # -- index DDL (CREATE INDEX / DROP INDEX) -----------------------------------
+
+    def ensure_secondary_index(self, column: str) -> bool:
+        """Build the hash index on ``column`` if absent; True when built
+        (so DDL provenance knows whether DROP INDEX may remove it)."""
+        if column in self.secondary_indexes:
+            return False
+        index = _SecondaryIndex(column)
+        for rowid, row in self.rows.items():
+            index.insert(row, rowid)
+        self.secondary_indexes[column] = index
+        return True
+
+    def ensure_ordered_index(self, column: str) -> _OrderedIndex:
+        """Build the ordered index on ``column`` from current rows if
+        absent; maintained incrementally afterwards."""
+        index = self.ordered_indexes.get(column)
+        if index is None:
+            index = _OrderedIndex(column)
+            for rowid, row in self.rows.items():
+                index.insert(row, rowid)
+            self.ordered_indexes[column] = index
+        return index
+
+    def drop_ordered_index(self, column: str) -> None:
+        self.ordered_indexes.pop(column, None)
+
+    def drop_secondary_index(self, column: str) -> None:
+        self.secondary_indexes.pop(column, None)
+
+    def add_unique_index(self, columns: Tuple[str, ...], label: str) -> None:
+        """Build a unique index over the current rows (CREATE UNIQUE
+        INDEX); raises IntegrityError when existing rows collide, leaving
+        nothing behind."""
+        index = _UniqueIndex(tuple(columns), label)
+        for rowid, row in self.rows.items():
+            index.insert(row, rowid, self.table.name)
+        self.unique_indexes.append(index)
+
+    def drop_unique_index(self, columns: Tuple[str, ...], label: str) -> None:
+        """Remove the unique index with this exact (columns, label) pair —
+        the label keeps DROP INDEX from removing a CREATE TABLE constraint
+        that happens to cover the same columns."""
+        for i, index in enumerate(self.unique_indexes):
+            if index.columns == tuple(columns) and index.label == label:
+                del self.unique_indexes[i]
+                return
+
+    def drop_composite_index(self, columns: Tuple[str, ...]) -> None:
+        self.composite_indexes.pop(tuple(columns), None)
+
+    # -- statistics (O(1) reads off incrementally maintained structures) ---------
+
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def distinct_count(self, column: str) -> Optional[int]:
+        """Distinct non-NULL values in ``column``, or None when no index
+        tracks it.  O(1): the counts fall out of the index dictionaries,
+        which DML maintains incrementally — nothing is ever recounted."""
+        ordered = self.ordered_indexes.get(column)
+        if ordered is not None:
+            return ordered.distinct_count()
+        index = self.secondary_indexes.get(column)
+        if index is not None:
+            return len(index._entries)
+        return None
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -51,6 +51,8 @@ __all__ = [
     "CheckDef",
     "CreateTable",
     "DropTable",
+    "CreateIndex",
+    "DropIndex",
     # transactions
     "Begin",
     "Commit",
@@ -318,6 +320,27 @@ class DropTable:
     if_exists: bool = False
 
 
+@dataclass(frozen=True)
+class CreateIndex:
+    """``CREATE [UNIQUE] INDEX [IF NOT EXISTS] name ON table (columns)``.
+
+    Single-column non-unique indexes are ordered (range/prefix/ORDER BY
+    capable); multi-column non-unique indexes back equality probes only.
+    """
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndex:
+    name: str
+    if_exists: bool = False
+
+
 # ---------------------------------------------------------------------------
 # Transactions
 # ---------------------------------------------------------------------------
@@ -344,6 +367,8 @@ Statement = Union[
     Delete,
     CreateTable,
     DropTable,
+    CreateIndex,
+    DropIndex,
     Begin,
     Commit,
     Rollback,

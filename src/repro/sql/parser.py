@@ -130,8 +130,13 @@ class SQLParser:
         if token.is_keyword("DELETE"):
             return self.delete()
         if token.is_keyword("CREATE"):
+            nxt = self.tokens[self.index + 1]
+            if nxt.is_keyword("INDEX", "UNIQUE"):
+                return self.create_index()
             return self.create_table()
         if token.is_keyword("DROP"):
+            if self.tokens[self.index + 1].is_keyword("INDEX"):
+                return self.drop_index()
             return self.drop_table()
         if token.is_keyword("BEGIN"):
             self._advance()
@@ -489,6 +494,38 @@ class SQLParser:
             self._expect_keyword("EXISTS")
             if_exists = True
         return ast.DropTable(name=self._expect_ident(), if_exists=if_exists)
+
+    # -- CREATE / DROP INDEX -----------------------------------------------------
+
+    def create_index(self) -> ast.CreateIndex:
+        self._expect_keyword("CREATE")
+        unique = self._accept_keyword("UNIQUE") is not None
+        self._expect_keyword("INDEX")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_ident()
+        self._expect_keyword("ON")
+        table = self._expect_ident()
+        columns = tuple(self._paren_ident_list())
+        return ast.CreateIndex(
+            name=name,
+            table=table,
+            columns=columns,
+            unique=unique,
+            if_not_exists=if_not_exists,
+        )
+
+    def drop_index(self) -> ast.DropIndex:
+        self._expect_keyword("DROP")
+        self._expect_keyword("INDEX")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropIndex(name=self._expect_ident(), if_exists=if_exists)
 
     # -- expressions -----------------------------------------------------------
 

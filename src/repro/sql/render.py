@@ -30,6 +30,17 @@ def render(statement: ast.Statement) -> str:
     if isinstance(statement, ast.DropTable):
         exists = "IF EXISTS " if statement.if_exists else ""
         return f"DROP TABLE {exists}{statement.name};"
+    if isinstance(statement, ast.CreateIndex):
+        unique = "UNIQUE " if statement.unique else ""
+        exists = "IF NOT EXISTS " if statement.if_not_exists else ""
+        columns = ", ".join(statement.columns)
+        return (
+            f"CREATE {unique}INDEX {exists}{statement.name} "
+            f"ON {statement.table} ({columns});"
+        )
+    if isinstance(statement, ast.DropIndex):
+        exists = "IF EXISTS " if statement.if_exists else ""
+        return f"DROP INDEX {exists}{statement.name};"
     if isinstance(statement, ast.Begin):
         return "BEGIN;"
     if isinstance(statement, ast.Commit):

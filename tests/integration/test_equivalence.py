@@ -287,6 +287,95 @@ class TestSessionBackendEquivalence:
         assert rdb.dump() == native.dump()
 
 
+class TestSessionRangeAndOrderQueries:
+    """ISSUE-3 satellite: range FILTERs and ORDER BY through the Session
+    API must agree across the RelationalBackend (translated SQL through
+    planner v2's range/ordered index paths) and the TripleStoreBackend —
+    divergence here would be translator-level, invisible to the RDB-only
+    differential oracle."""
+
+    PREFIXES = """
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX dc:   <http://purl.org/dc/elements/1.1/>
+        PREFIX ont:  <http://example.org/ontology#>
+    """
+
+    RANGE_QUERIES = [
+        "SELECT ?t ?y WHERE { ?p dc:title ?t ; ont:pubYear ?y . "
+        "FILTER (?y >= 2003) }",
+        "SELECT ?t ?y WHERE { ?p dc:title ?t ; ont:pubYear ?y . "
+        "FILTER (?y > 2000) FILTER (?y < 2008) }",
+        "SELECT ?n WHERE { ?a foaf:family_name ?n . FILTER (?n > \"Generated3\") }",
+    ]
+
+    ORDERED_QUERIES = [
+        "SELECT ?y ?t WHERE { ?p dc:title ?t ; ont:pubYear ?y . } ORDER BY ?y",
+        "SELECT ?y ?t WHERE { ?p dc:title ?t ; ont:pubYear ?y . } "
+        "ORDER BY DESC(?y)",
+        "SELECT ?y WHERE { ?p ont:pubYear ?y . FILTER (?y >= 2000) } "
+        "ORDER BY ?y",
+    ]
+
+    @staticmethod
+    def _rows_multiset(result):
+        return sorted(map(str, result.rows()))
+
+    def test_range_filters_agree(self):
+        rdb, native = make_session_pair(populate=True)
+        for query in self.RANGE_QUERIES:
+            sparql = self.PREFIXES + query
+            assert self._rows_multiset(rdb.query(sparql)) == self._rows_multiset(
+                native.query(sparql)
+            ), f"range filter diverges: {query}"
+
+    def test_order_by_agrees(self):
+        """Multisets match and the ordered variable's value sequence is
+        identical (tie members may legitimately differ per backend)."""
+        rdb, native = make_session_pair(populate=True)
+        for query in self.ORDERED_QUERIES:
+            sparql = self.PREFIXES + query
+            rdb_result = rdb.query(sparql)
+            native_result = native.query(sparql)
+            assert self._rows_multiset(rdb_result) == self._rows_multiset(
+                native_result
+            ), f"ordered query diverges: {query}"
+            assert [str(t) for t in rdb_result.column("y")] == [
+                str(t) for t in native_result.column("y")
+            ], f"ORDER BY key sequence diverges: {query}"
+
+    def test_order_by_limit_agrees(self):
+        """With LIMIT, the key sequence must match and every returned row
+        must exist in the other backend's unlimited result."""
+        rdb, native = make_session_pair(populate=True)
+        base = (
+            "SELECT ?y ?t WHERE { ?p dc:title ?t ; ont:pubYear ?y . } "
+            "ORDER BY ?y"
+        )
+        limited = self.PREFIXES + base + " LIMIT 4"
+        unlimited = self.PREFIXES + base
+        rdb_rows = rdb.query(limited)
+        native_rows = native.query(limited)
+        assert [str(t) for t in rdb_rows.column("y")] == [
+            str(t) for t in native_rows.column("y")
+        ]
+        native_full = set(self._rows_multiset(native.query(unlimited)))
+        for row in map(str, rdb_rows.rows()):
+            assert row in native_full
+
+    def test_range_filters_after_updates(self):
+        """Range agreement must survive mediated writes on both sides."""
+        rdb, native = make_session_pair(populate=True)
+        ops = [insert_team_op(77), insert_author_op(77, team_id=77)]
+        for op in ops:
+            rdb.execute(op)
+            native.execute(op)
+        sparql = self.PREFIXES + self.RANGE_QUERIES[0]
+        assert self._rows_multiset(rdb.query(sparql)) == self._rows_multiset(
+            native.query(sparql)
+        )
+        assert rdb.dump() == native.dump()
+
+
 @given(ops=operation_sequences())
 @settings(max_examples=20, deadline=None)
 def test_session_random_sequences_equivalent(ops):
