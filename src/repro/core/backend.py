@@ -122,6 +122,14 @@ class Backend(abc.ABC):
     reentrant lock that every :class:`~repro.core.session.Session` over
     it shares, because transaction state is backend-global and two
     sessions on one store must never interleave.
+
+    Since the MVCC work the session lock is a **write-tier** lock: update
+    execution, transaction scope, and translation serialize on it, while
+    the query path runs lock-free against committed snapshots (see
+    :meth:`~repro.rdb.engine.Database.snapshot` and the triple store's
+    frozen-graph cache).  ``_cache_lock`` guards the small prepared-cache
+    dictionaries that readers touch, so a long write transaction never
+    stalls them.
     """
 
     #: Short identifier used in diagnostics and test parametrization.
@@ -129,6 +137,15 @@ class Backend(abc.ABC):
 
     def __init__(self) -> None:
         self._session_lock = threading.RLock()
+        #: Brief critical sections only (prepared-cache get/put); never
+        #: held while executing a query or an update.
+        self._cache_lock = threading.Lock()
+        #: Outstanding ``Session.begin()`` acquisitions of the session
+        #: lock (0 or 1; engines forbid nested transactions).  Lives here
+        #: because the lock and transaction state are backend-global: a
+        #: transaction begun through one session may legitimately be
+        #: committed through another over the same backend.
+        self._begin_holds = 0
 
     # -- write path ----------------------------------------------------
 
@@ -418,38 +435,49 @@ class _PreparedRdbQuery(PreparedQueryPlan):
     """Prepared relational query: the SPARQL→SQL pattern translation is
     computed once per (mapping, schema) version (it never depends on row
     data) and re-executed against current data on every call; executions
-    share the planner's compiled plan for the translated SELECT."""
+    share the planner's compiled plan for the translated SELECT.
 
-    __slots__ = ("_version", "_translated", "_sql", "_unsupported")
+    Thread-safe without a lock: the cached translation lives in one
+    atomically swapped tuple, so concurrent readers either reuse it or
+    redundantly recompute the identical translation (benign), and never
+    observe a half-updated pair of fields.
+    """
+
+    __slots__ = ("_state",)
 
     def __init__(self, backend: RelationalBackend, query: Query) -> None:
         super().__init__(backend, query)
-        self._version: Optional[Tuple[int, int]] = None
-        self._translated = None
-        self._sql: Optional[str] = None
-        self._unsupported = False
+        #: (version, translated, rendered sql, unsupported) — replaced
+        #: wholesale, never mutated in place.
+        self._state: Tuple[Any, Any, Optional[str], bool] = (
+            None, None, None, False
+        )
 
     def outcome(self) -> QueryOutcome:
         backend = self.backend
         if backend.force_query_fallback:
             return backend.query_outcome(self.query)
         version = backend.query_state_version()
-        if self._version != version:
+        state = self._state
+        if state[0] != version:
             from ..errors import UnsupportedPatternError
             from .select_translate import translate_pattern
 
-            self._version = version
             try:
-                self._translated = translate_pattern(
-                    backend.mapping, backend.db, self.query.where
-                )
-                self._sql = self._translated.sql()  # render once, not per call
-                self._unsupported = False
+                # Under the planner lock: DDL holds it across its catalog
+                # mutation, so the (otherwise lock-free) translation can
+                # never observe a half-applied schema change.
+                with backend.db.planner.lock:
+                    translated = translate_pattern(
+                        backend.mapping, backend.db, self.query.where
+                    )
+                # render once, not per call
+                state = (version, translated, translated.sql(), False)
             except UnsupportedPatternError:
-                self._translated = None
-                self._sql = None
-                self._unsupported = True
-        if self._unsupported:
+                state = (version, None, None, True)
+            self._state = state
+        _, translated, sql, unsupported = state
+        if unsupported:
             # Known-untranslatable for this schema: go straight to the
             # dump evaluation instead of re-attempting translation.
             from ..sparql.algebra import evaluate_pattern
@@ -463,9 +491,9 @@ class _PreparedRdbQuery(PreparedQueryPlan):
             )
         return outcome_from_solutions(
             self.query,
-            self._translated.execute(),
+            translated.execute(),
             used_sql=True,
-            select_sql=self._sql,
+            select_sql=sql,
         )
 
 
@@ -480,6 +508,24 @@ class TripleStoreBackend(Backend):
     its mapping-aware subclass, the equivalence oracle).  Transactions use
     the graph's undo journal: ``begin`` starts recording inverse
     operations, ``rollback`` replays them — O(changes), not O(graph).
+
+    Snapshot reads: queries outside a transaction evaluate against a
+    *frozen copy* of the committed graph, cached per committed version —
+    so reader threads share one immutable graph and never race writer
+    mutations.  ``begin`` refreshes the frozen copy when stale, which
+    guarantees a pre-transaction snapshot exists for readers to use
+    while the transaction is open.  The thread owning the open
+    transaction reads the live graph (read-your-own-writes).
+
+    Cost model: snapshotting is whole-graph granular, so once reads are
+    active a write transaction whose cache is stale pays one O(graph)
+    copy at ``begin`` (write-only workloads pay nothing — the copy is
+    gated on ``_reads_active``).  The frozen copy must never be patched
+    in place with the journal delta: readers iterate it lock-free, and
+    mutating it would reintroduce exactly the torn reads snapshots
+    exist to prevent.  Making this O(changes) needs per-index
+    copy-on-write like the relational engine's per-table clones — a
+    recorded ROADMAP follow-on.
     """
 
     name = "triplestore"
@@ -488,6 +534,17 @@ class TripleStoreBackend(Backend):
         super().__init__()
         self.store = store
         self._version = 0
+        #: _version at the last commit point (begin/rollback/commit keep
+        #: it at committed state, so readers' freshness checks work like
+        #: the relational engine's committed snapshot version).
+        self._committed_version = 0
+        #: (committed version, frozen graph copy) or None.
+        self._read_cache: Optional[Tuple[int, Graph]] = None
+        #: True once any snapshot read happened — only then does begin()
+        #: pay for a pre-transaction copy; write-only workloads keep the
+        #: O(changes) journal cost with no O(graph) copies.
+        self._reads_active = False
+        self._txn_owner: Optional[int] = None
 
     @property
     def graph(self) -> Graph:
@@ -498,6 +555,8 @@ class TripleStoreBackend(Backend):
     def execute_operation(self, operation: UpdateOperation) -> OperationResult:
         added, removed = self.store.apply_operation(operation)
         self._version += 1
+        if not self.store.graph.journaling():
+            self._committed_version = self._version
         return OperationResult(
             kind=operation_kind(operation), rows_affected=added + removed
         )
@@ -509,33 +568,85 @@ class TripleStoreBackend(Backend):
     def begin(self) -> None:
         if self.store.graph.journaling():
             raise TransactionError("a transaction is already open")
+        cache = self._read_cache
+        if self._reads_active and (
+            cache is None or cache[0] != self._committed_version
+        ):
+            # Publish the pre-transaction state before mutating, so
+            # concurrent readers stay lock-free for the whole transaction.
+            # (A first-ever reader arriving mid-transaction instead waits
+            # for the commit on the write-tier lock.)
+            self._read_cache = (
+                self._committed_version, self.store.graph.copy()
+            )
+        self._txn_owner = threading.get_ident()
         self.store.graph.start_journal()
 
     def commit(self) -> None:
         if not self.store.graph.journaling():
             raise TransactionError("no transaction is open")
         self.store.graph.commit_journal()
+        self._txn_owner = None
+        self._committed_version = self._version
 
     def rollback(self) -> None:
         if not self.store.graph.journaling():
             raise TransactionError("no transaction is open")
         self.store.graph.rollback_journal()
+        self._txn_owner = None
+        cache = self._read_cache
+        # The journal restored exactly the pre-transaction state; if the
+        # cache holds that state (begin() published it), relabel it with
+        # the new committed version instead of forcing an O(graph) recopy.
+        restored = cache is not None and cache[0] == self._committed_version
         self._version += 1
+        self._committed_version = self._version
+        if restored:
+            self._read_cache = (self._committed_version, cache[1])
 
     def in_transaction(self) -> bool:
         return self.store.graph.journaling()
 
     # -- read path ------------------------------------------------------
 
+    def _committed_graph(self) -> Graph:
+        """The frozen committed graph readers evaluate against."""
+        self._reads_active = True
+        cache = self._read_cache
+        if cache is not None and cache[0] == self._committed_version:
+            return cache[1]
+        # Stale cache with no open transaction (an open one would have
+        # refreshed it in begin()): copy under the write-tier lock so the
+        # copy never interleaves with a writer.
+        with self._session_lock:
+            cache = self._read_cache
+            if cache is None or cache[0] != self._committed_version:
+                cache = (self._committed_version, self.store.graph.copy())
+                self._read_cache = cache
+            return cache[1]
+
     def query_outcome(
         self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
     ) -> QueryOutcome:
-        return QueryOutcome(
-            result=self.store.query(q, prefixes=prefixes), used_sql=False
-        )
+        if (
+            self.store.graph.journaling()
+            and self._txn_owner == threading.get_ident()
+        ):
+            # Inside this thread's transaction: see our own writes.
+            result = self.store.query(q, prefixes=prefixes)
+        else:
+            from ..sparql.engine import query as native_query
+
+            result = native_query(self._committed_graph(), q, prefixes=prefixes)
+        return QueryOutcome(result=result, used_sql=False)
 
     def dump(self) -> Graph:
-        return self.store.graph.copy()
+        if (
+            self.store.graph.journaling()
+            and self._txn_owner == threading.get_ident()
+        ):
+            return self.store.graph.copy()
+        return self._committed_graph().copy()
 
     # -- bookkeeping -----------------------------------------------------
 

@@ -15,9 +15,10 @@ leave the database in a state whose dump matches the native triple store).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 from ..rdb.engine import Database
+from ..rdb.storage import TableData
 from ..rdf.graph import Graph
 from ..rdf.namespace import RDF
 from ..rdf.terms import Triple
@@ -28,23 +29,35 @@ __all__ = ["dump_database", "dump_table", "entity_uri"]
 
 
 def dump_database(mapping: DatabaseMapping, db: Database) -> Graph:
-    """Materialize every mapped table into a fresh graph."""
+    """Materialize every mapped table into a fresh graph.
+
+    Rows are read through :meth:`~repro.rdb.engine.Database.read_view`:
+    the committed snapshot for concurrent readers, the working store for
+    the thread owning an open transaction — so a fallback-evaluated query
+    sees exactly the same state a translated one would.
+    """
+    tables = db.read_view()
     graph = Graph()
     for table_mapping in mapping.tables.values():
-        for triple in dump_table(mapping, db, table_mapping):
+        for triple in dump_table(mapping, db, table_mapping, tables=tables):
             graph.add(triple)
     for link in mapping.link_tables.values():
-        for triple in _dump_link_table(mapping, db, link):
+        for triple in _dump_link_table(mapping, db, link, tables=tables):
             graph.add(triple)
     return graph
 
 
 def dump_table(
-    mapping: DatabaseMapping, db: Database, table_mapping: TableMapping
+    mapping: DatabaseMapping,
+    db: Database,
+    table_mapping: TableMapping,
+    tables: Optional[Dict[str, TableData]] = None,
 ) -> Iterator[Triple]:
     """Yield the triples of one table's rows."""
     schema_table = db.table(table_mapping.table_name)
-    table_data = db.table_data(table_mapping.table_name)
+    if tables is None:
+        tables = db.read_view()
+    table_data = tables[table_mapping.table_name]
     for _, row in table_data.scan():
         uri = table_mapping.uri_pattern.format(row)
         yield Triple(uri, RDF.type, table_mapping.maps_to_class)
@@ -58,11 +71,16 @@ def dump_table(
 
 
 def _dump_link_table(
-    mapping: DatabaseMapping, db: Database, link: LinkTableMapping
+    mapping: DatabaseMapping,
+    db: Database,
+    link: LinkTableMapping,
+    tables: Optional[Dict[str, TableData]] = None,
 ) -> Iterator[Triple]:
     subject_table = mapping.table(link.subject_table())
     object_table = mapping.table(link.object_table())
-    table_data = db.table_data(link.table_name)
+    if tables is None:
+        tables = db.read_view()
+    table_data = tables[link.table_name]
     subject_attr = link.subject_attribute.attribute_name
     object_attr = link.object_attribute.attribute_name
     subject_key = subject_table.uri_pattern.attributes[0]

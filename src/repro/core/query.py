@@ -78,7 +78,11 @@ def execute_query(
 
     if not force_fallback:
         try:
-            translated = translate_pattern(mapping, db, q.where)
+            # Under the planner lock: DDL holds it across its catalog
+            # mutation, so translation (pure schema/mapping reads, now on
+            # the lock-free read tier) never sees a half-applied change.
+            with db.planner.lock:
+                translated = translate_pattern(mapping, db, q.where)
             return outcome_from_solutions(
                 q, translated.execute(), used_sql=True, select_sql=translated.sql()
             )

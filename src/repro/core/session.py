@@ -20,9 +20,14 @@ that cost across repeated operations:
   database transaction — all-or-nothing, whereas the facade commits each
   operation separately per the paper's one-transaction-per-operation rule.
 * The session owns transaction scope (:meth:`begin` / :meth:`commit` /
-  :meth:`rollback` / :meth:`transaction`), and all entry points serialize
-  on an internal lock so a threaded HTTP endpoint can share one session
-  without corrupting the caches or leaving a transaction open.
+  :meth:`rollback` / :meth:`transaction`).  **Write** entry points
+  serialize on the backend's write-tier lock so a threaded HTTP endpoint
+  can share one session without interleaving transactions; **read** entry
+  points (:meth:`query`, :meth:`query_outcome`, prepared queries) do not
+  take it — they run against the backend's committed snapshot, so N
+  reader threads proceed concurrently with each other and with at most
+  one writer.  The prepared caches are guarded by a separate lock held
+  only for dictionary access, never during execution.
 
 Semantics never drift from the unprepared path: translation replay is
 keyed on the backend's state version, so *any* state change — including
@@ -306,21 +311,26 @@ class PreparedQuery:
         return self.outcome(bindings).result
 
     def outcome(self, bindings: Optional[Bindings] = None) -> QueryOutcome:
-        session = self.session
-        with session._lock:
-            return self._plan_for(_solution(bindings)).outcome()
+        # Lock-free read path: plan lookup briefly takes the cache lock,
+        # execution runs against the backend's committed snapshot.
+        return self._plan_for(_solution(bindings)).outcome()
 
     def _plan_for(self, solution: Solution):
         key = _bindings_key(solution)
-        plan = self._per_binding.get(key)
-        if plan is None:
-            query = self._resolved_query(solution)
-            plan = self.session.backend.prepare_query(query)
+        cache_lock = self.session._cache_lock
+        with cache_lock:
+            plan = self._per_binding.get(key)
+            if plan is not None:
+                self._per_binding.move_to_end(key)
+                return plan
+        # Build outside the lock (translation may be expensive); a racing
+        # thread building the same plan is benign — last insert wins.
+        query = self._resolved_query(solution)
+        plan = self.session.backend.prepare_query(query)
+        with cache_lock:
             self._per_binding[key] = plan
             if len(self._per_binding) > _BINDING_CACHE_SIZE:
                 self._per_binding.popitem(last=False)
-        else:
-            self._per_binding.move_to_end(key)
         return plan
 
     def _resolved_query(self, solution: Solution) -> Query:
@@ -344,18 +354,28 @@ class PreparedQuery:
 class Session:
     """Owns transaction scope and a prepared-operation cache over a backend.
 
-    Thread-safe: every entry point serializes on a reentrant lock that is
-    shared by **all** sessions over the same backend (transaction state
-    lives in the backend, so two sessions on one database must never
-    interleave — e.g. the facade's internal session and the HTTP
-    endpoint's session used from different threads).
+    Thread-safe with two lock tiers, both owned by the backend and shared
+    by **all** sessions over it (transaction state lives in the backend,
+    so two sessions on one database must never interleave — e.g. the
+    facade's internal session and the HTTP endpoint's session used from
+    different threads):
+
+    * the reentrant **write-tier** lock serializes updates, batches, and
+      transaction scope;
+    * the **cache lock** guards the prepared-operation dictionaries and
+      is held only for lookups/insertions, never across execution.
+
+    Queries take neither lock during execution: they run against the
+    backend's committed snapshot, concurrent with each other and with at
+    most one writer.
     """
 
     def __init__(self, backend: Backend) -> None:
         self.backend = backend
-        # The backend owns the lock (created in Backend.__init__), so all
-        # sessions over one backend serialize on the same instance.
+        # The backend owns the locks (created in Backend.__init__), so all
+        # sessions over one backend serialize on the same instances.
         self._lock = backend._session_lock
+        self._cache_lock = backend._cache_lock
         self._prepared: "OrderedDict[Tuple, Union[PreparedUpdate, PreparedQuery]]" = (
             OrderedDict()
         )
@@ -399,21 +419,19 @@ class Session:
         if isinstance(request, UpdateRequest):
             return PreparedUpdate(self, request)
         kind = "update" if allow_placeholders else "update-concrete"
-        with self._lock:
-            cached = self._cached_prepared(kind, request, prefixes)
-            if cached is not None:
-                return cached
-            prepared = PreparedUpdate(
-                self,
-                parse_update(
-                    request,
-                    prefixes=prefixes,
-                    allow_placeholders=allow_placeholders,
-                ),
-                text=request,
-            )
-            self._remember(kind, request, prefixes, prepared)
-            return prepared
+        cached = self._cached_prepared(kind, request, prefixes)
+        if cached is not None:
+            return cached
+        prepared = PreparedUpdate(
+            self,
+            parse_update(
+                request,
+                prefixes=prefixes,
+                allow_placeholders=allow_placeholders,
+            ),
+            text=request,
+        )
+        return self._remember(kind, request, prefixes, prepared)
 
     def prepare_query(
         self,
@@ -422,30 +440,37 @@ class Session:
     ) -> PreparedQuery:
         if not isinstance(query, str):
             return PreparedQuery(self, query)
-        with self._lock:
-            cached = self._cached_prepared("query", query, prefixes)
-            if cached is not None:
-                return cached
-            prepared = PreparedQuery(
-                self, parse_query(query, prefixes=prefixes), text=query
-            )
-            self._remember("query", query, prefixes, prepared)
-            return prepared
+        cached = self._cached_prepared("query", query, prefixes)
+        if cached is not None:
+            return cached
+        prepared = PreparedQuery(
+            self, parse_query(query, prefixes=prefixes), text=query
+        )
+        return self._remember("query", query, prefixes, prepared)
 
     def _cached_prepared(self, kind: str, text: str, prefixes):
         if prefixes is not None:
             return None
-        entry = self._prepared.get((kind, text))
-        if entry is not None:
-            self._prepared.move_to_end((kind, text))
-        return entry
+        with self._cache_lock:
+            entry = self._prepared.get((kind, text))
+            if entry is not None:
+                self._prepared.move_to_end((kind, text))
+            return entry
 
-    def _remember(self, kind: str, text: str, prefixes, prepared) -> None:
+    def _remember(self, kind: str, text: str, prefixes, prepared):
+        """Insert under the cache lock; on a racing insert of the same
+        text, keep and return the first one (so all threads share one
+        prepared object and its caches)."""
         if prefixes is not None:
-            return
-        self._prepared[(kind, text)] = prepared
-        if len(self._prepared) > _PREPARED_CACHE_SIZE:
-            self._prepared.popitem(last=False)
+            return prepared
+        with self._cache_lock:
+            existing = self._prepared.get((kind, text))
+            if existing is not None:
+                return existing
+            self._prepared[(kind, text)] = prepared
+            if len(self._prepared) > _PREPARED_CACHE_SIZE:
+                self._prepared.popitem(last=False)
+            return prepared
 
     # -- write path -----------------------------------------------------
 
@@ -505,29 +530,73 @@ class Session:
     def query_outcome(
         self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
     ) -> QueryOutcome:
-        with self._lock:
-            if isinstance(q, str):
-                return self.prepare_query(q, prefixes=prefixes).outcome()
-            return self.backend.query_outcome(q, prefixes=prefixes)
+        # Read tier: no session lock.  The backend evaluates against the
+        # committed snapshot current at the query's start (the thread
+        # owning an open transaction sees its own writes instead).
+        if isinstance(q, str):
+            return self.prepare_query(q, prefixes=prefixes).outcome()
+        return self.backend.query_outcome(q, prefixes=prefixes)
 
     def dump(self) -> Graph:
-        """Materialize the backend's state as RDF."""
-        with self._lock:
-            return self.backend.dump()
+        """Materialize the backend's state as RDF.
+
+        Read tier: both backends route their dump through the committed
+        snapshot (or the working store for the transaction's own thread),
+        so no lock is needed and a long-running transaction elsewhere
+        never stalls a dump.
+        """
+        return self.backend.dump()
 
     # -- transactions ---------------------------------------------------
 
     def begin(self) -> None:
-        with self._lock:
+        """Open a transaction, holding the write-tier lock until
+        :meth:`commit`/:meth:`rollback`.
+
+        Transaction scope is thread-owned: exactly like the engine's
+        writer lock, the thread that called ``begin`` must finish the
+        transaction.  Another thread's write simply waits here (it can
+        never sneak into — or deadlock against — an open transaction),
+        and reads are unaffected (they use the committed snapshot).
+        """
+        self._lock.acquire()
+        try:
             self.backend.begin()
+        except BaseException:
+            self._lock.release()
+            raise
+        self.backend._begin_holds += 1
+
+    def _release_begin_hold(self) -> None:
+        """Drop the lock acquisition made by :meth:`begin`, if any —
+        also on the error paths (e.g. committing after a failed
+        operation already rolled the transaction back).
+
+        MUST be called while holding the lock: a begin-hold is itself a
+        lock acquisition, so inside the lock a nonzero count can only be
+        this thread's own reentrant hold — checking it anywhere else
+        would race another thread's ``begin``.  The count lives on the
+        backend, so a transaction begun through one session can be
+        finished through another session over the same backend.
+        """
+        backend = self.backend
+        if backend._begin_holds:
+            backend._begin_holds -= 1
+            self._lock.release()
 
     def commit(self) -> None:
         with self._lock:
-            self.backend.commit()
+            try:
+                self.backend.commit()
+            finally:
+                self._release_begin_hold()
 
     def rollback(self) -> None:
         with self._lock:
-            self.backend.rollback()
+            try:
+                self.backend.rollback()
+            finally:
+                self._release_begin_hold()
 
     def in_transaction(self) -> bool:
         return self.backend.in_transaction()

@@ -12,10 +12,30 @@ Statements run in autocommit mode unless a transaction is opened with
 :meth:`Database.begin` / ``BEGIN`` or the :meth:`Database.transaction`
 context manager.  ``constraint_mode`` selects immediate (default) or
 deferred FK checking — the knob the FK-sort ablation turns.
+
+Concurrency model (MVCC reads, single writer)
+---------------------------------------------
+
+Writers serialize on an exclusive reentrant lock held for the duration of
+a transaction (or one autocommit statement) and mutate the working store
+in place under the undo journal, exactly as before.  Readers never take
+that lock: each SELECT runs against the :class:`DatabaseSnapshot` current
+at its start — an immutable table map published at commit boundaries —
+so N reader threads proceed concurrently with each other and with at most
+one writer.  A thread that owns the open transaction reads the working
+store instead (read-your-own-writes).
+
+Publication is lazy and O(1)-amortized: it is just a shallow copy of the
+name→:class:`~repro.rdb.storage.TableData` map, and the first write after
+a snapshot has been *consumed* by a reader clones the touched table
+(copy-on-write, sharing the immutable row dicts) so the snapshot stays
+frozen.  Snapshots nobody read are discarded instead of cloned, so
+write-only workloads pay nothing.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
@@ -24,12 +44,53 @@ from ..sql import ast
 from ..sql.parser import parse_statements
 from .catalog import Column, ForeignKey, Index, Schema, Table
 from .executor import Executor, Result
-from .planner import Planner
+from .planner import Planner, StaleSnapshotError
 from .storage import TableData
 from .transactions import DEFERRED, IMMEDIATE, Transaction
 from .types import type_from_name
 
-__all__ = ["Database"]
+__all__ = ["Database", "DatabaseSnapshot"]
+
+
+class DatabaseSnapshot:
+    """An immutable view of committed state at one state version.
+
+    ``tables`` maps table names to frozen :class:`TableData` objects; the
+    planner's compiled plans execute against it exactly like against the
+    working store.  ``generation`` is the planner generation the snapshot
+    was published under — plans are cached per generation, so a plan is
+    always costed and executed against structurally matching tables.
+
+    ``consumed``/``retired`` implement the copy-on-write handshake with
+    writers (see :meth:`Database.snapshot`): a snapshot handed to a reader
+    is cloned away from before mutation; one nobody read is discarded.
+    """
+
+    __slots__ = ("tables", "version", "generation", "consumed", "retired")
+
+    def __init__(
+        self, tables: Dict[str, TableData], version: tuple, generation: int
+    ) -> None:
+        self.tables = tables
+        self.version = version
+        self.generation = generation
+        self.consumed = False
+        self.retired = False
+
+    def consume(self) -> None:
+        """Mark the snapshot as handed to a reader.
+
+        Pins every referenced table *before* publishing the consumed
+        flag: later publications share untouched tables with this
+        snapshot, so the writer-side copy-on-write gate must keep seeing
+        that a reader may hold them even after this snapshot stops being
+        the latest one (the pin outlives the snapshot; only a clone
+        clears it).
+        """
+        if not self.consumed:
+            for table_data in self.tables.values():
+                table_data._cow_pinned = True
+            self.consumed = True
 
 
 class Database:
@@ -43,9 +104,13 @@ class Database:
         self.data: Dict[str, TableData] = {}
         #: Statement planner with an LRU plan cache; DDL invalidates it.
         self.planner = Planner(self.schema, self.data)
-        self.executor = Executor(self.schema, self.data, self.planner)
+        self.executor = Executor(
+            self.schema, self.data, self.planner, for_write=self._writable
+        )
         self._txn: Optional[Transaction] = None
-        #: Count of statements executed (used by benchmarks).
+        #: Count of statements executed (used by benchmarks).  Updated
+        #: without locking; concurrent readers may lose increments — it is
+        #: a diagnostic, never a correctness input.
         self.statements_executed = 0
         #: Monotonic counters identifying the visible state.  Prepared
         #: operations (:mod:`repro.core.session`) cache translated SQL
@@ -55,34 +120,76 @@ class Database:
         #: forces a re-translation); missing a bump would not be.
         self.data_version = 0
         self.schema_version = 0
+        #: Exclusive writer lock: held across an explicit transaction
+        #: (begin→commit/rollback) or around one autocommit DML/DDL
+        #: statement.  Readers never take it except to publish a missing
+        #: snapshot.
+        self._write_lock = threading.RLock()
+        #: The currently published committed snapshot (None until the
+        #: first reader asks, and after an unconsumed snapshot is
+        #: discarded by a writer).
+        self._snapshot: Optional[DatabaseSnapshot] = None
+        #: True once any reader has asked for a snapshot — from then on
+        #: commit points republish eagerly so readers stay lock-free.
+        self._snapshots_active = False
+        #: state_version() at the last commit point.  During an open
+        #: transaction it keeps the pre-transaction value, which is what
+        #: makes the published snapshot test as fresh for readers.
+        self._committed_version: tuple = (0, 0)
 
     # ------------------------------------------------------------------
     # transaction control
     # ------------------------------------------------------------------
 
     def begin(self) -> None:
+        """Open a transaction, taking the exclusive writer lock.
+
+        The lock is held until :meth:`commit` / :meth:`rollback`, so a
+        second writer blocks here until the first finishes; readers are
+        unaffected (they run against the published snapshot).  Transaction
+        scope is thread-owned: :meth:`commit`/:meth:`rollback` must run on
+        the thread that opened the transaction (the reentrant lock cannot
+        be released from another thread).
+        """
+        self._write_lock.acquire()
         if self._txn is not None:
+            self._write_lock.release()
             raise TransactionError("a transaction is already open")
+        if self._snapshots_active:
+            # Make sure a fresh pre-transaction snapshot is published
+            # before any mutation, so readers stay lock-free for the
+            # whole (arbitrarily long) transaction.
+            self._mark_committed()
         self._txn = Transaction(mode=self.constraint_mode)
 
     def commit(self) -> None:
         txn = self._require_txn()
+        self._require_owner(txn)
         try:
-            txn.run_deferred_checks()
-        except Exception:
-            txn.rollback()
+            try:
+                txn.run_deferred_checks()
+            except Exception:
+                txn.rollback()
+                self._txn = None
+                # state reverted: translations cached mid-transaction are stale
+                self.data_version += 1
+                raise
+            txn.commit_cleanup()
             self._txn = None
-            # state reverted: translations cached mid-transaction are stale
-            self.data_version += 1
-            raise
-        txn.commit_cleanup()
-        self._txn = None
+        finally:
+            self._mark_committed()
+            self._write_lock.release()
 
     def rollback(self) -> None:
         txn = self._require_txn()
-        txn.rollback()
-        self._txn = None
-        self.data_version += 1  # state reverted: cached translations are stale
+        self._require_owner(txn)
+        try:
+            txn.rollback()
+            self._txn = None
+            self.data_version += 1  # state reverted: cached translations are stale
+        finally:
+            self._mark_committed()
+            self._write_lock.release()
 
     def state_version(self) -> tuple:
         """Opaque token identifying the current visible state."""
@@ -90,6 +197,133 @@ class Database:
 
     def in_transaction(self) -> bool:
         return self._txn is not None
+
+    # ------------------------------------------------------------------
+    # snapshots (MVCC read path)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """The committed snapshot readers run against — lock-free when a
+        fresh one is published, republished under the writer lock
+        otherwise (i.e. the first read after a quiet commit, or during
+        another thread's open transaction before anything was published).
+        """
+        snap = self._snapshot
+        if (
+            snap is not None
+            and snap.version == self._committed_version
+            and snap.generation == self.planner.generation
+        ):
+            # Order matters: pin + mark consumed *then* re-check retired.
+            # A writer marks retired *then* checks consumed/pins — under
+            # the GIL's sequentially consistent memory, at least one side
+            # sees the other's writes, so a snapshot is never mutated
+            # after being handed out (see :meth:`_writable`).
+            snap.consume()
+            if not snap.retired:
+                return snap
+        with self._write_lock:
+            if self._txn is not None:
+                # Only reachable reentrantly: the calling thread owns the
+                # open transaction (other threads block above until it
+                # commits).  Its reads must use the working store.
+                raise TransactionError(
+                    "cannot take a committed snapshot inside an open "
+                    "transaction"
+                )
+            self._snapshots_active = True
+            self._committed_version = self.state_version()
+            snap = self._snapshot
+            if (
+                snap is None
+                or snap.retired
+                or snap.version != self._committed_version
+                or snap.generation != self.planner.generation
+            ):
+                snap = self._publish()
+            snap.consume()
+            return snap
+
+    def read_view(self) -> Dict[str, TableData]:
+        """The table map reads should use right now: the working store
+        for the thread owning the open transaction (read-your-own-writes),
+        the committed snapshot's tables for everyone else."""
+        txn = self._txn
+        if txn is not None and txn.owner == threading.get_ident():
+            return self.data
+        return self.snapshot().tables
+
+    def _publish(self) -> DatabaseSnapshot:
+        """Publish the current (committed) state; writer lock held."""
+        tables = dict(self.data)
+        for table_data in tables.values():
+            if table_data._scan_order_dirty:
+                table_data.scan()  # re-sort once, before the map freezes
+        snap = DatabaseSnapshot(
+            tables, self._committed_version, self.planner.generation
+        )
+        self._snapshot = snap
+        return snap
+
+    def _mark_committed(self) -> None:
+        """Note a commit point and republish for readers; writer lock held."""
+        self._committed_version = self.state_version()
+        if not self._snapshots_active:
+            return
+        snap = self._snapshot
+        if (
+            snap is not None
+            and not snap.retired
+            and snap.version == self._committed_version
+            and snap.generation == self.planner.generation
+        ):
+            return  # e.g. a failed autocommit statement: nothing changed
+        self._publish()
+
+    def _writable(self, name: str) -> TableData:
+        """The :class:`TableData` a writer may mutate — the copy-on-write
+        gate.  Writer lock held (all mutation paths run under it).
+
+        If the published snapshot still references the working object, it
+        must not observe the coming mutation: a snapshot some reader
+        consumed is preserved by cloning the table (the clone becomes the
+        working version); one nobody consumed is simply discarded.
+        """
+        try:
+            table_data = self.data[name]
+        except KeyError:
+            raise CatalogError(f"no such table: {name!r}") from None
+        snap = self._snapshot
+        if snap is not None and snap.tables.get(name) is table_data:
+            snap.retired = True  # divert racing readers to the slow path
+            if (
+                snap.consumed
+                or table_data._cow_pinned
+                or self._txn is not None
+            ):
+                # A reader holds this snapshot — or an *older* consumed
+                # snapshot still shares this very table (republication
+                # shares untouched tables, so the pin outlives the
+                # snapshot that set it) — or readers may fetch the
+                # snapshot while this (arbitrarily long) transaction
+                # runs: preserve the frozen object by cloning.
+                table_data = table_data.clone()
+                self.data[name] = table_data
+                snap.retired = False  # still frozen-valid: fast path back on
+            else:
+                # Unconsumed, unpinned, autocommit: no reader ever held a
+                # snapshot referencing this table object, and none can
+                # start before the statement's own commit republishes
+                # (readers needing one block on the writer lock we hold),
+                # so discarding is cheaper than cloning.
+                self._snapshot = None
+        elif table_data._cow_pinned:
+            # No current snapshot references it (e.g. the latest was just
+            # discarded) but a consumed one from an earlier publication
+            # still might: clone.
+            table_data = table_data.clone()
+            self.data[name] = table_data
+        return table_data
 
     @contextmanager
     def transaction(self) -> Iterator[None]:
@@ -108,6 +342,18 @@ class Database:
         if self._txn is None:
             raise TransactionError("no transaction is open")
         return self._txn
+
+    @staticmethod
+    def _require_owner(txn: Transaction) -> None:
+        """Fail fast on cross-thread commit/rollback.  Without this, a
+        non-owner would race the owner's statements unlocked and publish
+        its torn mid-transaction state to readers before the writer
+        lock's release blew up anyway."""
+        if txn.owner != threading.get_ident():
+            raise TransactionError(
+                "the transaction belongs to another thread; only the "
+                "thread that opened it may commit or roll back"
+            )
 
     # ------------------------------------------------------------------
     # statement execution
@@ -179,42 +425,99 @@ class Database:
             self.rollback()
             return Result(columns=[], rows=[])
         if isinstance(stmt, ast.Select):
-            return self.executor.select(stmt, parameters)
-        if isinstance(stmt, ast.CreateTable):
-            return self._create_table(stmt)
-        if isinstance(stmt, ast.DropTable):
-            return self._drop_table(stmt)
-        if isinstance(stmt, ast.CreateIndex):
-            return self._create_index(stmt)
-        if isinstance(stmt, ast.DropIndex):
-            return self._drop_index(stmt)
+            txn = self._txn
+            if txn is not None and txn.owner == threading.get_ident():
+                # Inside this thread's transaction: see our own writes.
+                return self.executor.select(stmt, parameters)
+            return self._select_committed(stmt, parameters)
+        if isinstance(
+            stmt, (ast.CreateTable, ast.DropTable, ast.CreateIndex, ast.DropIndex)
+        ):
+            return self._execute_ddl(stmt)
 
         # DML: run inside the open transaction, or autocommit a fresh one.
         if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
-            if self._txn is not None:
-                savepoint = self._txn.statement_savepoint()
+            txn = self._txn
+            if txn is not None and txn.owner == threading.get_ident():
+                savepoint = txn.statement_savepoint()
                 try:
-                    result = self._run_dml(stmt, self._txn, parameters)
+                    result = self._run_dml(stmt, txn, parameters)
                 except Exception:
                     # statement-level atomicity inside the transaction
-                    self._txn.rollback_to(savepoint)
+                    txn.rollback_to(savepoint)
                     raise
                 if result.rowcount:
                     self.data_version += 1
                 return result
-            txn = Transaction(mode=self.constraint_mode)
-            try:
-                result = self._run_dml(stmt, txn, parameters)
-                txn.run_deferred_checks()
-            except Exception:
-                if txn.active:
-                    txn.rollback()
-                raise
-            txn.commit_cleanup()
-            if result.rowcount:
-                self.data_version += 1
-            return result
+            # Autocommit: exclusive writer for the span of one statement.
+            # (Blocks here while another thread's transaction is open.)
+            with self._write_lock:
+                txn = Transaction(mode=self.constraint_mode)
+                try:
+                    result = self._run_dml(stmt, txn, parameters)
+                    txn.run_deferred_checks()
+                except Exception:
+                    if txn.active:
+                        txn.rollback()
+                    # COW may have discarded the snapshot; republish the
+                    # (unchanged) committed state for readers.
+                    self._mark_committed()
+                    raise
+                txn.commit_cleanup()
+                if result.rowcount:
+                    self.data_version += 1
+                self._mark_committed()
+                return result
         raise DatabaseError(f"cannot execute {type(stmt).__name__}")
+
+    def _select_committed(
+        self, stmt: ast.Select, parameters: Sequence[Any]
+    ) -> Result:
+        """Lock-free SELECT against the snapshot current at its start.
+
+        The plan is cached per planner generation and built against the
+        snapshot's tables, so plan and data always match structurally; a
+        concurrent DDL between taking the snapshot and planning surfaces
+        as :class:`StaleSnapshotError` and we simply restart on a fresh
+        snapshot (the query has not read anything yet).
+        """
+        for _ in range(8):
+            snap = self.snapshot()
+            try:
+                plan = self.planner.plan_select_at(stmt, snap)
+            except StaleSnapshotError:
+                continue
+            columns, rows = plan.execute(snap.tables, parameters)
+            return Result(columns=columns, rows=rows, rowcount=len(rows))
+        # Pathological DDL churn: serialize with writers instead.
+        with self._write_lock:
+            return self.executor.select(stmt, parameters)
+
+    def _execute_ddl(self, stmt: ast.Statement) -> Result:
+        """DDL under the writer lock; serialized against plan building via
+        the planner lock and published like a commit."""
+        txn = self._txn  # local: another thread's commit may null it
+        in_txn = txn is not None and txn.owner == threading.get_ident()
+        with self._write_lock:
+            with self.planner.lock:
+                if isinstance(stmt, ast.CreateTable):
+                    result = self._create_table(stmt)
+                elif isinstance(stmt, ast.DropTable):
+                    result = self._drop_table(stmt)
+                elif isinstance(stmt, ast.CreateIndex):
+                    result = self._create_index(stmt)
+                else:
+                    result = self._drop_index(stmt)
+            if not in_txn:
+                # DDL is not transactional; inside an open transaction the
+                # commit point stays at COMMIT.  The generation bump also
+                # invalidates the published snapshot's plans, so *new*
+                # reader statements wait on the writer lock until COMMIT
+                # publishes a post-DDL snapshot — the only safe option,
+                # since no schema of the old generation exists to plan
+                # against anymore.
+                self._mark_committed()
+            return result
 
     def _run_dml(
         self,
@@ -331,7 +634,7 @@ class Database:
                 return Result(columns=[], rows=[])
             raise CatalogError(f"index {stmt.name!r} already exists")
         table = self.schema.table(stmt.table)
-        table_data = self.table_data(stmt.table)
+        table_data = self._writable(stmt.table)
         columns = tuple(stmt.columns)
         index = Index(
             name=stmt.name, table=stmt.table, columns=columns, unique=stmt.unique
@@ -365,7 +668,7 @@ class Database:
                 return Result(columns=[], rows=[])
             raise CatalogError(f"no such index: {stmt.name!r}")
         index = self.schema.drop_index(stmt.name)
-        table_data = self.table_data(index.table)
+        table_data = self._writable(index.table)
         if index.unique:
             table_data.drop_unique_index(index.columns, "unique index")
             table = self.schema.table(index.table)

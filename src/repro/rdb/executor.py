@@ -66,10 +66,17 @@ class Executor:
         schema: Schema,
         data: Dict[str, TableData],
         planner: Optional[Planner] = None,
+        for_write: Optional[Callable[[str], TableData]] = None,
     ) -> None:
         self.schema = schema
         self.data = data
         self.planner = planner if planner is not None else Planner(schema, data)
+        #: How a statement acquires the table it will *mutate*.  The
+        #: engine injects its copy-on-write gate here so a published
+        #: snapshot is never mutated; standalone executors (tests) fall
+        #: back to the working table directly.  Reads (FK checks, scans)
+        #: keep using the working store.
+        self._for_write = for_write if for_write is not None else self._table_data
 
     # ==================================================================
     # SELECT
@@ -91,7 +98,7 @@ class Executor:
         parameters: Sequence[Any] = (),
     ) -> Result:
         table = self.schema.table(stmt.table)
-        table_data = self._table_data(stmt.table)
+        table_data = self._for_write(stmt.table)
         columns = stmt.columns or tuple(table.column_names())
         count = 0
         for row_exprs in stmt.rows:
@@ -158,7 +165,7 @@ class Executor:
         parameters: Sequence[Any] = (),
     ) -> Result:
         table = self.schema.table(stmt.table)
-        table_data = self._table_data(stmt.table)
+        table_data = self._for_write(stmt.table)
         plan = self.planner.plan_update(stmt)
         targets = plan.matching_rowids(self.data, parameters)
         count = 0
@@ -203,7 +210,7 @@ class Executor:
         parameters: Sequence[Any] = (),
     ) -> Result:
         table = self.schema.table(stmt.table)
-        table_data = self._table_data(stmt.table)
+        table_data = self._for_write(stmt.table)
         plan = self.planner.plan_delete(stmt)
         targets = plan.matching_rowids(self.data, parameters)
         count = 0

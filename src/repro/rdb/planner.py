@@ -50,6 +50,7 @@ before any plan is cached, or call :meth:`Planner.invalidate` after).
 from __future__ import annotations
 
 import heapq
+import threading
 from collections import OrderedDict
 from itertools import islice
 from typing import (
@@ -81,11 +82,23 @@ from .expressions import (
 from .storage import UNBOUNDED, TableData
 from .types import DateType, StringType
 
-__all__ = ["Planner", "CompiledSelect", "CompiledMutation"]
+__all__ = [
+    "Planner",
+    "CompiledSelect",
+    "CompiledMutation",
+    "StaleSnapshotError",
+]
 
 Row = Dict[str, Any]
 
 _PLAN_CACHE_SIZE = 256
+
+
+class StaleSnapshotError(DatabaseError):
+    """Raised when a plan is requested for a snapshot whose planner
+    generation no longer matches the live schema — a DDL statement ran in
+    between.  Callers retry on a fresh snapshot (the query has not read
+    anything yet, so restarting is always safe)."""
 
 
 # ---------------------------------------------------------------------------
@@ -570,6 +583,13 @@ class _JoinStep:
     ``post`` predicates are WHERE conjuncts whose latest referenced slot
     is this step's; they run on every emitted scope (after LEFT-join null
     extension, so pushdown never changes semantics).
+
+    ``build_left`` flips the hash-join build side: instead of always
+    hashing this step's (right) table, the *incoming scopes* are hashed
+    and the right table streams as the probe side — chosen when
+    statistics say the pipeline so far is the smaller input.  INNER-only
+    (LEFT joins need left-major emission for null extension), and the
+    emitted order becomes right-major, which SQL does not promise anyway.
     """
 
     def __init__(
@@ -587,6 +607,7 @@ class _JoinStep:
         condition_fn: Optional[Compiled] = None,
         build_filters: Sequence[Compiled] = (),
         post: Sequence[Compiled] = (),
+        build_left: bool = False,
     ) -> None:
         self.slot = slot
         self.table_name = table_name
@@ -600,6 +621,7 @@ class _JoinStep:
         self.condition_fn = condition_fn
         self.build_filters = tuple(build_filters)
         self.post = tuple(post)
+        self.build_left = build_left
 
     def apply(
         self,
@@ -609,7 +631,12 @@ class _JoinStep:
     ) -> Iterator[Rows]:
         table_data = data[self.table_name]
         if self.strategy == "hash":
-            produced = self._hash_join(scopes, table_data, parameters)
+            if self.build_left:
+                produced = self._hash_join_build_left(
+                    scopes, table_data, parameters
+                )
+            else:
+                produced = self._hash_join(scopes, table_data, parameters)
         elif self.strategy == "cross":
             right_rows = [
                 row
@@ -679,6 +706,45 @@ class _JoinStep:
             if left_join and not emitted:
                 yield scope + (self.null_row,)
 
+    def _hash_join_build_left(
+        self,
+        scopes: Iterator[Rows],
+        table_data: TableData,
+        parameters: Sequence[Any],
+    ) -> Iterator[Rows]:
+        """INNER hash join hashing the (smaller) pipeline input and
+        streaming this step's table as the probe side."""
+        build: Dict[Tuple[Any, ...], List[Rows]] = {}
+        left_key_fns = self.left_key_fns
+        for scope in scopes:
+            key = tuple(fn(scope, parameters) for fn in left_key_fns)
+            if None not in key:
+                build.setdefault(key, []).append(scope)
+        if not build:
+            return
+        columns = self.right_columns
+        residual = self.on_residual
+        for _, row in table_data.scan():
+            if not self._passes_build_filters(row, parameters):
+                continue
+            key = tuple(row.get(c) for c in columns)
+            if None in key:
+                continue
+            matches = build.get(key)
+            if not matches:
+                continue
+            for scope in matches:
+                candidate = scope + (row,)
+                if residual:
+                    ok = True
+                    for fn in residual:
+                        if fn(candidate, parameters) is not True:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                yield candidate
+
     def _nested_loop(
         self,
         scopes: Iterator[Rows],
@@ -705,7 +771,8 @@ class _JoinStep:
             else f"{self.table_name} AS {self.binding}"
         )
         if self.strategy == "hash":
-            detail = f"hash join on ({', '.join(self.right_columns)})"
+            side = "left" if self.build_left else "right"
+            detail = f"hash join on ({', '.join(self.right_columns)}), build: {side}"
             if self.build_filters:
                 detail += f", {len(self.build_filters)} filter(s) pushed into build"
         elif self.strategy == "cross":
@@ -1079,17 +1146,36 @@ class CompiledSelect:
             schema, data, self._placement[0][1], 0, self.layout,
             by_stage.get(0, []),
         )
+        # Running cardinality estimate of the pipeline so far: an FK-shaped
+        # equi join matches ~one parent row per input row, so a hash join
+        # keeps the estimate; a cross product multiplies it.  The estimate
+        # picks each hash join's build side (smaller input gets hashed).
+        running = estimates[order[0]]
         for slot in range(1, len(self._placement)):
-            self.steps.append(
-                self._plan_pool_join(schema, slot, by_stage.get(slot, []))
+            right_estimate = estimates[order[slot]]
+            step = self._plan_pool_join(
+                schema, slot, by_stage.get(slot, []),
+                left_estimate=running,
+                right_estimate=right_estimate,
             )
+            self.steps.append(step)
+            if step.strategy == "cross":
+                running = max(1, running) * max(1, right_estimate)
+            else:
+                running = max(running, 1)
 
     def _plan_pool_join(
-        self, schema: Schema, slot: int, conjuncts: List[_Conjunct]
+        self,
+        schema: Schema,
+        slot: int,
+        conjuncts: List[_Conjunct],
+        left_estimate: int = 0,
+        right_estimate: int = 0,
     ) -> _JoinStep:
         """One INNER join planned from pooled conjuncts: equi conjuncts
         against earlier slots become hash keys, single-table conjuncts
-        filter the build side, the rest run post-join."""
+        filter the build side, the rest run post-join.  The hash build
+        side is the input the statistics estimate as smaller."""
         binding, table_name = self._placement[slot]
         null_row = {name: None for name in schema.table(table_name).column_names()}
         left_key_fns: List[Compiled] = []
@@ -1115,6 +1201,7 @@ class CompiledSelect:
                 right_columns=right_columns,
                 build_filters=build_filters,
                 post=post,
+                build_left=left_estimate < right_estimate,
             )
         # No equi connection to earlier tables: filtered cross product
         # (post conjuncts make it an inner nested-loop join).
@@ -1139,6 +1226,10 @@ class CompiledSelect:
         if len(stmt.order_by) != 1 or self.base is None:
             return
         if self.base.kind not in ("scan", "range"):
+            return
+        if any(step.build_left for step in self.steps):
+            # A left-build hash join emits right-major order, so the
+            # index order would not survive the pipeline.
             return
         item = stmt.order_by[0]
         expr = item.expression
@@ -1587,8 +1678,18 @@ class CompiledMutation:
 class Planner:
     """Plans statements against a schema + storage, with an LRU plan cache.
 
-    Statement ASTs are frozen dataclasses, so they serve directly as cache
-    keys; the engine invalidates the cache on DDL.
+    Statement ASTs are frozen dataclasses, so (generation, AST) pairs
+    serve directly as cache keys; the engine invalidates the cache on DDL,
+    which also bumps :attr:`generation`.  Keying plans by generation is
+    what lets MVCC readers share the cache safely: a plan is only ever
+    built while the live schema matches the generation of the table map
+    it will execute against (snapshot or working store), and DDL holds
+    :attr:`lock` across its catalog mutation so a plan can never observe a
+    half-applied schema change.
+
+    Cache *hits* are lock-free: plans are immutable once built, and the
+    individual ``OrderedDict`` operations are atomic under the GIL (a
+    racing eviction or double build is benign).
     """
 
     def __init__(
@@ -1603,43 +1704,85 @@ class Planner:
         #: loops, no index paths, no reordering.  The differential harness
         #: oracle.  Toggle before any plan is cached (or invalidate()).
         self.force_scan = force_scan
-        self._cache: "OrderedDict[ast.Statement, Any]" = OrderedDict()
+        #: Serializes plan building with DDL (the engine wraps catalog
+        #: mutations in this lock before bumping the generation).
+        self.lock = threading.RLock()
+        #: Bumped by :meth:`invalidate`; identifies one schema epoch.
+        self.generation = 0
+        self._cache: "OrderedDict[Tuple[int, ast.Statement], Any]" = OrderedDict()
         #: Planning/caching statistics (exposed for tests and diagnostics).
         self.stats = {"hits": 0, "misses": 0, "invalidations": 0}
 
     def invalidate(self) -> None:
-        """Drop all cached plans (called after any DDL)."""
-        self._cache.clear()
-        self.stats["invalidations"] += 1
+        """Drop all cached plans and open a new generation (after DDL)."""
+        with self.lock:
+            self.generation += 1
+            self._cache.clear()
+            self.stats["invalidations"] += 1
 
-    def _cached(self, stmt: ast.Statement, build: Callable[[], Any]) -> Any:
+    def _cached(
+        self, generation: int, stmt: ast.Statement, build: Callable[[], Any]
+    ) -> Any:
+        key = (generation, stmt)
         try:
-            plan = self._cache[stmt]
+            plan = self._cache[key]
         except (KeyError, TypeError):
             # TypeError: unhashable literal buried in the AST — plan uncached.
             self.stats["misses"] += 1
-            plan = build()
-            try:
-                self._cache[stmt] = plan
-                if len(self._cache) > _PLAN_CACHE_SIZE:
-                    self._cache.popitem(last=False)
-            except TypeError:
-                pass
+            with self.lock:
+                if generation != self.generation:
+                    raise StaleSnapshotError(
+                        "schema changed since the snapshot was taken"
+                    )
+                plan = build()
+                try:
+                    self._cache[key] = plan
+                    if len(self._cache) > _PLAN_CACHE_SIZE:
+                        self._cache.popitem(last=False)
+                except TypeError:
+                    pass
             return plan
         self.stats["hits"] += 1
-        self._cache.move_to_end(stmt)
+        try:
+            self._cache.move_to_end(key)
+        except KeyError:
+            pass  # concurrently invalidated/evicted; recency is best-effort
         return plan
 
+    def _plan_current(self, stmt: ast.Statement, build: Callable[[], Any]) -> Any:
+        """Build/fetch a plan for the *working* store, retrying across a
+        racing DDL (only possible for unlocked callers like explain())."""
+        while True:
+            try:
+                return self._cached(self.generation, stmt, build)
+            except StaleSnapshotError:
+                continue
+
     def plan_select(self, stmt: ast.Select) -> CompiledSelect:
-        return self._cached(
+        return self._plan_current(
             stmt,
             lambda: CompiledSelect(
                 self.schema, self.data, stmt, force_scan=self.force_scan
             ),
         )
 
-    def plan_update(self, stmt: ast.Update) -> CompiledMutation:
+    def plan_select_at(self, stmt: ast.Select, snapshot) -> CompiledSelect:
+        """The plan a snapshot reader executes: costed against the
+        snapshot's tables and cached under the snapshot's generation.
+        In the steady state (no DDL since publication) this is the same
+        cache entry the working store uses, so readers share the
+        amortization.  Raises :class:`StaleSnapshotError` when a DDL has
+        run since the snapshot was published and no plan is cached."""
         return self._cached(
+            snapshot.generation,
+            stmt,
+            lambda: CompiledSelect(
+                self.schema, snapshot.tables, stmt, force_scan=self.force_scan
+            ),
+        )
+
+    def plan_update(self, stmt: ast.Update) -> CompiledMutation:
+        return self._plan_current(
             stmt,
             lambda: CompiledMutation(
                 self.schema, self.data, stmt.table, stmt.where, stmt.assignments,
@@ -1648,7 +1791,7 @@ class Planner:
         )
 
     def plan_delete(self, stmt: ast.Delete) -> CompiledMutation:
-        return self._cached(
+        return self._plan_current(
             stmt,
             lambda: CompiledMutation(
                 self.schema, self.data, stmt.table, stmt.where,

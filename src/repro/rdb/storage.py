@@ -11,11 +11,18 @@ through :class:`TableData` methods so indexes never drift from the rows.
 Statistics (row counts, per-column distinct counts) are *derived* from the
 incrementally maintained index structures, so they are O(1) to read and
 O(changes) to maintain — no DML ever recounts a table.
+
+Snapshot support (MVCC reads): row dicts are never mutated in place after
+insertion (``update`` replaces the dict), so :meth:`TableData.clone` can
+produce a structurally independent copy that *shares* the row dicts —
+O(rows + index entries), no per-cell copying.  The engine publishes the
+pre-clone object inside an immutable snapshot for lock-free readers and
+hands the clone to the writer (copy-on-write): once a ``TableData`` is
+reachable from a published snapshot it is never mutated again.
 """
 
 from __future__ import annotations
 
-import itertools
 from bisect import bisect_left, bisect_right, insort
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
@@ -67,6 +74,11 @@ class _UniqueIndex:
         if key is not None and self._entries.get(key) == rowid:
             del self._entries[key]
 
+    def copy(self) -> "_UniqueIndex":
+        clone = _UniqueIndex(self.columns, self.label)
+        clone._entries = dict(self._entries)
+        return clone
+
 
 _EMPTY_ROWIDS: frozenset = frozenset()
 
@@ -114,6 +126,14 @@ class _SecondaryIndex:
 
     def contains(self, value: Any) -> bool:
         return value in self._entries
+
+    def copy(self) -> "_SecondaryIndex":
+        clone = _SecondaryIndex(self.column)
+        clone._entries = {value: set(ids) for value, ids in self._entries.items()}
+        # Frozen views are immutable; sharing them is safe — each side's
+        # future mutations only drop entries from its own cache dict.
+        clone._frozen = dict(self._frozen)
+        return clone
 
 
 #: Sentinel for "no bound" in range probes (None means SQL NULL there).
@@ -200,6 +220,13 @@ class _OrderedIndex:
 
     def distinct_count(self) -> int:
         return len(self._groups)
+
+    def copy(self) -> "_OrderedIndex":
+        clone = _OrderedIndex(self.column)
+        clone._keys = list(self._keys)
+        clone._groups = {key: list(ids) for key, ids in self._groups.items()}
+        clone._nulls = list(self._nulls)
+        return clone
 
     def _check_comparable(self, bound: Any) -> Tuple[int, Any]:
         """The bound's key; raises exactly like the expression layer when
@@ -309,6 +336,11 @@ class _CompositeIndex:
     def contains_key(self, key: Tuple[Any, ...]) -> bool:
         return key in self._entries
 
+    def copy(self) -> "_CompositeIndex":
+        clone = _CompositeIndex(self.columns)
+        clone._entries = {key: set(ids) for key, ids in self._entries.items()}
+        return clone
+
 
 class TableData:
     """Rows plus indexes for one table."""
@@ -320,7 +352,12 @@ class TableData:
         #: out of order mark it dirty and the next scan re-sorts once.
         self.rows: Dict[int, Row] = {}
         self._scan_order_dirty = False
-        self._rowid_counter = itertools.count(1)
+        #: True once any *consumed* snapshot references this object — a
+        #: reader may be iterating it, so a writer must clone instead of
+        #: mutating in place, even if the latest snapshot was discarded.
+        #: Set by DatabaseSnapshot.consume(), cleared only on the clone.
+        self._cow_pinned = False
+        self._next_rowid = 1
         self._autoincrement_next: Dict[str, int] = {
             c.name: 1 for c in table.columns.values() if c.autoincrement
         }
@@ -366,8 +403,39 @@ class TableData:
                 self._autoincrement_next[column], value + 1
             )
 
+    def clone(self) -> "TableData":
+        """A structurally independent copy sharing the (immutable) row
+        dicts — the copy-on-write step of snapshot publication.
+
+        O(rows + index entries).  The clone and the original can be
+        mutated/read independently; only the row dicts are shared, and
+        those are replaced (never mutated) by :meth:`update`.
+        """
+        clone = TableData.__new__(TableData)
+        clone.table = self.table
+        clone.rows = dict(self.rows)
+        clone._scan_order_dirty = self._scan_order_dirty
+        clone._cow_pinned = False  # no snapshot references the clone yet
+        clone._next_rowid = self._next_rowid
+        clone._autoincrement_next = dict(self._autoincrement_next)
+        clone.unique_indexes = [index.copy() for index in self.unique_indexes]
+        clone.secondary_indexes = {
+            column: index.copy()
+            for column, index in self.secondary_indexes.items()
+        }
+        clone.ordered_indexes = {
+            column: index.copy()
+            for column, index in self.ordered_indexes.items()
+        }
+        clone.composite_indexes = {
+            columns: index.copy()
+            for columns, index in self.composite_indexes.items()
+        }
+        return clone
+
     def insert(self, row: Row) -> int:
-        rowid = next(self._rowid_counter)
+        rowid = self._next_rowid
+        self._next_rowid += 1
         populated: List[_UniqueIndex] = []
         try:
             for index in self.unique_indexes:

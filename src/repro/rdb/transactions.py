@@ -13,6 +13,7 @@ Rollback is implemented with an undo log of closures run in reverse order.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, List
 
 from ..errors import TransactionError
@@ -36,6 +37,10 @@ class Transaction:
         self._undo_log: List[UndoAction] = []
         self._deferred_checks: List[DeferredCheck] = []
         self.active = True
+        #: Thread that opened the transaction.  The engine routes reads by
+        #: it: statements from the owner see the transaction's uncommitted
+        #: working state, every other thread reads the committed snapshot.
+        self.owner = threading.get_ident()
 
     def record_undo(self, action: UndoAction) -> None:
         self._require_active()

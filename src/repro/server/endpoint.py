@@ -11,12 +11,14 @@ Usage::
 The endpoint is intentionally small: request routing, content negotiation
 and HTTP concerns live here, all semantics live in the mediator's
 :class:`~repro.core.session.Session`.  The endpoint drives one shared
-session, so repeated operation texts hit the prepared-operation cache
-(parse + translation amortized across requests) and the session's internal
-lock serializes the ``ThreadingHTTPServer``'s concurrent handlers — no
-interleaved transactions, no corrupted caches.  ``handle_update`` /
-``handle_query`` / ``handle_batch`` are also callable directly (no
-network) so tests can exercise the protocol logic in isolation.
+session: update requests serialize on the backend's write-tier lock,
+while query requests run lock-free against the engine's committed MVCC
+snapshot — so the ``ThreadingHTTPServer``'s handler threads genuinely
+answer reads concurrently with each other and with at most one writer.
+Request counters are kept per handler thread (no shared lock on the hot
+path) and aggregated on read.  ``handle_update`` / ``handle_query`` /
+``handle_batch`` are also callable directly (no network) so tests can
+exercise the protocol logic in isolation.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ import json
 import threading
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import List, Optional
 
 from ..errors import ReproError, SPARQLParseError, TranslationError
 from ..core.feedback import error_graph
@@ -38,28 +40,88 @@ from .protocol import Response
 __all__ = ["OntoAccessEndpoint"]
 
 
+class _ThreadCounters:
+    """Contention-free request counters.
+
+    Each handler thread owns a private ``[served, errors]`` cell
+    (registered once per thread under a lock); the hot path is two plain
+    list increments with no shared lock, so concurrent readers are never
+    reserialized just to be counted.  Aggregation sums the cells on read
+    — increments are GIL-atomic, and a torn read can at worst miss an
+    in-flight request, which the old locked counter could too (the read
+    could land just before its increment).
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        #: (owning thread, cell) pairs for live threads; dead threads'
+        #: counts are folded into _base at the next registration so the
+        #: list stays bounded by the number of *concurrent* threads, not
+        #: connections ever served.
+        self._cells: List[tuple] = []
+        self._base = [0, 0]
+        self._register = threading.Lock()
+
+    def count(self, error: bool = False) -> None:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = [0, 0]
+            with self._register:
+                live = []
+                for thread, other in self._cells:
+                    if thread.is_alive():
+                        live.append((thread, other))
+                    else:  # its increments are done: fold and forget
+                        self._base[0] += other[0]
+                        self._base[1] += other[1]
+                live.append((threading.current_thread(), cell))
+                self._cells = live
+            self._local.cell = cell
+        cell[0] += 1
+        if error:
+            cell[1] += 1
+
+    def _total(self, index: int) -> int:
+        with self._register:
+            return self._base[index] + sum(
+                cell[index] for _, cell in self._cells
+            )
+
+    @property
+    def served(self) -> int:
+        return self._total(0)
+
+    @property
+    def errors(self) -> int:
+        return self._total(1)
+
+
 class OntoAccessEndpoint:
     """Serves a mediator over HTTP (SPARQL-Protocol-shaped)."""
 
     def __init__(self, mediator: OntoAccess, host: str = "127.0.0.1", port: int = 0) -> None:
         self.mediator = mediator
-        #: One session shared by all handler threads: its lock serializes
-        #: execution; its prepared cache amortizes repeated texts.
+        #: One session shared by all handler threads: writes serialize on
+        #: its write-tier lock, reads run against committed snapshots, and
+        #: its prepared cache amortizes repeated texts across threads.
         self.session = mediator.session()
         self.host = host
         self._requested_port = port
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
-        #: simple request counters for monitoring/benchmarks
-        self.requests_served = 0
-        self.errors_returned = 0
-        self._stats_lock = threading.Lock()
+        #: per-thread request counters for monitoring/benchmarks
+        self._stats = _ThreadCounters()
+
+    @property
+    def requests_served(self) -> int:
+        return self._stats.served
+
+    @property
+    def errors_returned(self) -> int:
+        return self._stats.errors
 
     def _count(self, error: bool = False) -> None:
-        with self._stats_lock:
-            self.requests_served += 1
-            if error:
-                self.errors_returned += 1
+        self._stats.count(error=error)
 
     # ------------------------------------------------------------------
     # protocol handlers (network-independent)
@@ -124,7 +186,12 @@ class OntoAccessEndpoint:
 
     def handle_query(self, body: str, accept: Optional[str] = None) -> Response:
         """POST /query (or GET): SELECT/ASK/CONSTRUCT over the mediated
-        database, content-negotiated via ``accept``."""
+        database, content-negotiated via ``accept``.
+
+        SELECT results are serialized incrementally (JSON / CSV / TSV /
+        text table) and streamed with chunked transfer encoding, so a
+        large result never needs to exist as one response string.
+        """
         try:
             result = self.session.query(body)
         except (ReproError,) as exc:
@@ -142,14 +209,22 @@ class OntoAccessEndpoint:
         if isinstance(result, Graph):
             return Response.turtle(result)
         if wants_json:
-            return Response.json(
-                protocol.render_select_json(result),
-                content_type=protocol.CONTENT_SPARQL_JSON,
+            # JSON first: a client listing both sparql-results+json and
+            # csv/tsv keeps getting the richer format it always got.
+            return Response.stream(
+                protocol.iter_select_json(result),
+                protocol.CONTENT_SPARQL_JSON,
             )
-        return Response(
-            status=200,
-            body=protocol.render_select_result(result),
-            content_type=protocol.CONTENT_TEXT,
+        if protocol.accepts(accept, protocol.CONTENT_CSV):
+            return Response.stream(
+                protocol.iter_select_csv(result), protocol.CONTENT_CSV
+            )
+        if protocol.accepts(accept, protocol.CONTENT_TSV):
+            return Response.stream(
+                protocol.iter_select_tsv(result), protocol.CONTENT_TSV
+            )
+        return Response.stream(
+            protocol.iter_select_result(result), protocol.CONTENT_TEXT
         )
 
     def handle_dump(self) -> Response:
@@ -184,10 +259,23 @@ class OntoAccessEndpoint:
         endpoint = self
 
         class Handler(BaseHTTPRequestHandler):
+            # HTTP/1.1 so streamed responses can use chunked transfer
+            # encoding (fixed-length responses still send Content-Length).
+            protocol_version = "HTTP/1.1"
+
             def log_message(self, *args) -> None:  # keep tests quiet
                 pass
 
             def _send(self, response: Response) -> None:
+                if response.body_iter is not None:
+                    if self.request_version == "HTTP/1.0":
+                        # RFC 7230: no chunked framing toward a 1.0 peer;
+                        # reading .body drains the iterator into one
+                        # buffered payload sent with Content-Length.
+                        pass
+                    else:
+                        self._send_chunked(response)
+                        return
                 payload = response.body.encode("utf-8")
                 self.send_response(response.status)
                 self.send_header("Content-Type", response.content_type)
@@ -195,7 +283,37 @@ class OntoAccessEndpoint:
                 self.end_headers()
                 self.wfile.write(payload)
 
+            def _send_chunked(self, response: Response) -> None:
+                self.send_response(response.status)
+                self.send_header("Content-Type", response.content_type)
+                self.send_header("Transfer-Encoding", "chunked")
+                self.end_headers()
+                write = self.wfile.write
+                for chunk in response.body_iter:
+                    data = chunk.encode("utf-8")
+                    if not data:
+                        continue  # an empty chunk would terminate the body
+                    write(f"{len(data):X}\r\n".encode("ascii"))
+                    write(data)
+                    write(b"\r\n")
+                write(b"0\r\n\r\n")
+
             def do_POST(self) -> None:
+                if "chunked" in (
+                    self.headers.get("Transfer-Encoding") or ""
+                ).lower():
+                    # Bodies are read via Content-Length only; under
+                    # HTTP/1.1 keep-alive an unread chunked payload would
+                    # desync the connection, so refuse and close instead.
+                    self.close_connection = True
+                    self._send(
+                        Response.text(
+                            "chunked request bodies are not supported; "
+                            "send Content-Length",
+                            status=411,
+                        )
+                    )
+                    return
                 length = int(self.headers.get("Content-Length", "0"))
                 body = self.rfile.read(length).decode("utf-8")
                 path = urllib.parse.urlsplit(self.path).path

@@ -14,8 +14,12 @@ Endpoints:
 * ``POST /query`` / ``GET /query?query=…`` — body (or ``query`` URL
   parameter): a SPARQL query.  Response depends on the ``Accept`` header:
   ``application/sparql-results+json`` returns SPARQL 1.1 JSON results for
-  SELECT/ASK; the default is a simple tab-separated table for SELECT and
-  ``true``/``false`` for ASK.  CONSTRUCT always returns Turtle.
+  SELECT/ASK, ``text/csv`` / ``text/tab-separated-values`` return the
+  SPARQL 1.1 CSV/TSV result formats for SELECT; the default is a simple
+  tab-separated table for SELECT and ``true``/``false`` for ASK.
+  CONSTRUCT always returns Turtle.  SELECT bindings are serialized
+  incrementally and sent with chunked transfer encoding, so large results
+  stream instead of being materialized as one response body.
 * ``POST /batch``   — a batch executed inside **one** database
   transaction (all-or-nothing, :meth:`Session.execute_all`).  Body is
   either a JSON array of SPARQL/Update request strings
@@ -28,8 +32,7 @@ Endpoints:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Iterator, Optional
 
 from ..rdf.graph import Graph
 from ..rdf.serialize import to_turtle
@@ -47,8 +50,14 @@ __all__ = [
     "CONTENT_SPARQL_JSON",
     "CONTENT_JSON",
     "CONTENT_TEXT",
+    "CONTENT_CSV",
+    "CONTENT_TSV",
     "Response",
     "accepts",
+    "iter_select_csv",
+    "iter_select_json",
+    "iter_select_result",
+    "iter_select_tsv",
     "render_ask_json",
     "render_select_json",
     "render_select_result",
@@ -66,15 +75,44 @@ CONTENT_SPARQL_QUERY = "application/sparql-query"
 CONTENT_SPARQL_JSON = "application/sparql-results+json"
 CONTENT_JSON = "application/json"
 CONTENT_TEXT = "text/plain; charset=utf-8"
+CONTENT_CSV = "text/csv; charset=utf-8"
+CONTENT_TSV = "text/tab-separated-values; charset=utf-8"
 
 
-@dataclass
 class Response:
-    """A protocol-level response, independent of the HTTP library."""
+    """A protocol-level response, independent of the HTTP library.
 
-    status: int
-    body: str
-    content_type: str = CONTENT_TURTLE
+    Either ``body`` holds the whole payload, or ``body_iter`` yields it in
+    chunks — the HTTP layer sends the latter with chunked transfer
+    encoding so large SELECT results stream instead of being materialized.
+    Reading :attr:`body` on a streamed response drains the iterator, so
+    protocol handlers called directly (no network) behave as before.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        body: str = "",
+        content_type: str = CONTENT_TURTLE,
+        body_iter: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.status = status
+        self._body = body
+        self.content_type = content_type
+        self.body_iter = body_iter
+
+    @property
+    def body(self) -> str:
+        if self.body_iter is not None:
+            self._body = "".join(self.body_iter)
+            self.body_iter = None
+        return self._body
+
+    def __repr__(self) -> str:
+        streamed = ", streamed" if self.body_iter is not None else ""
+        return (
+            f"<Response {self.status} {self.content_type!r}{streamed}>"
+        )
 
     @classmethod
     def turtle(cls, graph: Graph, status: int = 200) -> "Response":
@@ -92,18 +130,26 @@ class Response:
             content_type=content_type,
         )
 
+    @classmethod
+    def stream(
+        cls, chunks: Iterable[str], content_type: str, status: int = 200
+    ) -> "Response":
+        return cls(status=status, content_type=content_type, body_iter=chunks)
+
 
 def accepts(accept: Optional[str], media_type: str) -> bool:
     """True when the Accept header explicitly lists ``media_type``.
 
-    Deliberately minimal: exact media-type membership, no q-values.  An
-    absent header or ``*/*`` selects the endpoint's default rendering, so
-    they do not count as an explicit request.
+    Deliberately minimal: exact media-type membership (parameters like
+    ``charset`` ignored on both sides), no q-values.  An absent header or
+    ``*/*`` selects the endpoint's default rendering, so they do not
+    count as an explicit request.
     """
     if not accept:
         return False
+    wanted = media_type.split(";")[0].strip().lower()
     for part in accept.split(","):
-        if part.split(";")[0].strip().lower() == media_type:
+        if part.split(";")[0].strip().lower() == wanted:
             return True
     return False
 
@@ -112,15 +158,101 @@ def accepts(accept: Optional[str], media_type: str) -> bool:
 # result renderings
 # ---------------------------------------------------------------------------
 
+#: Rows per emitted chunk on the streaming paths: large enough that the
+#: chunked-transfer framing is noise, small enough that the first bytes
+#: leave while late rows are still being serialized.
+_STREAM_BATCH = 64
+
+
+def _batched(lines: Iterator[str]) -> Iterator[str]:
+    batch = []
+    for line in lines:
+        batch.append(line)
+        if len(batch) >= _STREAM_BATCH:
+            yield "".join(batch)
+            batch.clear()
+    if batch:
+        yield "".join(batch)
+
+
 def render_select_result(result) -> str:
     """SELECT results as a header + tab-separated rows (one per solution)."""
-    header = "\t".join(f"?{v.name}" for v in result.variables)
-    lines = [header]
-    for row in result.rows():
-        lines.append(
-            "\t".join("" if term is None else term.n3() for term in row)
-        )
-    return "\n".join(lines) + "\n"
+    return "".join(iter_select_result(result))
+
+
+def iter_select_result(result) -> Iterator[str]:
+    """The default text table, one chunk per row batch."""
+    def lines() -> Iterator[str]:
+        yield "\t".join(f"?{v.name}" for v in result.variables) + "\n"
+        for row in result.rows():
+            yield "\t".join(
+                "" if term is None else term.n3() for term in row
+            ) + "\n"
+
+    return _batched(lines())
+
+
+def _csv_field(term: Optional[Term]) -> str:
+    """One RDF term as a SPARQL 1.1 CSV field: the plain value (URIs and
+    lexical forms), quoted per RFC 4180 when it contains metacharacters."""
+    if term is None:
+        return ""
+    if isinstance(term, URIRef):
+        value = term.value
+    elif isinstance(term, BNode):
+        value = f"_:{term.label}"
+    else:
+        value = term.lexical
+    if any(ch in value for ch in (",", '"', "\n", "\r")):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+def iter_select_csv(result) -> Iterator[str]:
+    """SPARQL 1.1 Query Results CSV (plain values, CRLF line ends)."""
+    def lines() -> Iterator[str]:
+        yield ",".join(v.name for v in result.variables) + "\r\n"
+        for row in result.rows():
+            yield ",".join(_csv_field(term) for term in row) + "\r\n"
+
+    return _batched(lines())
+
+
+def _tsv_field(term: Optional[Term]) -> str:
+    """One RDF term in SPARQL 1.1 TSV form: full N-Triples-style syntax
+    (URIs bracketed, literals quoted and typed), empty for unbound."""
+    return "" if term is None else term.n3()
+
+
+def iter_select_tsv(result) -> Iterator[str]:
+    """SPARQL 1.1 Query Results TSV (encoded terms, LF line ends)."""
+    def lines() -> Iterator[str]:
+        yield "\t".join(f"?{v.name}" for v in result.variables) + "\n"
+        for row in result.rows():
+            yield "\t".join(_tsv_field(term) for term in row) + "\n"
+
+    return _batched(lines())
+
+
+def iter_select_json(result) -> Iterator[str]:
+    """SPARQL 1.1 JSON results serialized incrementally: the head, then
+    each binding object, without ever materializing the whole document."""
+    def lines() -> Iterator[str]:
+        head = json.dumps({"vars": [v.name for v in result.variables]})
+        yield '{"head": ' + head + ', "results": {"bindings": [\n'
+        first = True
+        for solution in result.solutions:
+            binding = {
+                v.name: _term_json(t)
+                for v, t in solution.items()
+                if t is not None
+            }
+            prefix = "" if first else ",\n"
+            first = False
+            yield prefix + json.dumps(binding)
+        yield "\n]}}\n"
+
+    return _batched(lines())
 
 
 def _term_json(term: Term) -> dict:

@@ -548,3 +548,103 @@ class TestSessionThreadSafety:
         assert not errors
         assert mediator.db.row_count("team") == 9  # seed + 8
         assert not mediator.db.in_transaction()
+
+
+class TestCrossThreadTransactions:
+    """Explicit transaction scope is thread-owned (ISSUE 4 lock tiers).
+
+    ``session.begin()`` holds the write tier until commit/rollback, so a
+    write from another thread *waits* for the transaction (it can never
+    join it, interleave with it, or deadlock against its commit), while
+    reads from other threads answer immediately from the pre-transaction
+    snapshot.
+    """
+
+    def test_other_threads_write_waits_for_explicit_txn(self, mediator):
+        import time
+
+        session = mediator.session()
+        session.query(QUERY_NAMES)  # publish the first snapshot
+        session.begin()
+        session.execute(
+            PREFIXES + 'INSERT DATA { ex:team21 foaf:name "InTxn" . }'
+        )
+        done = []
+
+        def other_writer():
+            session.execute(
+                PREFIXES + 'INSERT DATA { ex:team22 foaf:name "Waited" . }'
+            )
+            done.append("writer")
+
+        thread = threading.Thread(target=other_writer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not done, "second thread's write must wait for the commit"
+        # a read from a third thread is NOT blocked by the open txn
+        seen = []
+        reader = threading.Thread(
+            target=lambda: seen.append(len(session.query(QUERY_NAMES))),
+            daemon=True,
+        )
+        reader.start()
+        reader.join(10)
+        assert seen == [1]  # pre-transaction state: just the seed author
+        session.commit()
+        thread.join(10)
+        assert done == ["writer"]
+        assert mediator.db.row_count("team") == 3  # seed + both inserts
+
+    def test_commit_after_failed_operation_releases_the_write_tier(
+        self, mediator
+    ):
+        session = mediator.session()
+        session.begin()
+        with pytest.raises(TranslationError):
+            session.execute(
+                PREFIXES + 'INSERT DATA { ex:author9 foaf:firstName "X" . }'
+            )  # missing required lastname -> operation fails, txn rolled back
+        with pytest.raises(Exception):
+            session.commit()  # nothing open anymore, but the tier is freed
+        # another thread can write immediately: no leaked begin-hold
+        ok = []
+        thread = threading.Thread(
+            target=lambda: ok.append(
+                session.execute(
+                    PREFIXES + 'INSERT DATA { ex:team31 foaf:name "Free" . }'
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        thread.join(10)
+        assert len(ok) == 1
+        assert not mediator.db.in_transaction()
+
+    def test_transaction_begun_in_one_session_finished_in_another(
+        self, mediator
+    ):
+        """Transaction state is backend-global, so a sibling session on
+        the same thread may commit it — and doing so must free the write
+        tier (the begin-hold lives on the backend, not the session)."""
+        first = mediator.session()
+        second = mediator.session()
+        first.begin()
+        first.execute(
+            PREFIXES + 'INSERT DATA { ex:team41 foaf:name "CrossSession" . }'
+        )
+        second.commit()
+        assert not mediator.db.in_transaction()
+        ok = []
+        thread = threading.Thread(
+            target=lambda: ok.append(
+                second.execute(
+                    PREFIXES + 'INSERT DATA { ex:team42 foaf:name "Free" . }'
+                )
+            ),
+            daemon=True,
+        )
+        thread.start()
+        thread.join(10)
+        assert len(ok) == 1
+        assert mediator.db.row_count("team") == 3  # seed + both inserts

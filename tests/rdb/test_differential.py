@@ -1,5 +1,10 @@
 """Differential testing: planner-chosen plans vs. the forced-scan oracle.
 
+Includes a concurrent mode (ISSUE 4): reader threads race DML rounds
+against the MVCC engine, and every result they observe must be identical
+to what the quiesced forced-scan oracle produced at one of the committed
+round states — never a torn in-between.
+
 Plan choice must never change results.  In the spirit of the TTC
 correctness-case methodology (Horn 2011), a seeded generator produces
 random schemas, random data, random secondary indexes, and random SELECT
@@ -21,6 +26,8 @@ mismatch is a planner bug by definition.
 """
 
 import random
+import threading
+import time
 
 import pytest
 
@@ -390,6 +397,95 @@ def test_planner_matches_forced_scan_oracle(seed):
 def test_corpus_size_meets_floor():
     """The fixed-seed corpus must stay >= 200 generated queries."""
     assert len(SEEDS) * 2 * QUERIES_PER_BATCH >= 200
+
+
+def _canonical(result):
+    """Order-insensitive fingerprint of a query result."""
+    return (tuple(result.columns), frozenset(_multiset(result.rows).items()))
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_concurrent_readers_match_quiesced_oracle(seed):
+    """Concurrent differential mode: reader threads race DML rounds.
+
+    Each DML round runs as **one transaction** on the MVCC side, so the
+    only states a snapshot reader may legally observe are the committed
+    round boundaries.  The forced-scan oracle is advanced through the
+    same rounds *quiesced* (single-threaded), capturing the expected
+    result of every probe query at every boundary; any racing read that
+    matches none of them is an isolation bug (torn read, partial
+    transaction, or index corruption under concurrency).
+    """
+    rng = random.Random(77_000 + seed)
+    specs, ddl = _build_schema(rng)
+    inserts = _populate(specs, rng)
+    planned_db, oracle_db = _make_pair(specs, ddl, inserts)
+
+    queries = []
+    while len(queries) < 10:
+        sql, compare = _random_query(rng, specs)
+        if compare == "multiset":  # order-insensitive: comparable per state
+            queries.append(sql)
+
+    rounds = [_random_dml(rng, specs) for _ in range(5)]
+
+    # Quiesced oracle pass: expected result of each query at each of the
+    # committed states (initial + after each round).
+    def apply(db, statement):
+        """Statement-level atomicity on both sides: a failing statement
+        (e.g. a random PK collision) is skipped identically."""
+        try:
+            db.execute(statement)
+        except DatabaseError:
+            pass
+
+    valid = {sql: [_canonical(oracle_db.query(sql))] for sql in queries}
+    for statements in rounds:
+        for statement in statements:
+            apply(oracle_db, statement)
+        for sql in queries:
+            valid[sql].append(_canonical(oracle_db.query(sql)))
+
+    # Racing pass: readers hammer the planned database while the main
+    # thread applies the same rounds, one transaction per round.
+    mismatches = []
+    done = threading.Event()
+
+    def reader():
+        while True:
+            finished = done.is_set()  # check *before* reading: no lost race
+            for sql in queries:
+                observed = _canonical(planned_db.query(sql))
+                if observed not in valid[sql]:
+                    mismatches.append((sql, observed))
+                    return
+            if finished:
+                return
+
+    threads = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for statements in rounds:
+            with planned_db.transaction():
+                for statement in statements:
+                    apply(planned_db, statement)
+            # Let readers observe this committed boundary (and race the
+            # next round's transaction) before moving on.
+            time.sleep(0.01)
+    finally:
+        done.set()
+        for thread in threads:
+            thread.join(30)
+    assert not any(thread.is_alive() for thread in threads), "reader hung"
+    assert not mismatches, f"racing readers saw invalid states: {mismatches[:2]}"
+
+    # Quiesced final check: both sides agree exactly after the race.
+    for sql in queries:
+        _assert_agree(planned_db, oracle_db, sql, "multiset")
+    for _ in range(QUERIES_PER_BATCH):
+        sql, compare = _random_query(rng, specs)
+        _assert_agree(planned_db, oracle_db, sql, compare)
 
 
 def test_mutation_statements_agree_after_index_churn():

@@ -292,3 +292,95 @@ class TestOrderByTopK:
         assert [r for r in result.rows] == [
             (3, 5), (2, 3), (1, 1), (1, 2), (None, 4)
         ]
+
+
+class TestHashBuildSide:
+    """ISSUE 4 satellite: statistics pick each hash join's build side.
+
+    The O(1) row/distinct counts that already drive join reordering now
+    also decide which input gets hashed: the estimated-smaller one.  The
+    choice is visible in EXPLAIN (``build: left`` / ``build: right``) and
+    must never change results — asserted against a forced-scan twin.
+    """
+
+    @staticmethod
+    def _wide_db(authors=24):
+        db = Database()
+        db.execute(
+            """
+            CREATE TABLE team (id INTEGER PRIMARY KEY, name VARCHAR(100));
+            CREATE TABLE author (
+                id INTEGER PRIMARY KEY,
+                name VARCHAR(100),
+                team INTEGER REFERENCES team(id)
+            )
+            """
+        )
+        for i in range(1, 4):
+            db.execute(f"INSERT INTO team (id, name) VALUES ({i}, 'T{i}')")
+        for i in range(1, authors + 1):
+            db.execute(
+                f"INSERT INTO author (id, name, team) "
+                f"VALUES ({i}, 'A{i}', {1 + i % 3})"
+            )
+        return db
+
+    def test_smaller_pipeline_becomes_build_side(self):
+        """team (3 rows) starts the reordered pipeline; hashing it (and
+        streaming the 24 authors) beats hashing the big side."""
+        db = self._wide_db()
+        plan = db.explain(
+            "SELECT a.name FROM author a JOIN team t ON t.id = a.team"
+        )
+        assert any("stats-driven reorder" in line for line in plan)
+        assert any("hash join" in line and "build: left" in line for line in plan)
+
+    def test_equal_inputs_keep_right_build(self):
+        db = self._wide_db(authors=3)
+        plan = db.explain(
+            "SELECT a.name FROM author a JOIN team t ON t.id = a.team"
+        )
+        assert any("hash join" in line and "build: right" in line for line in plan)
+
+    def test_left_join_never_builds_left(self):
+        """LEFT joins need left-major emission for null extension, so the
+        build side stays right regardless of statistics."""
+        db = self._wide_db()
+        plan = db.explain(
+            "SELECT a.name, t.name FROM team t "
+            "LEFT JOIN author a ON a.team = t.id"
+        )
+        assert any("left hash join" in line and "build: right" in line
+                   for line in plan)
+
+    def test_build_side_choice_is_invisible_in_results(self):
+        planned = self._wide_db()
+        oracle = self._wide_db()
+        oracle.planner.force_scan = True
+        for sql in [
+            "SELECT a.name, t.name FROM author a JOIN team t ON t.id = a.team",
+            "SELECT a.name, t.name FROM author a JOIN team t ON t.id = a.team "
+            "WHERE t.name = 'T2'",
+            "SELECT a.name FROM author a JOIN team t ON t.id = a.team "
+            "WHERE a.id = 7",
+            "SELECT t.name, COUNT(*) FROM author a JOIN team t ON t.id = a.team "
+            "GROUP BY t.name",
+        ]:
+            fast = planned.query(sql)
+            slow = oracle.query(sql)
+            assert sorted(map(repr, fast.rows)) == sorted(map(repr, slow.rows)), sql
+
+    def test_index_order_upgrade_declines_after_left_build(self):
+        """ORDER BY on the pipeline's first table cannot ride the ordered
+        index through a left-build hash join (emission is right-major);
+        the sort answers instead, correctly."""
+        db = self._wide_db()
+        db.execute("CREATE INDEX idx_team_id ON team (id)")
+        sql = (
+            "SELECT t.id, a.name FROM author a JOIN team t ON t.id = a.team "
+            "ORDER BY t.id, a.id"
+        )
+        plan = db.explain(sql)
+        assert not any("ordered index" in line for line in plan)
+        rows = db.query(sql).rows
+        assert rows == sorted(rows, key=lambda r: r[0])

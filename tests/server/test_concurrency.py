@@ -166,6 +166,68 @@ class TestConcurrentUpdates:
         rows = endpoint.mediator.query(QUERY).rows()
         assert len(rows) == 1 + 4 * self.PER_THREAD
 
+    def test_snapshot_read_stress_eight_readers(self, endpoint):
+        """ISSUE 4 stress: 8 reader threads race writer traffic.
+
+        Writers insert authors whose first and family names arrive in one
+        atomic operation.  Readers (running lock-free against MVCC
+        snapshots) must never observe a partial author — a family name
+        without its first name — and each reader's successive counts must
+        be monotonic (snapshots only move forward in time).
+        """
+        N_READERS = 8
+        N_WRITERS = 2
+        PER_WRITER = 8
+        PAIR_QUERY = PREFIXES + (
+            "SELECT ?l ?f WHERE { ?x foaf:family_name ?l . "
+            "OPTIONAL { ?x foaf:firstName ?f } }"
+        )
+        problems = []
+
+        def writer(writer_id: int):
+            client = OntoAccessClient(endpoint.url)
+            for j in range(PER_WRITER):
+                n = 500 + writer_id * PER_WRITER + j
+                feedback = client.update(
+                    PREFIXES
+                    + f'INSERT DATA {{ ex:author{n} foaf:firstName "F{n}" ; '
+                    f'foaf:family_name "L{n}" . }}'
+                )
+                if not feedback.ok:
+                    problems.append(feedback.message)
+
+        def reader():
+            client = OntoAccessClient(endpoint.url)
+            last_count = 0
+            for _ in range(10):
+                document = client.query_json(PAIR_QUERY)
+                bindings = document["results"]["bindings"]
+                for binding in bindings:
+                    name = binding["l"]["value"]
+                    if name.startswith("L") and "f" not in binding:
+                        problems.append(f"partial author visible: {name}")
+                        return
+                if len(bindings) < last_count:
+                    problems.append(
+                        f"non-monotonic read: {len(bindings)} < {last_count}"
+                    )
+                    return
+                last_count = len(bindings)
+
+        with endpoint:
+            run_threads(
+                [lambda i=i: writer(i) for i in range(N_WRITERS)]
+                + [reader for _ in range(N_READERS)]
+            )
+        assert not problems
+        db = endpoint.mediator.db
+        assert db.row_count("author") == 1 + N_WRITERS * PER_WRITER
+        assert not db.in_transaction()
+        # a final quiesced read sees every author complete
+        rows = endpoint.mediator.query(PAIR_QUERY).rows()
+        assert len(rows) == 1 + N_WRITERS * PER_WRITER
+        assert all(first is not None for _, first in rows)
+
     def test_concurrent_batches_are_atomic(self, endpoint):
         """Each thread posts a two-op batch with a failing second op;
         nothing may persist from any of them."""

@@ -36,6 +36,85 @@ def endpoint():
     return OntoAccessEndpoint(mediator)
 
 
+SELECT_AUTHORS = (
+    'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+    'SELECT ?n WHERE { ?x foaf:family_name ?n . }'
+)
+
+
+class TestResultFormats:
+    """SPARQL 1.1 CSV/TSV result formats and response streaming."""
+
+    def test_select_csv(self, endpoint):
+        response = endpoint.handle_query(SELECT_AUTHORS, accept="text/csv")
+        assert response.status == 200
+        assert response.content_type.startswith("text/csv")
+        lines = response.body.split("\r\n")
+        assert lines[0] == "n"
+        assert "Hert" in lines[1:]  # plain value, no quotes needed
+
+    def test_select_csv_quotes_metacharacters(self, endpoint):
+        endpoint.handle_update(
+            'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+            'PREFIX ex: <http://example.org/db/> '
+            'INSERT DATA { ex:author7 foaf:firstName "A" ; '
+            'foaf:family_name "Comma, \\"Quoted\\"" . }'
+        )
+        response = endpoint.handle_query(SELECT_AUTHORS, accept="text/csv")
+        assert '"Comma, ""Quoted"""' in response.body
+
+    def test_select_tsv(self, endpoint):
+        response = endpoint.handle_query(
+            SELECT_AUTHORS, accept="text/tab-separated-values"
+        )
+        assert response.status == 200
+        assert response.content_type.startswith("text/tab-separated-values")
+        lines = response.body.splitlines()
+        assert lines[0] == "?n"
+        assert '"Hert"' in lines[1:]  # TSV carries encoded terms
+
+    def test_select_responses_stream(self, endpoint):
+        """SELECT bodies are produced as chunks, not one string."""
+        for accept in (
+            "text/csv",
+            "text/tab-separated-values",
+            "application/sparql-results+json",
+            None,
+        ):
+            response = endpoint.handle_query(SELECT_AUTHORS, accept=accept)
+            assert response.body_iter is not None
+
+    def test_streamed_json_over_http_parses(self, endpoint):
+        """Chunked transfer end to end: the stdlib client reassembles the
+        streamed JSON document transparently."""
+        with endpoint:
+            client = OntoAccessClient(endpoint.url)
+            document = client.query_json(SELECT_AUTHORS)
+        values = {
+            binding["n"]["value"]
+            for binding in document["results"]["bindings"]
+        }
+        assert "Hert" in values
+
+    def test_csv_over_http(self, endpoint):
+        import urllib.request
+
+        with endpoint:
+            request = urllib.request.Request(
+                endpoint.url + "/query",
+                data=SELECT_AUTHORS.encode(),
+                headers={
+                    "Content-Type": "application/sparql-query",
+                    "Accept": "text/csv",
+                },
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.headers.get_content_type() == "text/csv"
+                body = response.read().decode()
+        assert body.startswith("n\r\n")
+        assert "Hert" in body
+
+
 class TestHandlersDirect:
     """Protocol handlers without network plumbing."""
 
