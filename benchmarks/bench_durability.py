@@ -1,0 +1,238 @@
+"""Durability cost: commit latency per sync mode, group commit, recovery.
+
+ISSUE 5 added the write-ahead log.  Three claims are measured and locked
+in as the committed ``BENCH_durability.json`` artifact:
+
+* **Sync-mode ladder** — per-commit latency at ``none`` (user-space
+  buffer) < ``os`` (page cache) < ``fsync`` (device flush), against the
+  in-memory engine as the floor.  This is the knob's advertised
+  trade-off; if ``none`` ever pays a device flush (or ``fsync`` stops
+  paying one) the ladder collapses and the numbers show it.
+* **Group commit** — aggregate committed transactions/second of N
+  threads in ``fsync`` mode.  The serial baseline wraps each commit in
+  an external lock, so every commit pays its own full append+fsync
+  round trip; the group runs let concurrent committers gang up on one
+  fsync.  Acceptance (in-run assertion): ≥2 concurrent committers stay
+  **ahead of** the serial per-commit-fsync baseline — the whole point
+  of taking the fsync outside the writer lock.
+* **Recovery time vs WAL length** — opening a data dir replays the WAL
+  tail; the time should scale with the tail, and collapse after a
+  checkpoint truncates it.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_durability.py -s
+"""
+
+import json
+import pathlib
+import shutil
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.rdb import Database
+
+BENCH_DIR = pathlib.Path(__file__).parent
+ARTIFACT = BENCH_DIR / "BENCH_durability.json"
+
+DDL = "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(40), n INTEGER)"
+
+#: Commits per latency sample / measurement window for throughput runs.
+LATENCY_COMMITS = 150
+WINDOW = 0.5
+THREAD_COUNTS = (2, 4)
+#: Acceptance floor: 2 group committers vs the serial per-commit-fsync
+#: baseline measured seconds earlier on the same device.
+MIN_GROUP_RATIO = 1.0
+
+
+def _record(records, name, median_us, ops=None):
+    records.append(
+        {
+            "name": name,
+            "fullname": f"benchmarks/bench_durability.py::{name}",
+            "rounds": 1,
+            "median_us": median_us,
+            "mean_us": median_us,
+            "min_us": median_us,
+            "max_us": median_us,
+            "stddev_us": 0.0,
+            "ops": ops if ops is not None else 1e6 / max(median_us, 1e-9),
+        }
+    )
+
+
+def _fresh_db(base, label, **kwargs):
+    path = base / label
+    if path.exists():
+        shutil.rmtree(path)
+    return Database(data_dir=str(path), **kwargs)
+
+
+def _commit_latency_us(db):
+    db.execute(DDL)
+    for i in range(10):  # warm plan cache and WAL path
+        db.execute(f"INSERT INTO t (id, name, n) VALUES ({i}, 'w', {i})")
+    samples = []
+    for i in range(LATENCY_COMMITS):
+        key = 1000 + i
+        start = time.perf_counter()
+        db.execute(f"INSERT INTO t (id, name, n) VALUES ({key}, 'r', {key})")
+        samples.append((time.perf_counter() - start) * 1e6)
+    return statistics.median(samples)
+
+
+_RUN_COUNTER = iter(range(1, 1000))
+
+
+def _committer_throughput(db, n_threads, serialize=False):
+    """Committed autocommit transactions/second of ``n_threads``."""
+    counts = [0] * n_threads
+    stop = threading.Event()
+    gate = threading.Barrier(n_threads + 1)
+    external = threading.Lock()
+    run_base = 10_000 + next(_RUN_COUNTER) * 100_000_000
+
+    def worker(idx):
+        gate.wait()
+        i = 0
+        while not stop.is_set():
+            key = run_base + idx * 1_000_000 + i
+            statement = (
+                f"INSERT INTO t (id, name, n) VALUES ({key}, 'g', {key % 97})"
+            )
+            if serialize:
+                # Serial per-commit fsync: an external lock spans the
+                # whole commit, so no two committers ever share a flush.
+                with external:
+                    db.execute(statement)
+            else:
+                db.execute(statement)
+            counts[idx] += 1
+            i += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    gate.wait()
+    time.sleep(WINDOW)
+    stop.set()
+    for thread in threads:
+        thread.join(10)
+    return sum(counts) / WINDOW
+
+
+def _build_wal(base, label, commits):
+    db = _fresh_db(base, label, sync_mode="os")
+    db.execute(DDL)
+    for i in range(commits):
+        db.execute(f"INSERT INTO t (id, name, n) VALUES ({i}, 'r', {i})")
+    db.close()
+    return base / label
+
+
+def _recovery_us(path):
+    start = time.perf_counter()
+    db = Database(data_dir=str(path))
+    elapsed = (time.perf_counter() - start) * 1e6
+    rows = db.row_count("t")
+    db.close()
+    return elapsed, rows
+
+
+def test_durability_costs(capsys):
+    records = []
+    lines = []
+    base = pathlib.Path(tempfile.mkdtemp(prefix="bench_durability_"))
+    try:
+        # ---- sync-mode ladder --------------------------------------
+        memory = Database()
+        memory_us = _commit_latency_us(memory)
+        _record(records, "commit_memory", memory_us)
+        lines.append(f"commit latency, in-memory engine: {memory_us:8.1f} us")
+        for mode in ("none", "os", "fsync"):
+            db = _fresh_db(base, f"sync_{mode}", sync_mode=mode)
+            median = _commit_latency_us(db)
+            db.close()
+            _record(records, f"commit_sync_{mode}", median)
+            lines.append(
+                f"commit latency, sync_mode={mode:<5}:    {median:8.1f} us "
+                f"({median / memory_us:4.1f}x memory)"
+            )
+
+        # ---- group commit vs serial per-commit fsync ---------------
+        db = _fresh_db(base, "group", sync_mode="fsync")
+        db.execute(DDL)
+        db.execute("INSERT INTO t (id, name, n) VALUES (1, 'w', 1)")  # warm
+        serial_1 = _committer_throughput(db, 1)
+        _record(records, "serial_fsync_committers1", 1e6 / serial_1, serial_1)
+        serial_2 = _committer_throughput(db, 2, serialize=True)
+        _record(records, "serial_fsync_committers2", 1e6 / serial_2, serial_2)
+        lines.append(
+            f"serial per-commit fsync:  {serial_1:7.0f} commits/s @1, "
+            f"{serial_2:7.0f} @2 (externally locked)"
+        )
+        group = {}
+        for n in THREAD_COUNTS:
+            group[n] = _committer_throughput(db, n)
+            _record(
+                records, f"group_fsync_committers{n}", 1e6 / group[n], group[n]
+            )
+            lines.append(
+                f"group commit:             {group[n]:7.0f} commits/s @{n} "
+                f"({group[n] / serial_2:4.2f}x vs serial@2)"
+            )
+        fsyncs = db._durability.wal.sync_count
+        commits = db._durability.wal.commit_count
+        lines.append(
+            f"flush sharing: {commits} commits used {fsyncs} fsyncs "
+            f"({commits / max(fsyncs, 1):.2f} commits/fsync)"
+        )
+        db.close()
+
+        # ---- recovery time vs WAL length ---------------------------
+        for commits in (100, 400):
+            path = _build_wal(base, f"recover_{commits}", commits)
+            elapsed, rows = _recovery_us(path)
+            assert rows == commits
+            _record(records, f"recovery_wal{commits}", elapsed)
+            lines.append(
+                f"recovery, {commits:4d}-commit WAL tail: {elapsed / 1000:8.2f} ms"
+            )
+        # after a checkpoint the tail is empty: open cost collapses
+        db = Database(data_dir=str(base / "recover_400"))
+        db.checkpoint()
+        db.close()
+        elapsed, rows = _recovery_us(base / "recover_400")
+        assert rows == 400
+        _record(records, "recovery_after_checkpoint", elapsed)
+        lines.append(
+            f"recovery, checkpoint + empty tail: {elapsed / 1000:8.2f} ms"
+        )
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {"module": "bench_durability", "benchmarks": records},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    with capsys.disabled():
+        print("\n### Durability: sync modes, group commit, recovery")
+        for line in lines:
+            print(f"    {line}")
+
+    # Acceptance (ISSUE 5): >=2 concurrent committers in fsync mode stay
+    # ahead of the serial per-commit-fsync discipline on the same device.
+    assert group[2] >= serial_2 * MIN_GROUP_RATIO, (
+        f"group commit at 2 committers ({group[2]:.0f}/s) fell behind the "
+        f"serial per-commit fsync baseline ({serial_2:.0f}/s)"
+    )

@@ -14,6 +14,15 @@ Subcommands
 ``mapping``
     Auto-generate and print the R3M mapping for a schema (``--validate``
     checks an existing mapping document against the schema).
+``checkpoint``
+    Force a durability checkpoint on a ``--data-dir`` database:
+    serialize the committed state, truncate the write-ahead log.
+
+Durability: every data-bearing command accepts ``--data-dir DIR`` (plus
+``--sync-mode fsync|os|none``).  The directory is recovered on open —
+checkpoint plus write-ahead-log replay — and schema/data scripts are
+applied only when it is empty, so repeated invocations operate on the
+surviving database instead of rebuilding it.
 
 The CLI wires files to the library; all semantics live in the packages.
 """
@@ -80,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate this mapping document against the schema",
     )
     _add_schema_args(mapping)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="serialize a --data-dir database and truncate its WAL",
+    )
+    checkpoint.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="durable database directory to checkpoint",
+    )
+    checkpoint.add_argument(
+        "--sync-mode", default="fsync", choices=("fsync", "os", "none"),
+        help="durability mode for the recovery replay (default: fsync)",
+    )
     return parser
 
 
@@ -98,6 +120,16 @@ def _add_schema_args(parser: argparse.ArgumentParser) -> None:
         help="R3M mapping document (default: auto-generated / the paper's "
         "Table 1 mapping for the default schema)",
     )
+    parser.add_argument(
+        "--data-dir", metavar="DIR",
+        help="durable database directory (write-ahead log + checkpoints); "
+        "recovered on open, schema/data scripts apply only when empty",
+    )
+    parser.add_argument(
+        "--sync-mode", default="fsync", choices=("fsync", "os", "none"),
+        help="commit durability: fsync (device flush), os (page cache), "
+        "none (process buffer); default fsync",
+    )
 
 
 def _read(path: Optional[str]) -> str:
@@ -107,25 +139,47 @@ def _read(path: Optional[str]) -> str:
         return handle.read()
 
 
-def _build_mediator(args) -> OntoAccess:
+def _open_database(args) -> Database:
+    """A Database honoring ``--data-dir`` (recovered) and ``--schema``.
+
+    Schema/data scripts initialize a durable directory only on its first
+    open; afterwards the recovered tables win (re-running the scripts
+    would duplicate rows or collide with the surviving DDL).
+    """
+    db = Database(
+        data_dir=getattr(args, "data_dir", None),
+        sync_mode=getattr(args, "sync_mode", "fsync"),
+    )
+    if db.schema.table_names():  # recovered a surviving database
+        return db
     if args.schema:
-        db = Database()
         db.execute_script(_read(args.schema))
     else:
-        from .workloads.publication import build_database
+        from .workloads.publication import PUBLICATION_DDL
 
-        db = build_database()
+        db.execute_script(PUBLICATION_DDL)
     if getattr(args, "data", None):
         db.execute_script(_read(args.data))
-    if args.mapping_file:
-        mapping = parse_mapping(_read(args.mapping_file))
-    elif args.schema:
-        mapping = generate_mapping(db)
-    else:
-        from .workloads.publication import build_mapping
+    return db
 
-        mapping = build_mapping(db)
-    return OntoAccess(db, mapping)
+
+def _select_mapping(args, db: Database):
+    """The R3M mapping for this invocation: an explicit document, a
+    reflected one (explicit schema, or a recovered data dir holding
+    something other than the default use case), or the paper's Table 1
+    mapping for the default publication schema."""
+    if args.mapping_file:
+        return parse_mapping(_read(args.mapping_file))
+    if args.schema or not db.schema.has_table("publication"):
+        return generate_mapping(db)
+    from .workloads.publication import build_mapping
+
+    return build_mapping(db)
+
+
+def _build_mediator(args) -> OntoAccess:
+    db = _open_database(args)
+    return OntoAccess(db, _select_mapping(args, db))
 
 
 def main(argv: Optional[List[str]] = None, stdout=None) -> int:
@@ -146,6 +200,7 @@ def _dispatch(args, out) -> int:
         "query": _cmd_query,
         "dump": _cmd_dump,
         "mapping": _cmd_mapping,
+        "checkpoint": _cmd_checkpoint,
     }[args.command](args, out)
 
 
@@ -192,57 +247,84 @@ def _cmd_serve(args, out) -> int:
         pass
     finally:
         endpoint.stop()
+        mediator.db.close()
     return 0
 
 
 def _cmd_update(args, out) -> int:
     mediator = _build_mediator(args)
-    request = _read(args.request)
-    if args.dry_run:
-        for line in mediator.translate_sql(request):
-            print(line, file=out)
-        return 0
     try:
-        result = mediator.update(request)
-    except TranslationError as exc:
-        from .core.feedback import error_graph
+        request = _read(args.request)
+        if args.dry_run:
+            for line in mediator.translate_sql(request):
+                print(line, file=out)
+            return 0
+        try:
+            result = mediator.update(request)
+        except TranslationError as exc:
+            from .core.feedback import error_graph
 
-        print(to_turtle(error_graph(exc)), file=out)
-        return 1
-    for line in result.sql():
-        print(line, file=out)
-    print(f"-- {result.statements_executed()} statement(s) executed", file=out)
-    return 0
+            print(to_turtle(error_graph(exc)), file=out)
+            return 1
+        for line in result.sql():
+            print(line, file=out)
+        print(
+            f"-- {result.statements_executed()} statement(s) executed", file=out
+        )
+        return 0
+    finally:
+        mediator.db.close()
 
 
 def _cmd_query(args, out) -> int:
     mediator = _build_mediator(args)
-    result = mediator.query(_read(args.query))
-    if isinstance(result, bool):
-        print("true" if result else "false", file=out)
-    elif isinstance(result, Graph):
-        print(to_turtle(result), file=out)
-    else:
-        from .server.protocol import render_select_result
+    try:
+        result = mediator.query(_read(args.query))
+        if isinstance(result, bool):
+            print("true" if result else "false", file=out)
+        elif isinstance(result, Graph):
+            print(to_turtle(result), file=out)
+        else:
+            from .server.protocol import render_select_result
 
-        print(render_select_result(result), end="", file=out)
-    return 0
+            print(render_select_result(result), end="", file=out)
+        return 0
+    finally:
+        mediator.db.close()
 
 
 def _cmd_dump(args, out) -> int:
     mediator = _build_mediator(args)
-    print(to_turtle(mediator.dump()), file=out)
-    return 0
+    try:
+        print(to_turtle(mediator.dump()), file=out)
+        return 0
+    finally:
+        mediator.db.close()
+
+
+def _cmd_checkpoint(args, out) -> int:
+    db = Database(data_dir=args.data_dir, sync_mode=args.sync_mode)
+    try:
+        path = db.checkpoint()
+        print(f"checkpoint written: {path}", file=out)
+        tables = ", ".join(
+            f"{name}({db.row_count(name)})" for name in db.schema.table_names()
+        ) or "no tables"
+        print(f"-- {tables}", file=out)
+        return 0
+    finally:
+        db.close()
 
 
 def _cmd_mapping(args, out) -> int:
-    if args.schema:
-        db = Database()
-        db.execute_script(_read(args.schema))
-    else:
-        from .workloads.publication import build_database
+    db = _open_database(args)
+    try:
+        return _cmd_mapping_body(args, db, out)
+    finally:
+        db.close()
 
-        db = build_database()
+
+def _cmd_mapping_body(args, db, out) -> int:
     if args.validate:
         mapping = parse_mapping(_read(args.validate))
         problems = validate_mapping(mapping, db, raise_on_error=False)
@@ -252,15 +334,7 @@ def _cmd_mapping(args, out) -> int:
             return 1
         print("mapping is consistent with the schema", file=out)
         return 0
-    if args.mapping_file:
-        mapping = parse_mapping(_read(args.mapping_file))
-    elif args.schema:
-        mapping = generate_mapping(db)
-    else:
-        from .workloads.publication import build_mapping
-
-        mapping = build_mapping(db)
-    print(mapping_to_turtle(mapping), file=out)
+    print(mapping_to_turtle(_select_mapping(args, db)), file=out)
     return 0
 
 

@@ -191,6 +191,13 @@ class Backend(abc.ABC):
     def dump(self) -> Graph:
         """Materialize the whole store as an RDF graph."""
 
+    # -- durability ------------------------------------------------------
+
+    def checkpoint(self) -> Optional[str]:
+        """Force a durability checkpoint; returns its path, or None when
+        the backend has no durable store (the default)."""
+        return None
+
     # -- bookkeeping -----------------------------------------------------
 
     def state_version(self) -> Any:
@@ -374,6 +381,11 @@ class RelationalBackend(Backend):
 
     def dump(self) -> Graph:
         return dump_database(self.mapping, self.db)
+
+    # -- durability ------------------------------------------------------
+
+    def checkpoint(self) -> Optional[str]:
+        return self.db.checkpoint()
 
     # -- bookkeeping -----------------------------------------------------
 

@@ -601,6 +601,16 @@ class Session:
     def in_transaction(self) -> bool:
         return self.backend.in_transaction()
 
+    def checkpoint(self) -> Optional[str]:
+        """Force a durability checkpoint on the backend's store.
+
+        Serializes on the write-tier lock — the snapshot cut must not
+        interleave with an update or land inside an open transaction.
+        Returns the checkpoint path, or None for in-memory backends.
+        """
+        with self._lock:
+            return self.backend.checkpoint()
+
     @contextmanager
     def transaction(self):
         """Explicit scope: operations inside join one transaction."""

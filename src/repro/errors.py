@@ -95,6 +95,12 @@ class TransactionError(DatabaseError):
     """Invalid transaction state (e.g. commit without begin)."""
 
 
+class DurabilityError(DatabaseError):
+    """Write-ahead log / checkpoint failure: unknown sync mode, a value
+    the WAL cannot serialize, or corruption that recovery must not paper
+    over (a torn record anywhere but the final segment's tail)."""
+
+
 # ---------------------------------------------------------------------------
 # SPARQL layer
 # ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@ Public API::
 """
 
 from .catalog import Column, ForeignKey, Schema, Table
+from .durability import SYNC_FSYNC, SYNC_NONE, SYNC_OS, DurabilityManager
 from .engine import Database
 from .executor import Result
 from .planner import Planner
@@ -37,6 +38,10 @@ __all__ = [
     "DEFERRED",
     "Database",
     "DateType",
+    "DurabilityManager",
+    "SYNC_FSYNC",
+    "SYNC_NONE",
+    "SYNC_OS",
     "FLOAT",
     "FloatType",
     "ForeignKey",

@@ -1,0 +1,662 @@
+"""Durability: write-ahead log, snapshot checkpoints, and crash recovery.
+
+The engine keeps all state in process memory; this module makes a
+database survive its process.  Three pieces, all owned by one
+:class:`DurabilityManager` rooted at a ``data_dir``:
+
+**Write-ahead log.**  Every committed transaction appends one binary
+record describing its *logical* changes — insert/delete/update row
+images keyed by the storage layer's row ids, plus rendered DDL
+statements — to the current WAL segment.  Records are length-prefixed
+and CRC32-checksummed, so recovery can tell a complete record from the
+torn tail a crash mid-``write`` leaves behind.  The append happens
+inside the engine's writer lock (record order == commit order), but the
+durability *wait* happens after the lock is released: committers gang up
+on one ``fsync`` (group commit), so N concurrent committers pay ~1
+device flush instead of N.
+
+**Checkpoints.**  A checkpoint serializes a published
+:class:`~repro.rdb.engine.DatabaseSnapshot` — the DDL history that
+rebuilds the schema catalog and index definitions, plus each table's row
+images and counters — to ``checkpoint-<gen>.db.tmp``, fsyncs it, and
+atomically renames it into place.  Index *structures* are not stored;
+they rebuild from the rows on load.  The WAL rotates to a new segment at
+the moment the snapshot is captured (under the writer lock), so the old
+segment plus the checkpoint cover exactly the same prefix and the old
+segment can be deleted once the rename lands.
+
+**Recovery.**  Opening a ``data_dir`` loads the newest checkpoint,
+replays every WAL segment of the same or newer generation in order, and
+stops cleanly at the first torn or partial record of the *final*
+segment (truncating it, so the next append starts at a clean boundary).
+Only the final segment may be torn — it is the one a crash interrupts;
+a damaged checkpoint or a corrupt record anywhere else means real
+corruption (checkpoints exist only post-rename with their body fsynced,
+and segments rotate at quiescent points), and recovery raises
+:class:`~repro.errors.DurabilityError` instead of silently dropping
+committed data.
+
+``sync_mode`` picks the durability/latency trade-off per database:
+
+* ``"fsync"`` — flush to the device at every commit (group-batched);
+  survives OS/power failure.
+* ``"os"``    — push the record into the OS page cache at every commit;
+  survives process kill, not power loss.
+* ``"none"``  — leave records in the process's user-space buffer; they
+  reach the OS on checkpoint/rotate/close only.  Fastest; survives a
+  clean close.
+
+Record wire format (all integers little-endian)::
+
+    frame    := u32 payload_length | u32 crc32(payload) | payload
+    payload  := value-encoded commit batch: a list of changes
+    change   := ("i", table, rowid, row) | ("u", table, rowid, changes)
+              | ("d", table, rowid)      | ("x", rendered_ddl_sql)
+
+Values use a small tagged binary encoding (NULL, bool, int, float, str,
+lists, dicts) — exactly the value domain the type system stores.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import re
+import struct
+import threading
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import DurabilityError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = [
+    "DurabilityManager",
+    "SYNC_FSYNC",
+    "SYNC_OS",
+    "SYNC_NONE",
+    "encode_payload",
+    "decode_payload",
+]
+
+SYNC_FSYNC = "fsync"
+SYNC_OS = "os"
+SYNC_NONE = "none"
+SYNC_MODES = (SYNC_FSYNC, SYNC_OS, SYNC_NONE)
+
+#: Segment headers: 8 magic bytes + 1 format-version byte.
+_WAL_MAGIC = b"REPROWAL\x01"
+_CKPT_MAGIC = b"REPROCKP\x01"
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+
+_CKPT_RE = re.compile(r"^checkpoint-(\d{8})\.db$")
+_WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+#
+# One-byte tag, then a fixed or length-prefixed body.  Covers exactly the
+# value domain of the storage layer (the SQL type system coerces every
+# stored value to None/bool/int/float/str) plus the containers the change
+# records are built from.  Deliberately not pickle: the format is stable,
+# inspectable, and cannot execute anything on load.
+
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+
+
+def _encode_value(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        body = value.to_bytes((value.bit_length() + 8) // 8 or 1, "little", signed=True)
+        out.append(b"i" + _U32.pack(len(body)) + body)
+    elif isinstance(value, float):
+        out.append(b"f" + _F64.pack(value))
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out.append(b"s" + _U32.pack(len(body)) + body)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l" + _U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(b"d" + _U32.pack(len(value)))
+        for key, item in value.items():
+            _encode_value(key, out)
+            _encode_value(item, out)
+    else:
+        raise DurabilityError(
+            f"cannot serialize value of type {type(value).__name__} "
+            "to the write-ahead log"
+        )
+
+
+def encode_payload(value: Any) -> bytes:
+    """Serialize one payload (a commit batch or checkpoint body)."""
+    out: List[bytes] = []
+    _encode_value(value, out)
+    return b"".join(out)
+
+
+def _decode_value(buf: bytes, pos: int) -> Tuple[Any, int]:
+    tag = buf[pos:pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag == b"i":
+        (length,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return int.from_bytes(buf[pos:pos + length], "little", signed=True), pos + length
+    if tag == b"f":
+        (value,) = _F64.unpack_from(buf, pos)
+        return value, pos + 8
+    if tag == b"s":
+        (length,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        return buf[pos:pos + length].decode("utf-8"), pos + length
+    if tag == b"l":
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        items = []
+        for _ in range(count):
+            item, pos = _decode_value(buf, pos)
+            items.append(item)
+        return items, pos
+    if tag == b"d":
+        (count,) = _U32.unpack_from(buf, pos)
+        pos += 4
+        mapping = {}
+        for _ in range(count):
+            key, pos = _decode_value(buf, pos)
+            value, pos = _decode_value(buf, pos)
+            mapping[key] = value
+        return mapping, pos
+    raise DurabilityError(f"corrupt payload: unknown value tag {tag!r}")
+
+
+def decode_payload(buf: bytes) -> Any:
+    value, pos = _decode_value(buf, 0)
+    if pos != len(buf):
+        raise DurabilityError(
+            f"corrupt payload: {len(buf) - pos} trailing byte(s)"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# the WAL segment writer (with group commit)
+# ---------------------------------------------------------------------------
+
+class _WalWriter:
+    """Appends framed records to one WAL segment.
+
+    Appends are serialized by the engine's writer lock; the *durability
+    wait* (:meth:`sync_to`) runs outside it and implements group commit:
+    the first waiter becomes the flusher for everything appended so far,
+    later waiters whose offset that flush covers return without touching
+    the device.  ``fsync`` releases the GIL, so concurrent committers
+    genuinely overlap their appends with the in-flight flush.
+    """
+
+    def __init__(self, path: str, sync_mode: str, crash_hook=None) -> None:
+        self.path = path
+        self.sync_mode = sync_mode
+        self._crash_hook = crash_hook
+        # Size 0 counts as fresh: recovery truncates a segment whose
+        # header never made it to disk back to empty, and the magic must
+        # be rewritten or every later recovery would reject the file.
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._file = open(path, "ab")
+        if fresh:
+            self._file.write(_WAL_MAGIC)
+            self._file.flush()
+            _fsync_file(self._file)
+        #: bytes appended (buffered or not) / known flushed to the device
+        self._appended = self._file.tell()
+        self._synced = self._appended
+        self._cond = threading.Condition()
+        self._flusher_active = False
+        self._closed = False
+        #: True after an append or flush hit an I/O error.  A torn frame
+        #: may now sit mid-stream while the in-memory commit stands, so
+        #: the log refuses every further commit: anything appended after
+        #: the tear would be acknowledged and then silently truncated
+        #: away by the next recovery.
+        self._failed = False
+        #: diagnostics: device flushes performed / commits that waited
+        self.sync_count = 0
+        self.commit_count = 0
+
+    def _fail(self, action: str, exc: OSError) -> DurabilityError:
+        self._failed = True
+        return DurabilityError(
+            f"write-ahead log {action} failed ({exc}); refusing further "
+            "commits — restart to recover the intact prefix"
+        )
+
+    def append(self, payload: bytes) -> int:
+        """Append one framed record; returns the segment end offset the
+        caller must pass to :meth:`sync_to`.  Caller holds the engine's
+        writer lock, so frames never interleave."""
+        if self._failed:
+            raise DurabilityError(
+                "write-ahead log is in a failed state; refusing commits"
+            )
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        try:
+            if self._crash_hook is not None:
+                self._crash_hook("wal:pre-append")
+                # Split the write so the mid-append kill point really
+                # leaves a torn frame behind (header without payload).
+                self._file.write(frame)
+                self._file.flush()
+                self._crash_hook("wal:mid-append")
+                self._file.write(payload)
+            else:
+                self._file.write(frame + payload)
+        except OSError as exc:  # e.g. ENOSPC with a partial frame out
+            raise self._fail("append", exc) from exc
+        with self._cond:
+            self._appended += len(frame) + len(payload)
+            return self._appended
+
+    def sync_to(self, offset: int) -> None:
+        """Block until everything up to ``offset`` is as durable as the
+        sync mode promises.  Called WITHOUT the engine writer lock."""
+        self.commit_count += 1
+        if self.sync_mode == SYNC_NONE:
+            return
+        with self._cond:
+            while True:
+                if self._failed:
+                    raise DurabilityError(
+                        "write-ahead log is in a failed state; the "
+                        "commit's durability cannot be guaranteed"
+                    )
+                if self._synced >= offset:
+                    return
+                if self._closed:
+                    # A rotation closed this segment after our append:
+                    # close() flushed and fsynced everything, so the
+                    # record is already as durable as the mode promises.
+                    return
+                if not self._flusher_active:
+                    break
+                self._cond.wait()
+            self._flusher_active = True
+            target = self._appended
+        try:
+            if self._crash_hook is not None:
+                self._crash_hook("wal:pre-sync")
+            try:
+                self._file.flush()
+                if self.sync_mode == SYNC_FSYNC:
+                    _fsync_file(self._file)
+            except OSError as exc:
+                raise self._fail("flush", exc) from exc
+            except DurabilityError:
+                self._failed = True  # _fsync_file: a real device error
+                raise
+            self.sync_count += 1
+            with self._cond:
+                self._synced = max(self._synced, target)
+        finally:
+            with self._cond:
+                self._flusher_active = False
+                self._cond.notify_all()
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (checkpoint/rotate/close)."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush, fsync (in fsync mode), and close the segment.  Waits
+        for an in-flight group flush first — a racing committer's
+        :meth:`sync_to` must never touch a closed file — and marks
+        everything synced so late waiters return immediately."""
+        with self._cond:
+            while self._flusher_active:
+                self._cond.wait()
+            if self._closed:
+                return
+            self._file.flush()
+            if self.sync_mode == SYNC_FSYNC:
+                _fsync_file(self._file)
+            self._file.close()
+            self._closed = True
+            self._synced = self._appended
+            self._cond.notify_all()
+
+
+def _fsync_file(handle) -> None:
+    """fsync, raising DurabilityError on real device errors.
+
+    Only "this file cannot be fsynced at all" (pipes, fsync-less
+    filesystems: EINVAL/ENOTSUP) is ignored.  A genuine I/O failure
+    (EIO, ENOSPC) must surface: after a failed fsync the kernel may drop
+    the dirty pages, so treating it as durable would acknowledge a
+    commit the device never saw (and a checkpoint's supersede-deletes
+    would remove the only good copy).
+    """
+    try:
+        os.fsync(handle.fileno())
+    except OSError as exc:  # pragma: no cover - device-dependent
+        if exc.errno in (errno.EINVAL, getattr(errno, "ENOTSUP", None)):
+            return
+        raise DurabilityError(f"fsync of {handle.name!r} failed: {exc}") from exc
+
+
+def _read_wal(path: str) -> Tuple[List[Any], int, bool]:
+    """Read a WAL segment.
+
+    Returns ``(batches, valid_end, clean)``: the decoded commit batches,
+    the byte offset after the last complete valid record, and whether the
+    segment ended exactly there (False means a torn/corrupt tail
+    follows).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(_WAL_MAGIC):
+        # Torn header (crash before the magic reached disk): the segment
+        # holds no records; truncating to 0 lets the next writer rewrite
+        # the magic.  Anything else in it was never a valid record.
+        return [], 0, not data
+    batches: List[Any] = []
+    pos = len(_WAL_MAGIC)
+    while True:
+        header = data[pos:pos + _FRAME.size]
+        if not header:
+            return batches, pos, True
+        if len(header) < _FRAME.size:
+            return batches, pos, False
+        length, crc = _FRAME.unpack(header)
+        payload = data[pos + _FRAME.size:pos + _FRAME.size + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return batches, pos, False
+        try:
+            batches.append(decode_payload(payload))
+        except DurabilityError:
+            return batches, pos, False
+        pos += _FRAME.size + length
+
+
+# ---------------------------------------------------------------------------
+# the manager
+# ---------------------------------------------------------------------------
+
+class DurabilityManager:
+    """Owns one ``data_dir``: WAL segments, checkpoints, recovery.
+
+    The engine drives it (all policy — what is a commit, what goes into a
+    checkpoint — lives in :mod:`repro.rdb.engine`); this class owns the
+    files and their crash-safety discipline.
+
+    ``_crash_hook``, when set, is called with a named kill point right
+    before/after the critical file operations; the crash-injection tests
+    raise from it to simulate a process dying there, then reopen the
+    directory and assert the committed prefix survived.
+    """
+
+    def __init__(self, data_dir: str, sync_mode: str = SYNC_FSYNC) -> None:
+        if sync_mode not in SYNC_MODES:
+            raise DurabilityError(
+                f"unknown sync mode {sync_mode!r}; expected one of "
+                f"{', '.join(SYNC_MODES)}"
+            )
+        self.data_dir = data_dir
+        self.sync_mode = sync_mode
+        #: test seam: fn(kill_point_name) that may raise to simulate a crash
+        self._crash_hook: Optional[Callable[[str], None]] = None
+        os.makedirs(data_dir, exist_ok=True)
+        self._lock_file = None
+        self._acquire_lock()
+        self.generation = 0
+        self._wal: Optional[_WalWriter] = None
+        #: recovery report, for diagnostics and tests
+        self.recovered_batches = 0
+        self.truncated_bytes = 0
+
+    # -- single-owner lock ----------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        """Exclusive ``flock`` on ``data_dir/LOCK`` for the manager's
+        lifetime.  Two processes appending to one WAL interleave frames
+        and delete each other's segments, so a second opener gets a
+        clean error instead.  The kernel drops the lock when the holder
+        dies — even by SIGKILL — so crash recovery is never blocked."""
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        handle = open(os.path.join(self.data_dir, "LOCK"), "a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise DurabilityError(
+                f"data_dir {self.data_dir!r} is locked by another "
+                "database instance; close it first"
+            ) from None
+        self._lock_file = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_file is not None:
+            self._lock_file.close()  # closing the fd releases the flock
+            self._lock_file = None
+
+    # -- paths ----------------------------------------------------------
+
+    def _checkpoint_path(self, generation: int) -> str:
+        return os.path.join(self.data_dir, f"checkpoint-{generation:08d}.db")
+
+    def _wal_path(self, generation: int) -> str:
+        return os.path.join(self.data_dir, f"wal-{generation:08d}.log")
+
+    def _scan_dir(self) -> Tuple[List[int], List[int]]:
+        checkpoints: List[int] = []
+        wals: List[int] = []
+        for name in os.listdir(self.data_dir):
+            if name.endswith(".tmp"):
+                # a checkpoint that never reached its atomic rename
+                os.unlink(os.path.join(self.data_dir, name))
+                continue
+            match = _CKPT_RE.match(name)
+            if match:
+                checkpoints.append(int(match.group(1)))
+                continue
+            match = _WAL_RE.match(name)
+            if match:
+                wals.append(int(match.group(1)))
+        return sorted(checkpoints), sorted(wals)
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> Tuple[Optional[Any], List[Any]]:
+        """Load the directory.
+
+        Returns ``(checkpoint_body, wal_batches)``: the newest
+        checkpoint payload (None for a fresh directory; DurabilityError
+        for a damaged one) and every commit batch committed after it, in
+        commit order.  Leaves the final WAL segment truncated to its
+        last valid record and open for appends.
+        """
+        checkpoints, wals = self._scan_dir()
+        body = None
+        base = 0
+        if checkpoints:
+            # Only the newest checkpoint is a candidate: its rename was
+            # atomic and its body fsynced first, so an invalid file is
+            # disk corruption — raised, never papered over by silently
+            # falling back to a lineage whose WAL segments are gone.
+            base = checkpoints[-1]
+            body = self._load_checkpoint(base)
+        batches: List[Any] = []
+        replay = [g for g in wals if g >= base]
+        for position, generation in enumerate(replay):
+            path = self._wal_path(generation)
+            segment, valid_end, clean = _read_wal(path)
+            if not clean:
+                if position != len(replay) - 1:
+                    raise DurabilityError(
+                        f"corrupt record mid-log in {path!r}: only the "
+                        "final segment may have a torn tail"
+                    )
+                size = os.path.getsize(path)
+                self.truncated_bytes = size - valid_end
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_end)
+            batches.extend(segment)
+        self.generation = replay[-1] if replay else base
+        # Stale files from before the checkpoint can go now.
+        for generation in checkpoints:
+            if generation != base:
+                os.unlink(self._checkpoint_path(generation))
+        for generation in wals:
+            if generation < base:
+                os.unlink(self._wal_path(generation))
+        self._wal = _WalWriter(
+            self._wal_path(self.generation), self.sync_mode, self._crash_hook
+        )
+        self.recovered_batches = len(batches)
+        return body, batches
+
+    def _load_checkpoint(self, generation: int) -> Any:
+        """Load and validate one checkpoint; raises DurabilityError on
+        any damage (a checkpoint only exists post-rename, fsynced)."""
+        path = self._checkpoint_path(generation)
+        def corrupt(reason: str) -> DurabilityError:
+            return DurabilityError(f"corrupt checkpoint {path!r}: {reason}")
+
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            raise corrupt(f"unreadable ({exc})") from exc
+        if not data.startswith(_CKPT_MAGIC):
+            raise corrupt("bad magic")
+        frame = data[len(_CKPT_MAGIC):]
+        if len(frame) < _FRAME.size:
+            raise corrupt("truncated header")
+        length, crc = _FRAME.unpack_from(frame)
+        payload = frame[_FRAME.size:_FRAME.size + length]
+        if len(payload) != length:
+            raise corrupt("truncated body")
+        if zlib.crc32(payload) != crc:
+            raise corrupt("checksum mismatch")
+        return decode_payload(payload)
+
+    # -- commit path ----------------------------------------------------
+
+    def log_commit(self, changes: List[Any]) -> Tuple[_WalWriter, int]:
+        """Append one commit batch; engine writer lock held.  Returns an
+        opaque token for :meth:`wait_durable` — it pins the *segment*
+        the record landed in, so a concurrent checkpoint rotation can
+        never strand the waiter against the wrong file's offsets."""
+        assert self._wal is not None
+        return (self._wal, self._wal.append(encode_payload(changes)))
+
+    def wait_durable(self, token: Tuple[_WalWriter, int]) -> None:
+        """Group-commit durability wait; called outside the writer lock."""
+        writer, offset = token
+        writer.sync_to(offset)
+
+    # -- checkpoints ----------------------------------------------------
+
+    def rotate_wal(self) -> int:
+        """Switch appends to a fresh segment (engine writer lock held, so
+        no commit can interleave with the cut).  Returns the new
+        generation; the caller's snapshot corresponds exactly to the end
+        of the old segment."""
+        assert self._wal is not None
+        old = self._wal
+        self.generation += 1
+        self._wal = _WalWriter(
+            self._wal_path(self.generation), self.sync_mode, self._crash_hook
+        )
+        old.close()
+        return self.generation
+
+    def write_checkpoint(self, generation: int, body: Any) -> str:
+        """Serialize ``body`` as checkpoint ``generation``: temp file,
+        fsync, atomic rename, then delete the files it supersedes.  May
+        run outside the writer lock — the body is built from frozen
+        snapshot state."""
+        payload = encode_payload(body)
+        final = self._checkpoint_path(generation)
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(_CKPT_MAGIC)
+            handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            handle.write(payload)
+            handle.flush()
+            _fsync_file(handle)
+        if self._crash_hook is not None:
+            self._crash_hook("checkpoint:pre-rename")
+        os.replace(tmp, final)
+        _fsync_dir(self.data_dir)
+        if self._crash_hook is not None:
+            self._crash_hook("checkpoint:post-rename")
+        # The old checkpoint and every segment before this generation are
+        # fully covered by the new checkpoint: truncate the log's history.
+        checkpoints, wals = self._scan_dir()
+        for old_generation in checkpoints:
+            if old_generation < generation:
+                os.unlink(self._checkpoint_path(old_generation))
+        for old_generation in wals:
+            if old_generation < generation:
+                os.unlink(self._wal_path(old_generation))
+        return final
+
+    # -- lifecycle ------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._wal is not None:
+            self._wal.flush()
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
+        self._release_lock()
+
+    @property
+    def wal(self) -> Optional[_WalWriter]:
+        return self._wal
+
+    def wal_size(self) -> int:
+        """Bytes in the current segment (diagnostics / checkpoint policy)."""
+        if self._wal is None:
+            return 0
+        with self._wal._cond:
+            return self._wal._appended
+
+
+def _fsync_dir(path: str) -> None:
+    """Make a rename durable by fsyncing the directory entry."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError as exc:  # pragma: no cover - device-dependent
+        if exc.errno not in (errno.EINVAL, getattr(errno, "ENOTSUP", None)):
+            raise DurabilityError(
+                f"fsync of directory {path!r} failed: {exc}"
+            ) from exc
+    finally:
+        os.close(fd)

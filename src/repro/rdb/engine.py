@@ -25,12 +25,31 @@ so N reader threads proceed concurrently with each other and with at most
 one writer.  A thread that owns the open transaction reads the working
 store instead (read-your-own-writes).
 
-Publication is lazy and O(1)-amortized: it is just a shallow copy of the
-name→:class:`~repro.rdb.storage.TableData` map, and the first write after
-a snapshot has been *consumed* by a reader clones the touched table
-(copy-on-write, sharing the immutable row dicts) so the snapshot stays
-frozen.  Snapshots nobody read are discarded instead of cloned, so
-write-only workloads pay nothing.
+Publication is eager but cheap — a shallow copy of the
+name→:class:`~repro.rdb.storage.TableData` map at every commit point and
+at ``begin()``, so a committed snapshot always exists (including the
+initial empty one).  The first write after a snapshot has been
+*consumed* by a reader clones the touched table (copy-on-write, sharing
+the immutable row dicts) so the snapshot stays frozen; from the first
+consumed snapshot on, readers never wait, even mid-transaction.
+Snapshots nobody ever read are discarded instead of cloned — write-only
+workloads publish but never clone, keeping writes O(changes) — which
+leaves one narrow wait: on a database *no reader has ever consumed
+from*, a reader arriving mid-transaction after that transaction's first
+write blocks until its commit (once; the consumed snapshot it then
+takes flips the database to the clone discipline for good).
+
+Durability (opt-in)
+-------------------
+
+``Database(data_dir=...)`` makes the store survive its process: every
+committed transaction's logical changes are appended to a
+CRC-checksummed write-ahead log *inside the writer lock, before the
+snapshot is published*, and the durability wait (one ``fsync`` absorbing
+all concurrent committers — group commit) happens after the lock is
+released.  :meth:`Database.checkpoint` serializes the published snapshot
+and truncates the log; opening the same ``data_dir`` again recovers the
+committed prefix exactly.  See :mod:`repro.rdb.durability`.
 """
 
 from __future__ import annotations
@@ -42,7 +61,9 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 from ..errors import CatalogError, DatabaseError, TransactionError
 from ..sql import ast
 from ..sql.parser import parse_statements
+from ..sql.render import render
 from .catalog import Column, ForeignKey, Index, Schema, Table
+from .durability import SYNC_FSYNC, DurabilityManager
 from .executor import Executor, Result
 from .planner import Planner, StaleSnapshotError
 from .storage import TableData
@@ -96,7 +117,12 @@ class DatabaseSnapshot:
 class Database:
     """An in-memory relational database with SQL interface."""
 
-    def __init__(self, constraint_mode: str = IMMEDIATE) -> None:
+    def __init__(
+        self,
+        constraint_mode: str = IMMEDIATE,
+        data_dir: Optional[str] = None,
+        sync_mode: str = SYNC_FSYNC,
+    ) -> None:
         if constraint_mode not in (IMMEDIATE, DEFERRED):
             raise TransactionError(f"unknown constraint mode: {constraint_mode!r}")
         self.constraint_mode = constraint_mode
@@ -122,20 +148,179 @@ class Database:
         self.schema_version = 0
         #: Exclusive writer lock: held across an explicit transaction
         #: (begin→commit/rollback) or around one autocommit DML/DDL
-        #: statement.  Readers never take it except to publish a missing
-        #: snapshot.
+        #: statement.  Readers never take it when a fresh snapshot is
+        #: published (commit points republish eagerly).
         self._write_lock = threading.RLock()
-        #: The currently published committed snapshot (None until the
-        #: first reader asks, and after an unconsumed snapshot is
-        #: discarded by a writer).
-        self._snapshot: Optional[DatabaseSnapshot] = None
-        #: True once any reader has asked for a snapshot — from then on
-        #: commit points republish eagerly so readers stay lock-free.
-        self._snapshots_active = False
         #: state_version() at the last commit point.  During an open
         #: transaction it keeps the pre-transaction value, which is what
         #: makes the published snapshot test as fresh for readers.
         self._committed_version: tuple = (0, 0)
+        #: The currently published committed snapshot.  Never None at a
+        #: commit point: the initial (empty) snapshot is published here,
+        #: so a reader arriving before the first commit — even one
+        #: arriving mid-first-transaction — finds committed state instead
+        #: of waiting.  Briefly None inside a writer's critical section
+        #: after an unconsumed snapshot is discarded.
+        self._snapshot: Optional[DatabaseSnapshot] = DatabaseSnapshot(
+            {}, self._committed_version, self.planner.generation
+        )
+        #: True once any reader has consumed a snapshot — from then on an
+        #: open transaction clones the tables the published snapshot
+        #: references (keeping concurrent readers lock-free) instead of
+        #: discarding it (which would make a mid-transaction reader wait
+        #: for the commit).  Never-read databases keep the cheap discard.
+        self._snapshots_active = False
+        #: Rendered DDL statements in execution order — replayed by
+        #: checkpoint load to rebuild the schema catalog and index
+        #: definitions exactly (index *structures* rebuild from rows).
+        self._ddl_history: List[str] = []
+        #: WAL + checkpoint owner; None keeps the database purely
+        #: in-memory.  ``_recovering`` gates WAL appends while recovery
+        #: replays the log through the normal execution paths.
+        self._durability: Optional[DurabilityManager] = None
+        self._recovering = False
+        if data_dir is not None:
+            self._durability = DurabilityManager(data_dir, sync_mode)
+            self._recover()
+
+    # ------------------------------------------------------------------
+    # durability: recovery, WAL logging, checkpoints
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Load the newest checkpoint and replay the WAL tail (startup)."""
+        assert self._durability is not None
+        self._recovering = True
+        try:
+            body, batches = self._durability.recover()
+            if body is not None:
+                self._load_checkpoint_body(body)
+            for changes in batches:
+                self._apply_wal_changes(changes)
+        finally:
+            self._recovering = False
+        self._mark_committed()
+
+    def _load_checkpoint_body(self, body: Dict[str, Any]) -> None:
+        """Rebuild schema from the checkpoint's DDL history, then bulk
+        load the row images (indexes rebuild as rows are restored)."""
+        for sql in body["ddl"]:
+            self.execute(sql)
+        for name, payload in body["tables"].items():
+            table_data = self.table_data(name)
+            table = self.schema.table(name)
+            autoincrement = [
+                column.name
+                for column in table.columns.values()
+                if column.autoincrement
+            ]
+            for rowid, row in payload["rows"]:
+                table_data.restore(rowid, row)
+                for column_name in autoincrement:
+                    value = row.get(column_name)
+                    if value is not None:
+                        table_data.note_autoincrement_value(column_name, value)
+            table_data._next_rowid = max(
+                table_data._next_rowid, payload["next_rowid"]
+            )
+            for column_name, value in payload["autoincrement"].items():
+                table_data._autoincrement_next[column_name] = max(
+                    table_data._autoincrement_next.get(column_name, 1), value
+                )
+        self.data_version += 1
+
+    def _apply_wal_changes(self, changes: List[Any]) -> None:
+        """Replay one committed batch (recovery).  Row changes apply
+        physically by row id — replay order equals commit order, so the
+        storage layer converges to exactly the pre-crash state."""
+        from ..errors import DurabilityError
+
+        for change in changes:
+            kind = change[0]
+            if kind == "x":
+                self.execute(change[1])
+            elif kind == "i":
+                _, name, rowid, row = change
+                table_data = self.table_data(name)
+                table_data.restore(rowid, row)
+                if rowid >= table_data._next_rowid:
+                    table_data._next_rowid = rowid + 1
+                table = self.schema.table(name)
+                for column in table.columns.values():
+                    if column.autoincrement and row.get(column.name) is not None:
+                        table_data.note_autoincrement_value(
+                            column.name, row[column.name]
+                        )
+            elif kind == "u":
+                self.table_data(change[1]).update(change[2], change[3])
+            elif kind == "d":
+                self.table_data(change[1]).delete(change[2])
+            else:
+                raise DurabilityError(
+                    f"corrupt WAL record: unknown change kind {kind!r}"
+                )
+        self.data_version += 1
+
+    def _log_changes(self, changes: List[Any]) -> Optional[Any]:
+        """Append one commit batch to the WAL (writer lock held; before
+        the snapshot is published).  Returns the durability token to pass
+        to :meth:`_wait_durable` after the lock is released."""
+        if self._durability is None or self._recovering or not changes:
+            return None
+        return self._durability.log_commit(changes)
+
+    def _wait_durable(self, token: Optional[Any]) -> None:
+        """Block until the batch behind ``token`` is durable.  Runs
+        WITHOUT the writer lock, so concurrent committers share one
+        fsync (group commit) instead of serializing device flushes."""
+        if token is not None:
+            assert self._durability is not None
+            self._durability.wait_durable(token)
+
+    def _log_enabled(self) -> bool:
+        return self._durability is not None and not self._recovering
+
+    def checkpoint(self) -> Optional[str]:
+        """Serialize the committed state and truncate the WAL.
+
+        Under the writer lock: consume a published snapshot (freezing
+        every table via the copy-on-write pin) and rotate the WAL to a
+        fresh segment.  Outside the lock: serialize the frozen snapshot
+        to a temp file and atomically rename it into place — concurrent
+        commits keep appending to the new segment meanwhile.  Returns the
+        checkpoint path, or None when the database has no ``data_dir``.
+        """
+        if self._durability is None:
+            return None
+        with self._write_lock:
+            if self._txn is not None:
+                raise TransactionError(
+                    "cannot checkpoint inside an open transaction"
+                )
+            snap = self.snapshot()
+            ddl = list(self._ddl_history)
+            generation = self._durability.rotate_wal()
+        body = {
+            "ddl": ddl,
+            "tables": {
+                name: {
+                    "next_rowid": table_data._next_rowid,
+                    "autoincrement": dict(table_data._autoincrement_next),
+                    "rows": [
+                        [rowid, row]
+                        for rowid, row in sorted(table_data.rows.items())
+                    ],
+                }
+                for name, table_data in snap.tables.items()
+            },
+        }
+        return self._durability.write_checkpoint(generation, body)
+
+    def close(self) -> None:
+        """Flush and close the WAL (no-op for in-memory databases).  The
+        database object must not be used afterwards."""
+        if self._durability is not None:
+            self._durability.close()
 
     # ------------------------------------------------------------------
     # transaction control
@@ -155,16 +340,21 @@ class Database:
         if self._txn is not None:
             self._write_lock.release()
             raise TransactionError("a transaction is already open")
-        if self._snapshots_active:
-            # Make sure a fresh pre-transaction snapshot is published
-            # before any mutation, so readers stay lock-free for the
-            # whole (arbitrarily long) transaction.
-            self._mark_committed()
-        self._txn = Transaction(mode=self.constraint_mode)
+        # Make sure a fresh pre-transaction snapshot is published before
+        # any mutation, so a reader arriving mid-transaction — even the
+        # first reader this database ever sees — finds committed state
+        # (on a never-consumed database that holds until this
+        # transaction's first write discards the snapshot; a consuming
+        # reader before that point locks in the clone discipline).
+        self._mark_committed()
+        self._txn = Transaction(
+            mode=self.constraint_mode, log_changes=self._log_enabled()
+        )
 
     def commit(self) -> None:
         txn = self._require_txn()
         self._require_owner(txn)
+        token = None
         try:
             try:
                 txn.run_deferred_checks()
@@ -173,23 +363,35 @@ class Database:
                 self._txn = None
                 # state reverted: translations cached mid-transaction are stale
                 self.data_version += 1
+                # DDL is non-transactional: it survives the rollback in
+                # memory, so it must survive in the log too.
+                token = self._log_changes(txn.ddl_changes())
                 raise
             txn.commit_cleanup()
             self._txn = None
+            # WAL append while still holding the writer lock (append
+            # order == commit order), before the snapshot is published.
+            token = self._log_changes(txn.changes)
         finally:
             self._mark_committed()
             self._write_lock.release()
+            # Durability wait outside the lock: concurrent committers
+            # gang up on one fsync (group commit).
+            self._wait_durable(token)
 
     def rollback(self) -> None:
         txn = self._require_txn()
         self._require_owner(txn)
+        token = None
         try:
             txn.rollback()
             self._txn = None
             self.data_version += 1  # state reverted: cached translations are stale
+            token = self._log_changes(txn.ddl_changes())  # DDL survives
         finally:
             self._mark_committed()
             self._write_lock.release()
+            self._wait_durable(token)
 
     def state_version(self) -> tuple:
         """Opaque token identifying the current visible state."""
@@ -214,6 +416,11 @@ class Database:
             and snap.version == self._committed_version
             and snap.generation == self.planner.generation
         ):
+            # A consuming reader upgrades the discipline: from now on a
+            # transaction's writes clone the published tables instead of
+            # discarding the snapshot, so later readers stay lock-free
+            # even mid-transaction.
+            self._snapshots_active = True
             # Order matters: pin + mark consumed *then* re-check retired.
             # A writer marks retired *then* checks consumed/pins — under
             # the GIL's sequentially consistent memory, at least one side
@@ -266,10 +473,16 @@ class Database:
         return snap
 
     def _mark_committed(self) -> None:
-        """Note a commit point and republish for readers; writer lock held."""
+        """Note a commit point and republish for readers; writer lock held.
+
+        Publication is an O(#tables) shallow map copy, so every commit
+        point republishes — at any commit point, even the first reader a
+        database ever sees finds a fresh committed snapshot without
+        taking the writer lock.  (Mid-transaction, the published
+        snapshot survives until the transaction's first write; see
+        :meth:`_writable` for who then clones vs. who waits.)
+        """
         self._committed_version = self.state_version()
-        if not self._snapshots_active:
-            return
         snap = self._snapshot
         if (
             snap is not None
@@ -299,23 +512,26 @@ class Database:
             if (
                 snap.consumed
                 or table_data._cow_pinned
-                or self._txn is not None
+                or (self._txn is not None and self._snapshots_active)
             ):
                 # A reader holds this snapshot — or an *older* consumed
                 # snapshot still shares this very table (republication
                 # shares untouched tables, so the pin outlives the
-                # snapshot that set it) — or readers may fetch the
-                # snapshot while this (arbitrarily long) transaction
-                # runs: preserve the frozen object by cloning.
+                # snapshot that set it) — or readers are active and may
+                # fetch the snapshot while this (arbitrarily long)
+                # transaction runs: preserve the frozen object by cloning.
                 table_data = table_data.clone()
                 self.data[name] = table_data
                 snap.retired = False  # still frozen-valid: fast path back on
             else:
-                # Unconsumed, unpinned, autocommit: no reader ever held a
-                # snapshot referencing this table object, and none can
-                # start before the statement's own commit republishes
-                # (readers needing one block on the writer lock we hold),
-                # so discarding is cheaper than cloning.
+                # Unconsumed, unpinned, and either autocommit or a
+                # transaction on a database no reader ever consumed from:
+                # no reader holds a snapshot referencing this table
+                # object, and one arriving now re-checks ``retired``
+                # after consuming and falls to the slow path (waiting for
+                # this commit, which also flips the database to the
+                # clone discipline above), so discarding is cheaper than
+                # cloning.
                 self._snapshot = None
         elif table_data._cow_pinned:
             # No current snapshot references it (e.g. the latest was just
@@ -452,7 +668,9 @@ class Database:
             # Autocommit: exclusive writer for the span of one statement.
             # (Blocks here while another thread's transaction is open.)
             with self._write_lock:
-                txn = Transaction(mode=self.constraint_mode)
+                txn = Transaction(
+                    mode=self.constraint_mode, log_changes=self._log_enabled()
+                )
                 try:
                     result = self._run_dml(stmt, txn, parameters)
                     txn.run_deferred_checks()
@@ -466,8 +684,12 @@ class Database:
                 txn.commit_cleanup()
                 if result.rowcount:
                     self.data_version += 1
+                # WAL append under the lock, before publication...
+                token = self._log_changes(txn.changes)
                 self._mark_committed()
-                return result
+            # ...but the fsync wait outside it (group commit).
+            self._wait_durable(token)
+            return result
         raise DatabaseError(f"cannot execute {type(stmt).__name__}")
 
     def _select_committed(
@@ -498,7 +720,9 @@ class Database:
         the planner lock and published like a commit."""
         txn = self._txn  # local: another thread's commit may null it
         in_txn = txn is not None and txn.owner == threading.get_ident()
+        token = None
         with self._write_lock:
+            before = self.schema_version
             with self.planner.lock:
                 if isinstance(stmt, ast.CreateTable):
                     result = self._create_table(stmt)
@@ -508,6 +732,18 @@ class Database:
                     result = self._create_index(stmt)
                 else:
                     result = self._drop_index(stmt)
+            if self.schema_version != before:
+                # The statement actually changed the catalog (IF [NOT]
+                # EXISTS no-ops don't log): record it for checkpoints,
+                # and — inside a transaction — in the transaction's
+                # change list so the WAL keeps statement order (the
+                # record survives even a rollback; DDL always commits).
+                sql = render(stmt)
+                self._ddl_history.append(sql)
+                if in_txn:
+                    txn.record_change(("x", sql))
+                else:
+                    token = self._log_changes([("x", sql)])
             if not in_txn:
                 # DDL is not transactional; inside an open transaction the
                 # commit point stays at COMMIT.  The generation bump also
@@ -517,7 +753,8 @@ class Database:
                 # since no schema of the old generation exists to plan
                 # against anymore.
                 self._mark_committed()
-            return result
+        self._wait_durable(token)
+        return result
 
     def _run_dml(
         self,

@@ -156,6 +156,7 @@ class Executor:
         self._check_fk_child(table, row, txn)
         rowid = table_data.insert(row)  # PK/UNIQUE enforced by indexes
         txn.record_undo(lambda: table_data.delete(rowid))
+        txn.record_change(("i", table.name, rowid, row))
         return rowid
 
     def update(
@@ -202,6 +203,7 @@ class Executor:
         old = table_data.update(rowid, changes)
         restore = {col: old[col] for col in changes}
         txn.record_undo(lambda: table_data.update(rowid, restore))
+        txn.record_change(("u", table.name, rowid, dict(changes)))
 
     def delete(
         self,
@@ -221,6 +223,7 @@ class Executor:
             txn.record_undo(
                 lambda rid=rowid, img=removed: table_data.restore(rid, img)
             )
+            txn.record_change(("d", table.name, rowid))
             count += 1
         return Result(columns=[], rows=[], rowcount=count)
 

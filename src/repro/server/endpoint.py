@@ -199,21 +199,34 @@ class OntoAccessEndpoint:
             return Response.text(f"error: {exc}", status=400)
         self._count()
         wants_json = protocol.accepts(accept, protocol.CONTENT_SPARQL_JSON)
+        wants_xml = protocol.accepts(accept, protocol.CONTENT_SPARQL_XML)
         if isinstance(result, bool):
             if wants_json:
                 return Response.json(
                     protocol.render_ask_json(result),
                     content_type=protocol.CONTENT_SPARQL_JSON,
                 )
+            if wants_xml:
+                return Response(
+                    status=200,
+                    body=protocol.render_ask_xml(result),
+                    content_type=protocol.CONTENT_SPARQL_XML,
+                )
             return Response.text("true" if result else "false")
         if isinstance(result, Graph):
             return Response.turtle(result)
         if wants_json:
             # JSON first: a client listing both sparql-results+json and
-            # csv/tsv keeps getting the richer format it always got.
+            # another format keeps getting the richer format it always
+            # got; XML outranks CSV/TSV for the same reason.
             return Response.stream(
                 protocol.iter_select_json(result),
                 protocol.CONTENT_SPARQL_JSON,
+            )
+        if wants_xml:
+            return Response.stream(
+                protocol.iter_select_xml(result),
+                protocol.CONTENT_SPARQL_XML,
             )
         if protocol.accepts(accept, protocol.CONTENT_CSV):
             return Response.stream(
@@ -230,6 +243,24 @@ class OntoAccessEndpoint:
     def handle_dump(self) -> Response:
         self._count()
         return Response.turtle(self.session.dump())
+
+    def handle_checkpoint(self) -> Response:
+        """POST /admin/checkpoint: serialize the committed state and
+        truncate the write-ahead log (no-op answer when the endpoint
+        serves an in-memory database)."""
+        try:
+            path = self.session.checkpoint()
+        except ReproError as exc:
+            self._count(error=True)
+            return Response.text(f"error: {exc}", status=409)
+        if path is None:
+            self._count(error=True)
+            return Response.json(
+                {"checkpoint": None, "error": "database has no data_dir"},
+                status=409,
+            )
+        self._count()
+        return Response.json({"checkpoint": path})
 
     def handle_mapping(self) -> Response:
         self._count()
@@ -327,6 +358,8 @@ class OntoAccessEndpoint:
                     self._send(
                         endpoint.handle_batch(body, content_type=content_type)
                     )
+                elif path == protocol.CHECKPOINT_PATH:
+                    self._send(endpoint.handle_checkpoint())
                 else:
                     self._send(Response.text("not found", status=404))
 

@@ -27,12 +27,22 @@ Endpoints:
   (``application/sparql-update``).
 * ``GET /dump``    — the mapped database as Turtle.
 * ``GET /mapping`` — the R3M mapping document as Turtle.
+* ``POST /admin/checkpoint`` — force a durability checkpoint (ISSUE 5):
+  serialize the committed state and truncate the write-ahead log.
+  Answers JSON ``{"checkpoint": <path>}`` (HTTP 200) or a 409 when the
+  endpoint serves an in-memory database.
+
+Query responses are negotiated via ``Accept`` among the SPARQL 1.1
+result formats: JSON (``application/sparql-results+json``), XML
+(``application/sparql-results+xml``), CSV, and TSV; the default is a
+plain text table.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Iterable, Iterator, Optional
+from xml.sax.saxutils import escape, quoteattr
 
 from ..rdf.graph import Graph
 from ..rdf.serialize import to_turtle
@@ -44,10 +54,12 @@ __all__ = [
     "BATCH_PATH",
     "DUMP_PATH",
     "MAPPING_PATH",
+    "CHECKPOINT_PATH",
     "CONTENT_TURTLE",
     "CONTENT_SPARQL_UPDATE",
     "CONTENT_SPARQL_QUERY",
     "CONTENT_SPARQL_JSON",
+    "CONTENT_SPARQL_XML",
     "CONTENT_JSON",
     "CONTENT_TEXT",
     "CONTENT_CSV",
@@ -58,7 +70,9 @@ __all__ = [
     "iter_select_json",
     "iter_select_result",
     "iter_select_tsv",
+    "iter_select_xml",
     "render_ask_json",
+    "render_ask_xml",
     "render_select_json",
     "render_select_result",
 ]
@@ -68,11 +82,13 @@ QUERY_PATH = "/query"
 BATCH_PATH = "/batch"
 DUMP_PATH = "/dump"
 MAPPING_PATH = "/mapping"
+CHECKPOINT_PATH = "/admin/checkpoint"
 
 CONTENT_TURTLE = "text/turtle; charset=utf-8"
 CONTENT_SPARQL_UPDATE = "application/sparql-update"
 CONTENT_SPARQL_QUERY = "application/sparql-query"
 CONTENT_SPARQL_JSON = "application/sparql-results+json"
+CONTENT_SPARQL_XML = "application/sparql-results+xml; charset=utf-8"
 CONTENT_JSON = "application/json"
 CONTENT_TEXT = "text/plain; charset=utf-8"
 CONTENT_CSV = "text/csv; charset=utf-8"
@@ -285,3 +301,64 @@ def render_select_json(result) -> dict:
 def render_ask_json(value: bool) -> dict:
     """ASK results as a SPARQL 1.1 Query Results JSON document."""
     return {"head": {}, "boolean": bool(value)}
+
+
+# ---------------------------------------------------------------------------
+# SPARQL 1.1 Query Results XML Format (ISSUE 5)
+# ---------------------------------------------------------------------------
+
+_XML_HEADER = '<?xml version="1.0" encoding="UTF-8"?>\n'
+_SPARQL_NS = "http://www.w3.org/2005/sparql-results#"
+
+
+def _term_xml(name: str, term: Term) -> str:
+    """One ``<binding>`` element of the XML results format."""
+    if isinstance(term, URIRef):
+        body = f"<uri>{escape(term.value)}</uri>"
+    elif isinstance(term, BNode):
+        body = f"<bnode>{escape(term.label)}</bnode>"
+    elif isinstance(term, Literal):
+        attrs = ""
+        if term.language is not None:
+            attrs = f" xml:lang={quoteattr(term.language)}"
+        elif term.datatype is not None:
+            attrs = f" datatype={quoteattr(term.datatype)}"
+        body = f"<literal{attrs}>{escape(term.lexical)}</literal>"
+    else:
+        raise TypeError(f"cannot serialize {type(term).__name__} to XML")
+    return f"<binding name={quoteattr(name)}>{body}</binding>"
+
+
+def iter_select_xml(result) -> Iterator[str]:
+    """SPARQL 1.1 Query Results XML, serialized incrementally: the head,
+    then one ``<result>`` element per solution."""
+    def lines() -> Iterator[str]:
+        yield _XML_HEADER
+        yield f'<sparql xmlns="{_SPARQL_NS}">\n'
+        yield "  <head>\n"
+        for variable in result.variables:
+            yield f"    <variable name={quoteattr(variable.name)}/>\n"
+        yield "  </head>\n"
+        yield "  <results>\n"
+        for solution in result.solutions:
+            bindings = "".join(
+                _term_xml(v.name, t)
+                for v, t in solution.items()
+                if t is not None
+            )
+            yield f"    <result>{bindings}</result>\n"
+        yield "  </results>\n"
+        yield "</sparql>\n"
+
+    return _batched(lines())
+
+
+def render_ask_xml(value: bool) -> str:
+    """ASK results as a SPARQL 1.1 Query Results XML document."""
+    return (
+        _XML_HEADER
+        + f'<sparql xmlns="{_SPARQL_NS}">\n'
+        + "  <head/>\n"
+        + f"  <boolean>{'true' if value else 'false'}</boolean>\n"
+        + "</sparql>\n"
+    )

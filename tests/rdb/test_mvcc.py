@@ -36,10 +36,10 @@ def db():
     )
     database.execute("INSERT INTO account (id, owner, balance) VALUES (1, 'a', 100)")
     database.execute("INSERT INTO account (id, owner, balance) VALUES (2, 'b', 200)")
-    # One read publishes the first snapshot.  The non-blocking reader
-    # guarantees below hold from the first publication on; a reader that
-    # arrives mid-transaction on a never-read database waits once for the
-    # commit (there is no committed snapshot it could use yet).
+    # One read consumes the published snapshot.  Commit points publish
+    # eagerly (ISSUE 5), so even a cold reader never waits; consuming
+    # additionally switches writers to clone-instead-of-discard, which
+    # the copy-on-write tests below rely on.
     database.query("SELECT id FROM account")
     return database
 
@@ -138,16 +138,38 @@ class TestSnapshotVisibility:
         assert frozen.rows[frozen.find_by_pk((1,))]["balance"] == 100
         db.rollback()
 
-    def test_cold_snapshot_inside_own_transaction_is_refused(self):
-        """On a never-read database there is no committed snapshot to
-        serve mid-transaction, and building one would capture uncommitted
-        state — the reentrant slow path refuses instead."""
+    def test_cold_snapshot_inside_own_transaction_is_pre_transaction(self):
+        """ISSUE 5 cold-start fix: commit points publish eagerly, so even
+        a never-read database has a committed pre-transaction snapshot to
+        serve mid-transaction (it used to refuse/wait here)."""
         cold = Database()
         cold.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
         cold.begin()
-        with pytest.raises(TransactionError):
-            cold.snapshot()
+        snap = cold.snapshot()
+        assert len(snap.tables["t"]) == 0  # pre-transaction (empty) state
+        # Consuming froze it: the transaction's write clones, the
+        # snapshot keeps answering with the pre-transaction state.
+        cold.execute("INSERT INTO t (id) VALUES (1)")
+        assert len(snap.tables["t"]) == 0
+        assert cold.snapshot() is snap
         cold.rollback()
+
+    def test_cold_reader_mid_transaction_gets_initial_snapshot(self):
+        """ISSUE 5 cold-start fix: the first reader a database ever sees,
+        arriving while a transaction is open, is served the committed
+        pre-transaction snapshot instead of waiting for the commit."""
+        cold = Database()
+        cold.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        cold.begin()  # never-read database, transaction open
+        rows = run_in_thread(lambda: cold.query("SELECT id FROM t").rows)
+        assert rows == []  # served immediately (run_in_thread would hang)
+        cold.execute("INSERT INTO t (id) VALUES (1)")
+        # The consumed snapshot stays frozen through the write, so later
+        # readers still see the pre-transaction state without blocking.
+        rows = run_in_thread(lambda: cold.query("SELECT id FROM t").rows)
+        assert rows == []
+        cold.commit()
+        assert run_in_thread(lambda: cold.query("SELECT id FROM t").rows) == [(1,)]
 
 
 # ---------------------------------------------------------------------------

@@ -358,3 +358,146 @@ class TestSPARQLProtocol:
             client = OntoAccessClient(endpoint.url)
             with pytest.raises(ReproError, match="HTTP 400"):
                 client.query_json("SELECT ?x WHERE {")
+
+
+class TestXmlResults:
+    """SPARQL 1.1 Query Results XML Format (ISSUE 5)."""
+
+    XML_ACCEPT = "application/sparql-results+xml"
+
+    def test_select_xml_results(self, endpoint):
+        response = endpoint.handle_query(SELECT_NAMES, accept=self.XML_ACCEPT)
+        assert response.status == 200
+        assert response.content_type.startswith(self.XML_ACCEPT)
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(response.body)
+        ns = {"s": "http://www.w3.org/2005/sparql-results#"}
+        assert [
+            v.get("name") for v in root.findall("s:head/s:variable", ns)
+        ] == ["n"]
+        literals = root.findall("s:results/s:result/s:binding/s:literal", ns)
+        assert [el.text for el in literals] == ["Hert"]
+        binding = root.find("s:results/s:result/s:binding", ns)
+        assert binding.get("name") == "n"
+
+    def test_select_xml_streams(self, endpoint):
+        response = endpoint.handle_query(SELECT_NAMES, accept=self.XML_ACCEPT)
+        assert response.body_iter is not None  # chunked, not one string
+
+    def test_select_xml_escapes_metacharacters(self, endpoint):
+        endpoint.handle_update(
+            'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+            'PREFIX ex: <http://example.org/db/> '
+            'INSERT DATA { ex:author7 foaf:firstName "A" ; '
+            'foaf:family_name "<&\\"tags\\">" . }'
+        )
+        response = endpoint.handle_query(
+            'PREFIX foaf: <http://xmlns.com/foaf/0.1/> '
+            'SELECT ?n WHERE { ?x foaf:family_name ?n . }',
+            accept=self.XML_ACCEPT,
+        )
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(response.body)  # must be well-formed XML
+        ns = {"s": "http://www.w3.org/2005/sparql-results#"}
+        texts = {
+            el.text
+            for el in root.findall("s:results/s:result/s:binding/s:literal", ns)
+        }
+        assert '<&"tags">' in texts
+
+    def test_ask_xml_results(self, endpoint):
+        response = endpoint.handle_query(ASK_HERT, accept=self.XML_ACCEPT)
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(response.body)
+        ns = {"s": "http://www.w3.org/2005/sparql-results#"}
+        assert root.find("s:boolean", ns).text == "true"
+
+    def test_json_outranks_xml_when_both_accepted(self, endpoint):
+        response = endpoint.handle_query(
+            SELECT_NAMES,
+            accept="application/sparql-results+xml, "
+            "application/sparql-results+json",
+        )
+        assert response.content_type == "application/sparql-results+json"
+
+    def test_xml_over_http(self, endpoint):
+        import urllib.parse
+        import urllib.request
+        import xml.etree.ElementTree as ET
+
+        with endpoint:
+            url = (
+                endpoint.url
+                + "/query?"
+                + urllib.parse.urlencode({"query": SELECT_NAMES})
+            )
+            request = urllib.request.Request(
+                url, headers={"Accept": self.XML_ACCEPT}
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert response.headers.get_content_type() == self.XML_ACCEPT
+                root = ET.fromstring(response.read())
+            ns = {"s": "http://www.w3.org/2005/sparql-results#"}
+            values = [
+                el.text
+                for el in root.findall(
+                    "s:results/s:result/s:binding/s:literal", ns
+                )
+            ]
+            assert values == ["Hert"]
+
+
+class TestCheckpointRoute:
+    """POST /admin/checkpoint (ISSUE 5 durability admin action)."""
+
+    def test_checkpoint_on_memory_database_is_409(self, endpoint):
+        response = endpoint.handle_checkpoint()
+        assert response.status == 409
+        import json
+
+        assert json.loads(response.body)["checkpoint"] is None
+
+    def test_checkpoint_on_durable_database(self, tmp_path):
+        import json
+        import os
+
+        from repro.rdb import Database
+        from repro.workloads.publication import PUBLICATION_DDL
+
+        db = Database(data_dir=str(tmp_path / "dd"))
+        db.execute_script(PUBLICATION_DDL)
+        endpoint = OntoAccessEndpoint(OntoAccess(db, build_mapping(db)))
+        endpoint.handle_update(UPDATE_OK)
+        response = endpoint.handle_checkpoint()
+        assert response.status == 200
+        path = json.loads(response.body)["checkpoint"]
+        assert os.path.exists(path)
+        db.close()
+        # the checkpointed state survives a reopen
+        recovered = Database(data_dir=str(tmp_path / "dd"))
+        assert recovered.query(
+            "SELECT name FROM team WHERE id = 4"
+        ).rows == [("Database Technology",)]
+        recovered.close()
+
+    def test_checkpoint_over_http(self, tmp_path):
+        import json
+        import urllib.request
+
+        from repro.rdb import Database
+        from repro.workloads.publication import PUBLICATION_DDL
+
+        db = Database(data_dir=str(tmp_path / "dd"))
+        db.execute_script(PUBLICATION_DDL)
+        endpoint = OntoAccessEndpoint(OntoAccess(db, build_mapping(db)))
+        with endpoint:
+            request = urllib.request.Request(
+                endpoint.url + "/admin/checkpoint", data=b"", method="POST"
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert response.status == 200
+                assert "checkpoint" in json.loads(response.read())
+        db.close()

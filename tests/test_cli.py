@@ -170,3 +170,71 @@ class TestErrors:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestDurability:
+    """--data-dir persistence and the checkpoint subcommand (ISSUE 5)."""
+
+    QUERY = (
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n"
+        "SELECT ?n WHERE { ?x foaf:name ?n . }\n"
+    )
+
+    def test_update_survives_into_new_process_style_invocation(self, tmp_path):
+        data_dir = str(tmp_path / "dd")
+        request = tmp_path / "op.ru"
+        request.write_text(UPDATE)
+        code, _ = run_cli(["update", "--data-dir", data_dir, str(request)])
+        assert code == 0
+        query = tmp_path / "q.rq"
+        query.write_text(self.QUERY)
+        # fresh invocation: the database is recovered from data_dir, and
+        # the schema script default must NOT re-apply over it
+        code, output = run_cli(["query", "--data-dir", data_dir, str(query)])
+        assert code == 0
+        assert '"DB"' in output
+
+    def test_state_accumulates_across_invocations(self, tmp_path):
+        data_dir = str(tmp_path / "dd")
+        first = tmp_path / "op1.ru"
+        first.write_text(UPDATE)
+        assert run_cli(["update", "--data-dir", data_dir, str(first)])[0] == 0
+        second = tmp_path / "op2.ru"
+        second.write_text(UPDATE.replace("team4", "team7").replace("DBTG", "WEB"))
+        # a second invocation recovers the surviving database (schema
+        # scripts must not re-apply) and adds to it
+        assert run_cli(["update", "--data-dir", data_dir, str(second)])[0] == 0
+        query = tmp_path / "q.rq"
+        query.write_text(self.QUERY)
+        code, output = run_cli(["query", "--data-dir", data_dir, str(query)])
+        assert code == 0
+        assert output.count('"DB"') == 2  # both teams named "DB"
+
+    def test_checkpoint_subcommand(self, tmp_path):
+        data_dir = str(tmp_path / "dd")
+        request = tmp_path / "op.ru"
+        request.write_text(UPDATE)
+        run_cli(["update", "--data-dir", data_dir, str(request)])
+        code, output = run_cli(["checkpoint", "--data-dir", data_dir])
+        assert code == 0
+        assert "checkpoint written" in output
+        assert "team(1)" in output
+        query = tmp_path / "q.rq"
+        query.write_text(self.QUERY)
+        code, output = run_cli(["query", "--data-dir", data_dir, str(query)])
+        assert code == 0
+        assert '"DB"' in output
+
+    def test_sync_mode_none_flushes_on_close(self, tmp_path):
+        data_dir = str(tmp_path / "dd")
+        request = tmp_path / "op.ru"
+        request.write_text(UPDATE)
+        code, _ = run_cli(
+            ["update", "--data-dir", data_dir, "--sync-mode", "none", str(request)]
+        )
+        assert code == 0
+        query = tmp_path / "q.rq"
+        query.write_text(self.QUERY)
+        code, output = run_cli(["query", "--data-dir", data_dir, str(query)])
+        assert code == 0
+        assert '"DB"' in output
