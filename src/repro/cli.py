@@ -60,6 +60,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve", help="start the HTTP endpoint")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8034)
+    serve.add_argument(
+        "--max-in-flight", type=int, default=32, metavar="N",
+        help="admission control: requests executing concurrently before "
+        "new ones queue (default: 32)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admission control: queued requests beyond which the server "
+        "sheds immediately with 503 (default: 64)",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=0.25, metavar="SECONDS",
+        help="longest a request waits for an admission slot before being "
+        "shed with 503 + Retry-After (default: 0.25)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="server-wide request deadline; clients may tighten it via "
+        "?timeout= or X-Request-Deadline but never loosen it "
+        "(default: 30, 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=128, metavar="N",
+        help="hard cap on live connections (= handler threads); excess "
+        "connections get an immediate 503 (default: 128)",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=8 * 1024 * 1024, metavar="N",
+        help="largest accepted request body; bigger ones get 413 "
+        "(default: 8 MiB)",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint sent with 503/408 responses (default: 1)",
+    )
     _add_schema_args(serve)
 
     update = sub.add_parser("update", help="execute a SPARQL/Update request")
@@ -235,10 +270,24 @@ def _cmd_serve(args, out) -> int:
     from .server.endpoint import OntoAccessEndpoint
 
     mediator = _build_mediator(args)
-    endpoint = OntoAccessEndpoint(mediator, host=args.host, port=args.port)
+    endpoint = OntoAccessEndpoint(
+        mediator,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        default_timeout=args.request_timeout or None,
+        max_connections=args.max_connections,
+        max_body_bytes=args.max_body_bytes,
+        retry_after=args.retry_after,
+    )
     endpoint.start()
     print(f"OntoAccess endpoint at {endpoint.url}", file=out)
-    print("POST /update, POST /query, GET /dump, GET /mapping", file=out)
+    print(
+        "POST /update, POST /query, GET /dump, GET /mapping, GET /health",
+        file=out,
+    )
     try:
         import threading
 

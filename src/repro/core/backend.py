@@ -26,10 +26,11 @@ from __future__ import annotations
 import abc
 import threading
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import (
     DatabaseError,
+    DurabilityError,
     IntegrityError,
     TransactionError,
     TranslationError,
@@ -197,6 +198,11 @@ class Backend(abc.ABC):
         """Force a durability checkpoint; returns its path, or None when
         the backend has no durable store (the default)."""
         return None
+
+    def health(self) -> Dict[str, Any]:
+        """Machine-readable backend health (ISSUE 6): at minimum the
+        backend name and whether a durable store backs it."""
+        return {"backend": self.name, "durable": False}
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -387,6 +393,9 @@ class RelationalBackend(Backend):
     def checkpoint(self) -> Optional[str]:
         return self.db.checkpoint()
 
+    def health(self) -> Dict[str, Any]:
+        return {"backend": self.name, **self.db.durability_status()}
+
     # -- bookkeeping -----------------------------------------------------
 
     def state_version(self) -> Tuple[int, int, int]:
@@ -402,6 +411,18 @@ class RelationalBackend(Backend):
         return (self._mapping_generation, self.db.schema_version)
 
     def wrap_error(self, exc: Exception) -> Exception:
+        if isinstance(exc, DurabilityError):
+            # Not a translation problem: the durable store itself failed.
+            # Keep the type (the endpoint maps it to 503) and make the
+            # message actionable when the WAL is refusing commits.
+            if self.db.durability_status().get("wal_refusing"):
+                return DurabilityError(
+                    f"{exc} — the write-ahead log is refusing commits after "
+                    "an I/O failure; in-memory state may be ahead of the "
+                    "durable prefix.  Restart the process to recover the "
+                    "intact prefix, then retry."
+                )
+            return exc
         if isinstance(exc, (IntegrityError, DatabaseError)):
             return wrap_db_error(exc)
         return exc

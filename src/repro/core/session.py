@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..deadline import deadline_scope
 from ..errors import SPARQLParseError, TranslationError
 from ..rdf.graph import Graph
 from ..rdf.namespace import PrefixMap
@@ -522,17 +523,35 @@ class Session:
     # -- read path ------------------------------------------------------
 
     def query(
-        self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
+        self,
+        q: Union[str, Query],
+        prefixes: Optional[PrefixMap] = None,
+        timeout: Optional[float] = None,
     ):
-        """Run a SPARQL query; returns SelectResult / bool / Graph."""
-        return self.query_outcome(q, prefixes=prefixes).result
+        """Run a SPARQL query; returns SelectResult / bool / Graph.
+
+        ``timeout`` (seconds) bounds evaluation: the executor's
+        cooperative cancellation checks raise :class:`~repro.errors.
+        QueryTimeout` once it passes.  An enclosing deadline (e.g. the
+        endpoint's per-request budget) is never loosened — the tighter
+        of the two wins.
+        """
+        return self.query_outcome(q, prefixes=prefixes, timeout=timeout).result
 
     def query_outcome(
-        self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
+        self,
+        q: Union[str, Query],
+        prefixes: Optional[PrefixMap] = None,
+        timeout: Optional[float] = None,
     ) -> QueryOutcome:
         # Read tier: no session lock.  The backend evaluates against the
         # committed snapshot current at the query's start (the thread
         # owning an open transaction sees its own writes instead).
+        if timeout is not None:
+            with deadline_scope(timeout):
+                if isinstance(q, str):
+                    return self.prepare_query(q, prefixes=prefixes).outcome()
+                return self.backend.query_outcome(q, prefixes=prefixes)
         if isinstance(q, str):
             return self.prepare_query(q, prefixes=prefixes).outcome()
         return self.backend.query_outcome(q, prefixes=prefixes)
@@ -600,6 +619,12 @@ class Session:
 
     def in_transaction(self) -> bool:
         return self.backend.in_transaction()
+
+    def health(self) -> Dict[str, Any]:
+        """Backend health (ISSUE 6): durability state incl. WAL refusing
+        mode and last-checkpoint age.  Read tier — no lock, so a health
+        probe can never be starved by a long write."""
+        return self.backend.health()
 
     def checkpoint(self) -> Optional[str]:
         """Force a durability checkpoint on the backend's store.

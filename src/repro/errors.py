@@ -102,6 +102,53 @@ class DurabilityError(DatabaseError):
 
 
 # ---------------------------------------------------------------------------
+# Serving / resilience layer (ISSUE 6)
+# ---------------------------------------------------------------------------
+
+class QueryTimeout(ReproError):
+    """Cooperative cancellation: an operation exceeded its deadline.
+
+    Raised from the cheap cancellation checks in executor scan/join/
+    aggregate loops (see :mod:`repro.deadline`), so a runaway query
+    returns a typed error instead of burning a thread forever.  The
+    endpoint maps it to HTTP 408 with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, timeout_seconds: float | None = None) -> None:
+        self.timeout_seconds = timeout_seconds
+        super().__init__(message)
+
+
+class EndpointTransportError(ReproError):
+    """A client-side transport failure (connection refused/reset, DNS,
+    socket timeout) wrapped with the request context so callers never see
+    raw ``socket.timeout`` / ``URLError`` leaking out of the client.
+
+    ``attempts`` counts how many tries were made before giving up (>1
+    when the retry policy re-sent an idempotent request).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        method: str = "",
+        url: str = "",
+        attempts: int = 1,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.method = method
+        self.url = url
+        self.attempts = attempts
+        self.cause = cause
+        super().__init__(message)
+
+
+class FaultError(ReproError):
+    """Default error raised by an armed :class:`repro.faults.FaultInjector`
+    rule that does not specify its own exception instance."""
+
+
+# ---------------------------------------------------------------------------
 # SPARQL layer
 # ---------------------------------------------------------------------------
 

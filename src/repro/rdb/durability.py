@@ -64,6 +64,7 @@ import os
 import re
 import struct
 import threading
+import time
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -431,6 +432,9 @@ class DurabilityManager:
         #: recovery report, for diagnostics and tests
         self.recovered_batches = 0
         self.truncated_bytes = 0
+        #: wall-clock time of the newest checkpoint (None before the
+        #: first one); /health reports its age
+        self.last_checkpoint_time: Optional[float] = None
 
     # -- single-owner lock ----------------------------------------------
 
@@ -504,6 +508,12 @@ class DurabilityManager:
             # falling back to a lineage whose WAL segments are gone.
             base = checkpoints[-1]
             body = self._load_checkpoint(base)
+            try:
+                self.last_checkpoint_time = os.path.getmtime(
+                    self._checkpoint_path(base)
+                )
+            except OSError:  # pragma: no cover - raced deletion
+                self.last_checkpoint_time = None
         batches: List[Any] = []
         replay = [g for g in wals if g >= base]
         for position, generation in enumerate(replay):
@@ -608,6 +618,7 @@ class DurabilityManager:
             self._crash_hook("checkpoint:pre-rename")
         os.replace(tmp, final)
         _fsync_dir(self.data_dir)
+        self.last_checkpoint_time = time.time()
         if self._crash_hook is not None:
             self._crash_hook("checkpoint:post-rename")
         # The old checkpoint and every segment before this generation are
@@ -643,6 +654,32 @@ class DurabilityManager:
             return 0
         with self._wal._cond:
             return self._wal._appended
+
+    @property
+    def wal_refusing(self) -> bool:
+        """True once an append/fsync I/O error poisoned the WAL: every
+        later commit is refused until the process restarts and recovers
+        the durable prefix."""
+        wal = self._wal
+        return wal is not None and wal._failed
+
+    def last_checkpoint_age(self) -> Optional[float]:
+        """Seconds since the newest checkpoint, or None before the first."""
+        if self.last_checkpoint_time is None:
+            return None
+        return max(0.0, time.time() - self.last_checkpoint_time)
+
+    def status(self) -> Dict[str, Any]:
+        """Machine-readable durability state for /health (ISSUE 6)."""
+        age = self.last_checkpoint_age()
+        return {
+            "durable": True,
+            "sync_mode": self.sync_mode,
+            "wal_refusing": self.wal_refusing,
+            "wal_bytes": self.wal_size(),
+            "generation": self.generation,
+            "last_checkpoint_age_s": None if age is None else round(age, 3),
+        }
 
 
 def _fsync_dir(path: str) -> None:

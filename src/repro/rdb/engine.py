@@ -316,6 +316,14 @@ class Database:
         }
         return self._durability.write_checkpoint(generation, body)
 
+    def durability_status(self) -> Dict[str, Any]:
+        """Durability health for /health (ISSUE 6): whether a WAL backs
+        this database, whether it is refusing commits after an I/O
+        failure, and how stale the newest checkpoint is."""
+        if self._durability is None:
+            return {"durable": False}
+        return self._durability.status()
+
     def close(self) -> None:
         """Flush and close the WAL (no-op for in-memory databases).  The
         database object must not be used afterwards."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..deadline import tick
 from ..errors import CatalogError, DatabaseError, IntegrityError
 from ..sql import ast
 from ..sql.render import render_expression
@@ -102,6 +103,7 @@ class Executor:
         columns = stmt.columns or tuple(table.column_names())
         count = 0
         for row_exprs in stmt.rows:
+            tick(count)
             if len(row_exprs) != len(columns):
                 raise DatabaseError(
                     f"INSERT into {stmt.table!r}: {len(columns)} columns but "
@@ -171,6 +173,7 @@ class Executor:
         targets = plan.matching_rowids(self.data, parameters)
         count = 0
         for rowid in targets:
+            tick(count)
             current = table_data.rows[rowid]
             scope = (current,)
             changes: Row = {}
@@ -217,6 +220,7 @@ class Executor:
         targets = plan.matching_rowids(self.data, parameters)
         count = 0
         for rowid in targets:
+            tick(count)
             row = table_data.rows[rowid]
             self._check_fk_parent_delete(table, row, txn)
             removed = table_data.delete(rowid)

@@ -66,6 +66,7 @@ from typing import (
     Tuple,
 )
 
+from ..deadline import cooperative
 from ..errors import DatabaseError
 from ..sql import ast
 from ..sql.render import render_expression
@@ -1407,6 +1408,11 @@ class CompiledSelect:
             produced = (
                 scope for _, scope in self.base.rowid_scopes(data, parameters)
             )
+        # Cooperative cancellation on the base scan: filters/joins pull
+        # through this wrapper, so even a pipeline that emits no rows
+        # checks the request deadline every few hundred scanned rows.
+        # No-op (iterator returned unchanged) without an active deadline.
+        produced = cooperative(produced, "executor:scan")
         for step in self.steps:
             produced = step.apply(produced, data, parameters)
         return produced
@@ -1664,7 +1670,10 @@ class CompiledMutation:
     ) -> List[int]:
         """Materialized list: callers mutate the table while applying."""
         return [
-            rowid for rowid, _ in self.base.rowid_scopes(data, parameters)
+            rowid
+            for rowid, _ in cooperative(
+                self.base.rowid_scopes(data, parameters), "executor:scan"
+            )
         ]
 
     def describe(self) -> List[str]:

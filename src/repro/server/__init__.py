@@ -1,7 +1,13 @@
 """The OntoAccess HTTP endpoint prototype (paper Section 6)."""
 
-from .client import Feedback, OntoAccessClient
+from .client import Feedback, OntoAccessClient, RetryPolicy
 from .endpoint import OntoAccessEndpoint
 from .protocol import Response
 
-__all__ = ["Feedback", "OntoAccessClient", "OntoAccessEndpoint", "Response"]
+__all__ = [
+    "Feedback",
+    "OntoAccessClient",
+    "OntoAccessEndpoint",
+    "Response",
+    "RetryPolicy",
+]

@@ -1,27 +1,49 @@
-"""HTTP client for the OntoAccess endpoint (stdlib urllib).
+"""HTTP client for the OntoAccess endpoint (stdlib http.client).
 
 Gives applications the remote-manipulation interface the paper describes:
 send SPARQL/Update, receive the parsed RDF feedback graph.  Mirrors the
 SPARQL-Protocol shape of the endpoint: ``application/sparql-update`` /
 ``application/sparql-query`` request bodies, JSON query results via
 content negotiation, and atomic batches via ``POST /batch``.
+
+Resilience (ISSUE 6):
+
+* **Typed transport errors** — every connection/socket failure is
+  wrapped in :class:`~repro.errors.EndpointTransportError` with the
+  request context (method, URL, attempt count, cause) attached; raw
+  ``socket.timeout`` / ``URLError`` never leak to callers.
+* **Keep-alive** — one persistent ``http.client.HTTPConnection`` is
+  reused across requests (the endpoint speaks HTTP/1.1); a dropped
+  connection is re-established transparently.
+* **Retry with backoff** — *idempotent* operations (query, dump,
+  mapping, health, ready) are retried on transport errors and on
+  503/408 responses, with exponential backoff and full jitter, honoring
+  the server's ``Retry-After``.  Non-idempotent ``/update`` / ``/batch``
+  / ``/admin/checkpoint`` are **never** auto-retried: the first attempt
+  may have committed before the connection died.
+
+A client instance is not thread-safe (it owns one connection); create
+one per thread.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
-import urllib.error
-import urllib.request
+import random
+import time
+import urllib.parse
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
+from ..errors import EndpointTransportError, ReproError
 from ..rdf.graph import Graph
 from ..rdf.namespace import OA, RDF
 from ..rdf.terms import Literal
 from ..rdf.turtle import parse_turtle
 from . import protocol
 
-__all__ = ["OntoAccessClient", "Feedback"]
+__all__ = ["OntoAccessClient", "Feedback", "RetryPolicy"]
 
 
 @dataclass
@@ -54,19 +76,63 @@ class Feedback:
         )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full jitter for idempotent requests.
+
+    The delay before attempt ``n`` (0-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * 2**n)]`` — full jitter, so a
+    thundering herd of clients decorrelates instead of re-colliding.
+    A server-provided ``Retry-After`` raises the floor of that draw:
+    the client never comes back earlier than the server asked.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: response statuses worth retrying (transient by construction)
+    statuses: Tuple[int, ...] = (503, 408)
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        cap = min(self.max_delay, self.base_delay * (2 ** attempt))
+        delay = random.uniform(0.0, cap)
+        if retry_after is not None:
+            delay = max(delay, min(retry_after, self.max_delay))
+        return delay
+
+
 class OntoAccessClient:
     """Talks to a running :class:`~repro.server.OntoAccessEndpoint`."""
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme != "http":
+            raise ValueError(
+                f"unsupported URL scheme {parsed.scheme!r} (only http)"
+            )
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._base_path = parsed.path.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- write path (never auto-retried) --------------------------------
 
     def update(self, sparql_update: str) -> Feedback:
         """POST a SPARQL/Update request; returns parsed feedback."""
         status, body = self._post(
             protocol.UPDATE_PATH, sparql_update, protocol.CONTENT_SPARQL_UPDATE
         )
-        return Feedback.from_graph(parse_turtle(body), http_ok=status == 200)
+        return _feedback_from_body(status, body)
 
     def batch(self, updates: Union[str, Sequence[str]]) -> Feedback:
         """POST a batch executed inside one database transaction.
@@ -87,30 +153,49 @@ class OntoAccessClient:
             )
         return _feedback_from_body(status, body)
 
-    def query_text(self, sparql_query: str) -> str:
+    def checkpoint(self) -> dict:
+        """POST /admin/checkpoint; returns the parsed JSON answer."""
+        status, body = self._post(protocol.CHECKPOINT_PATH, "", protocol.CONTENT_JSON)
+        if status != 200:
+            raise ReproError(f"checkpoint failed (HTTP {status}): {body.strip()}")
+        return json.loads(body)
+
+    # -- read path (idempotent: retried with backoff) -------------------
+
+    def query_text(
+        self, sparql_query: str, request_timeout: Optional[float] = None
+    ) -> str:
         """POST a SPARQL query; returns the raw textual response."""
         _, body = self._post(
-            protocol.QUERY_PATH, sparql_query, protocol.CONTENT_SPARQL_QUERY
+            protocol.QUERY_PATH,
+            sparql_query,
+            protocol.CONTENT_SPARQL_QUERY,
+            idempotent=True,
+            request_timeout=request_timeout,
         )
         return body
 
-    def query_json(self, sparql_query: str) -> dict:
+    def query_json(
+        self, sparql_query: str, request_timeout: Optional[float] = None
+    ) -> dict:
         """POST a SPARQL query asking for SPARQL 1.1 JSON results.
 
         Returns the parsed document: ``{"head": {"vars": [...]},
         "results": {"bindings": [...]}}`` for SELECT, ``{"head": {},
         "boolean": ...}`` for ASK.  Raises :class:`~repro.errors.
         ReproError` with the server's message on a non-200 response.
+        ``request_timeout`` is forwarded as ``X-Request-Deadline`` so the
+        server cancels the query when the budget passes.
         """
         status, body = self._post(
             protocol.QUERY_PATH,
             sparql_query,
             protocol.CONTENT_SPARQL_QUERY,
             accept=protocol.CONTENT_SPARQL_JSON,
+            idempotent=True,
+            request_timeout=request_timeout,
         )
         if status != 200:
-            from ..errors import ReproError
-
             raise ReproError(f"query failed (HTTP {status}): {body.strip()}")
         return json.loads(body)
 
@@ -122,6 +207,38 @@ class OntoAccessClient:
         """GET the R3M mapping document."""
         return self._get(protocol.MAPPING_PATH)
 
+    def health(self) -> dict:
+        """GET /health: the endpoint's health document (always HTTP 200;
+        check ``doc["status"]`` for ``"ok"`` vs ``"degraded"``)."""
+        status, body = self._request("GET", protocol.HEALTH_PATH, idempotent=True)
+        if status != 200:
+            raise ReproError(f"health probe failed (HTTP {status}): {body.strip()}")
+        return json.loads(body)
+
+    def ready(self) -> Tuple[bool, dict]:
+        """GET /ready: ``(True, doc)`` when the endpoint accepts writes,
+        ``(False, doc)`` while degraded (HTTP 503)."""
+        status, body = self._request("GET", protocol.READY_PATH, idempotent=True)
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError:
+            doc = {"raw": body}
+        return status == 200, doc
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on the next call)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "OntoAccessClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
 
     def _post(
@@ -130,32 +247,102 @@ class OntoAccessClient:
         body: str,
         content_type: str,
         accept: Optional[str] = None,
-    ):
+        idempotent: bool = False,
+        request_timeout: Optional[float] = None,
+    ) -> Tuple[int, str]:
         headers = {"Content-Type": content_type}
         if accept is not None:
             headers["Accept"] = accept
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body.encode("utf-8"),
-            headers=headers,
-            method="POST",
+        if request_timeout is not None:
+            headers["X-Request-Deadline"] = f"{request_timeout:g}"
+        return self._request(
+            "POST", path, body=body, headers=headers, idempotent=idempotent
         )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return response.status, response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            return exc.code, exc.read().decode("utf-8")
 
     def _get(self, path: str) -> str:
-        with urllib.request.urlopen(
-            self.base_url + path, timeout=self.timeout
-        ) as response:
-            return response.read().decode("utf-8")
+        status, body = self._request("GET", path, idempotent=True)
+        if status != 200:
+            raise ReproError(f"GET {path} failed (HTTP {status}): {body.strip()}")
+        return body
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[str] = None,
+        headers: Optional[dict] = None,
+        idempotent: bool = False,
+    ) -> Tuple[int, str]:
+        """One request over the persistent connection, with retry for
+        idempotent operations (transport errors and 503/408 responses).
+        Returns ``(status, decoded body)``."""
+        url = self.base_url + path
+        attempt = 0
+        while True:
+            try:
+                conn = self._connection()
+                conn.request(
+                    method,
+                    self._base_path + path,
+                    body=body.encode("utf-8") if body is not None else None,
+                    headers=headers or {},
+                )
+                response = conn.getresponse()
+                payload = response.read().decode("utf-8")
+                status = response.status
+                retry_after = _parse_retry_after(
+                    response.getheader("Retry-After")
+                )
+                if response.will_close:
+                    self.close()
+            except (http.client.HTTPException, OSError) as exc:
+                # The connection is in an unknown state: drop it so the
+                # next attempt starts clean.
+                self.close()
+                if idempotent and attempt + 1 < self.retry.max_attempts:
+                    self._sleep(self.retry.delay(attempt))
+                    attempt += 1
+                    continue
+                raise EndpointTransportError(
+                    f"{method} {url} failed after {attempt + 1} attempt(s): "
+                    f"{type(exc).__name__}: {exc}",
+                    method=method,
+                    url=url,
+                    attempts=attempt + 1,
+                    cause=exc,
+                ) from exc
+            if (
+                idempotent
+                and status in self.retry.statuses
+                and attempt + 1 < self.retry.max_attempts
+            ):
+                self._sleep(self.retry.delay(attempt, retry_after))
+                attempt += 1
+                continue
+            return status, payload
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """``Retry-After`` in delta-seconds form (HTTP-date is ignored)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return max(0.0, seconds)
 
 
 def _feedback_from_body(status: int, body: str) -> Feedback:
     """Feedback from a response that is usually Turtle but may be a
-    plain-text error (e.g. /batch body-validation failures)."""
+    plain-text or JSON error (e.g. /batch body validation, 503 shed)."""
     try:
         graph = parse_turtle(body)
     except Exception:

@@ -19,17 +19,47 @@ Request counters are kept per handler thread (no shared lock on the hot
 path) and aggregated on read.  ``handle_update`` / ``handle_query`` /
 ``handle_batch`` are also callable directly (no network) so tests can
 exercise the protocol logic in isolation.
+
+Resilience (ISSUE 6) — the endpoint degrades gracefully instead of
+falling over:
+
+* **Deadlines** — every work request gets a budget: the tighter of the
+  server-wide ``default_timeout`` and what the client asked for via
+  ``?timeout=`` / ``X-Request-Deadline``.  The budget is installed as a
+  thread-local :func:`~repro.deadline.deadline_scope`; the executor's
+  cooperative cancellation checks turn a runaway query into a typed
+  :class:`~repro.errors.QueryTimeout` → HTTP 408 with ``Retry-After``.
+* **Admission control** — a bounded in-flight gate with a short bounded
+  wait queue.  When full, requests are shed *fast* with 503 +
+  ``Retry-After`` + a JSON error body, keeping p99 bounded for the
+  requests that are admitted.  A connection-level cap on the threading
+  server bounds total live threads even under keep-alive.
+* **Health** — ``GET /health`` (always 200, ``status: ok|degraded``)
+  and ``GET /ready`` (503 while degraded) surface durability state:
+  WAL refusing mode, last checkpoint age.  Both bypass admission so a
+  probe can never be starved by load.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from ..errors import ReproError, SPARQLParseError, TranslationError
+from ..deadline import Deadline, deadline_scope
+from ..errors import (
+    DurabilityError,
+    FaultError,
+    QueryTimeout,
+    ReproError,
+    SPARQLParseError,
+    TranslationError,
+)
+from ..faults import INJECTOR
 from ..core.feedback import error_graph
 from ..core.mediator import OntoAccess
 from ..rdf.graph import Graph
@@ -96,10 +126,151 @@ class _ThreadCounters:
         return self._total(1)
 
 
+class _AdmissionGate:
+    """Bounded in-flight counter plus a short bounded wait queue.
+
+    ``admit`` returns True when a slot was claimed (release it!), False
+    when the request must be shed.  A waiter gives up after
+    ``queue_timeout`` seconds (or the request deadline, whichever is
+    sooner) or immediately when the queue itself is full — shedding must
+    be *fast*, the whole point is never to accumulate unbounded work.
+    """
+
+    def __init__(
+        self, max_in_flight: int, max_queue: int, queue_timeout: float
+    ) -> None:
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self.queue_timeout = queue_timeout
+        self._cond = threading.Condition(threading.Lock())
+        self.in_flight = 0
+        self.waiting = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+
+    def admit(self, deadline: Optional[Deadline] = None) -> bool:
+        budget = self.queue_timeout
+        if deadline is not None:
+            budget = min(budget, max(0.0, deadline.remaining()))
+        give_up = time.monotonic() + budget
+        with self._cond:
+            while self.in_flight >= self.max_in_flight:
+                remaining = give_up - time.monotonic()
+                if remaining <= 0.0 or self.waiting >= self.max_queue:
+                    self.shed_total += 1
+                    return False
+                self.waiting += 1
+                try:
+                    self._cond.wait(remaining)
+                finally:
+                    self.waiting -= 1
+            self.in_flight += 1
+            self.admitted_total += 1
+            return True
+
+    def release(self) -> None:
+        with self._cond:
+            self.in_flight -= 1
+            self._cond.notify()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._cond:
+            return {
+                "in_flight": self.in_flight,
+                "waiting": self.waiting,
+                "max_in_flight": self.max_in_flight,
+                "max_queue": self.max_queue,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+            }
+
+
+class _BoundedThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer with a hard cap on live connections.
+
+    Under HTTP/1.1 keep-alive every open connection owns a handler
+    thread, so the connection cap is the thread cap.  Over the cap a new
+    connection is answered with a minimal 503 + ``Retry-After`` and
+    closed *before* a handler thread is spawned — overload can slow the
+    accept loop, never grow threads without bound.
+    """
+
+    #: listen(2) backlog: an overload burst parks in the kernel's accept
+    #: queue (cheap) instead of being RST at the default backlog of 5 —
+    #: shedding must reach the client as a readable 503, not a reset.
+    request_queue_size = 128
+
+    def __init__(self, addr, handler, max_connections: int, retry_after: float):
+        self._max_connections = max_connections
+        self._retry_after = max(1, int(retry_after))
+        self._conn_lock = threading.Lock()
+        self.live_connections = 0
+        self.rejected_connections = 0
+        super().__init__(addr, handler)
+
+    def process_request(self, request, client_address) -> None:
+        with self._conn_lock:
+            if self.live_connections >= self._max_connections:
+                self.rejected_connections += 1
+                reject = True
+            else:
+                self.live_connections += 1
+                reject = False
+        if reject:
+            self._reject(request)
+            return
+        super().process_request(request, client_address)
+
+    def process_request_thread(self, request, client_address) -> None:
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._conn_lock:
+                self.live_connections -= 1
+
+    def _reject(self, request) -> None:
+        body = (
+            b'{"error": "overloaded", '
+            b'"message": "connection limit reached; retry after backoff"}\n'
+        )
+        try:
+            request.sendall(
+                b"HTTP/1.1 503 Service Unavailable\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Retry-After: " + str(self._retry_after).encode("ascii") + b"\r\n"
+                b"Content-Length: " + str(len(body)).encode("ascii") + b"\r\n"
+                b"Connection: close\r\n"
+                b"\r\n" + body
+            )
+            # Drain the unread request before closing: closing a socket
+            # with received-but-unread bytes sends RST, which would
+            # destroy the 503 sitting in the peer's receive buffer.
+            request.settimeout(0.2)
+            while request.recv(65536):
+                pass
+        except OSError:
+            pass  # the peer is already gone; nothing to tell it
+        finally:
+            self.shutdown_request(request)
+
+
 class OntoAccessEndpoint:
     """Serves a mediator over HTTP (SPARQL-Protocol-shaped)."""
 
-    def __init__(self, mediator: OntoAccess, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        mediator: OntoAccess,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_in_flight: int = 32,
+        max_queue: int = 64,
+        queue_timeout: float = 0.25,
+        default_timeout: Optional[float] = 30.0,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        max_connections: int = 128,
+        retry_after: float = 1.0,
+    ) -> None:
         self.mediator = mediator
         #: One session shared by all handler threads: writes serialize on
         #: its write-tier lock, reads run against committed snapshots, and
@@ -111,6 +282,18 @@ class OntoAccessEndpoint:
         self._thread: Optional[threading.Thread] = None
         #: per-thread request counters for monitoring/benchmarks
         self._stats = _ThreadCounters()
+        # -- resilience knobs (ISSUE 6) --------------------------------
+        self._gate = _AdmissionGate(max_in_flight, max_queue, queue_timeout)
+        #: server-wide request budget; a client may only tighten it
+        self.default_timeout = default_timeout
+        self.max_body_bytes = max_body_bytes
+        self.max_connections = max_connections
+        #: seconds advertised in Retry-After on 503/408
+        self.retry_after = retry_after
+        self._abort_lock = threading.Lock()
+        #: responses whose streaming was cut short (client disconnect or
+        #: deadline expiry mid-stream)
+        self.stream_aborts = 0
 
     @property
     def requests_served(self) -> int:
@@ -122,6 +305,51 @@ class OntoAccessEndpoint:
 
     def _count(self, error: bool = False) -> None:
         self._stats.count(error=error)
+
+    def _note_stream_abort(self) -> None:
+        with self._abort_lock:
+            self.stream_aborts += 1
+
+    def serving_stats(self) -> Dict[str, Any]:
+        """Admission/connection statistics for /health and the serving
+        benchmark: in-flight, queue depth, shed and reject totals."""
+        stats = self._gate.stats()
+        stats["stream_aborts"] = self.stream_aborts
+        server = self._server
+        if isinstance(server, _BoundedThreadingHTTPServer):
+            stats["live_connections"] = server.live_connections
+            stats["rejected_connections"] = server.rejected_connections
+            stats["max_connections"] = server._max_connections
+        return stats
+
+    # ------------------------------------------------------------------
+    # deadlines
+    # ------------------------------------------------------------------
+
+    def _request_deadline(
+        self, query_string: Optional[str], headers
+    ) -> Optional[Deadline]:
+        """The budget for one request: the tighter of the server default
+        and any client-requested ``timeout=`` param / ``X-Request-
+        Deadline`` header.  Raises ValueError on a malformed value (the
+        HTTP layer answers 400)."""
+        requested: List[float] = []
+        if query_string:
+            params = urllib.parse.parse_qs(query_string)
+            if "timeout" in params:
+                requested.append(
+                    _positive_seconds(params["timeout"][0], "timeout parameter")
+                )
+        header = headers.get("X-Request-Deadline") if headers is not None else None
+        if header is not None:
+            requested.append(
+                _positive_seconds(header, "X-Request-Deadline header")
+            )
+        budget = self.default_timeout
+        if requested:
+            tightest = min(requested)
+            budget = tightest if budget is None else min(tightest, budget)
+        return None if budget is None else Deadline(budget)
 
     # ------------------------------------------------------------------
     # protocol handlers (network-independent)
@@ -143,6 +371,14 @@ class OntoAccessEndpoint:
         except SPARQLParseError as exc:
             self._count(error=True)
             return Response.turtle(error_graph(_parse_error(exc)), status=400)
+        except QueryTimeout as exc:
+            self._count(error=True)
+            return protocol.error_json(
+                "timeout", str(exc), 408, retry_after=self.retry_after
+            )
+        except DurabilityError as exc:
+            self._count(error=True)
+            return protocol.error_json("storage-degraded", str(exc), 503)
         self._count()
         return Response.turtle(result.feedback(), status=200)
 
@@ -181,6 +417,14 @@ class OntoAccessEndpoint:
         except SPARQLParseError as exc:
             self._count(error=True)
             return Response.turtle(error_graph(_parse_error(exc)), status=400)
+        except QueryTimeout as exc:
+            self._count(error=True)
+            return protocol.error_json(
+                "timeout", str(exc), 408, retry_after=self.retry_after
+            )
+        except DurabilityError as exc:
+            self._count(error=True)
+            return protocol.error_json("storage-degraded", str(exc), 503)
         self._count()
         return Response.turtle(result.feedback(), status=200)
 
@@ -192,8 +436,22 @@ class OntoAccessEndpoint:
         text table) and streamed with chunked transfer encoding, so a
         large result never needs to exist as one response string.
         """
+        if not protocol.acceptable(accept):
+            self._count(error=True)
+            return protocol.error_json(
+                "not-acceptable",
+                f"cannot satisfy Accept: {accept!r}; supported result "
+                "formats are listed under 'supported'",
+                406,
+                supported=list(protocol.QUERY_RESULT_TYPES),
+            )
         try:
             result = self.session.query(body)
+        except QueryTimeout as exc:
+            self._count(error=True)
+            return protocol.error_json(
+                "timeout", str(exc), 408, retry_after=self.retry_after
+            )
         except (ReproError,) as exc:
             self._count(error=True)
             return Response.text(f"error: {exc}", status=400)
@@ -270,6 +528,40 @@ class OntoAccessEndpoint:
             content_type=protocol.CONTENT_TURTLE,
         )
 
+    def handle_health(self) -> Response:
+        """GET /health: always 200; ``status`` is ``"degraded"`` when the
+        WAL is refusing commits.  Includes durability detail (sync mode,
+        WAL bytes, last checkpoint age) and serving statistics."""
+        backend = self.session.health()
+        degraded = bool(backend.get("wal_refusing"))
+        self._count()
+        return Response.json(
+            {
+                "status": "degraded" if degraded else "ok",
+                "backend": backend,
+                "serving": self.serving_stats(),
+                "requests": {
+                    "served": self.requests_served,
+                    "errors": self.errors_returned,
+                },
+            }
+        )
+
+    def handle_ready(self) -> Response:
+        """GET /ready: 200 while the endpoint can accept writes, 503 once
+        the durable store is degraded (load balancers drain on this)."""
+        backend = self.session.health()
+        if backend.get("wal_refusing"):
+            self._count(error=True)
+            return protocol.error_json(
+                "degraded",
+                "write-ahead log is refusing commits; restart the process "
+                "to recover the durable prefix",
+                503,
+            )
+        self._count()
+        return Response.json({"ready": True})
+
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
@@ -297,7 +589,9 @@ class OntoAccessEndpoint:
             def log_message(self, *args) -> None:  # keep tests quiet
                 pass
 
-            def _send(self, response: Response) -> None:
+            def _send(
+                self, response: Response, deadline: Optional[Deadline] = None
+            ) -> None:
                 if response.body_iter is not None:
                     if self.request_version == "HTTP/1.0":
                         # RFC 7230: no chunked framing toward a 1.0 peer;
@@ -305,29 +599,82 @@ class OntoAccessEndpoint:
                         # buffered payload sent with Content-Length.
                         pass
                     else:
-                        self._send_chunked(response)
+                        self._send_chunked(response, deadline)
                         return
                 payload = response.body.encode("utf-8")
                 self.send_response(response.status)
                 self.send_header("Content-Type", response.content_type)
+                for name, value in response.headers.items():
+                    self.send_header(name, value)
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()
-                self.wfile.write(payload)
+                try:
+                    self.wfile.write(payload)
+                except OSError:
+                    # Client went away mid-response: close our side; the
+                    # shared session is untouched (it already returned).
+                    endpoint._note_stream_abort()
+                    self.close_connection = True
 
-            def _send_chunked(self, response: Response) -> None:
+            def _send_chunked(
+                self, response: Response, deadline: Optional[Deadline] = None
+            ) -> None:
                 self.send_response(response.status)
                 self.send_header("Content-Type", response.content_type)
+                for name, value in response.headers.items():
+                    self.send_header(name, value)
                 self.send_header("Transfer-Encoding", "chunked")
                 self.end_headers()
                 write = self.wfile.write
-                for chunk in response.body_iter:
-                    data = chunk.encode("utf-8")
-                    if not data:
-                        continue  # an empty chunk would terminate the body
-                    write(f"{len(data):X}\r\n".encode("ascii"))
-                    write(data)
-                    write(b"\r\n")
-                write(b"0\r\n\r\n")
+                try:
+                    for chunk in response.body_iter:
+                        if INJECTOR.armed:
+                            INJECTOR.fire("endpoint:stream")
+                        if deadline is not None:
+                            deadline.check()
+                        data = chunk.encode("utf-8")
+                        if not data:
+                            continue  # an empty chunk would end the body
+                        write(f"{len(data):X}\r\n".encode("ascii"))
+                        write(data)
+                        write(b"\r\n")
+                    write(b"0\r\n\r\n")
+                except (QueryTimeout, FaultError, OSError):
+                    # Truncate without the terminating 0-chunk so the
+                    # client sees an aborted body, and close the
+                    # connection — never leave a desynced keep-alive.
+                    endpoint._note_stream_abort()
+                    self.close_connection = True
+
+            def _admitted(self, split, work: Callable[[], Response]) -> None:
+                """Run one work request under admission control and its
+                deadline; sends the response (or the 400/503 shed)."""
+                try:
+                    deadline = endpoint._request_deadline(
+                        split.query, self.headers
+                    )
+                except ValueError as exc:
+                    endpoint._count(error=True)
+                    self._send(protocol.error_json("bad-timeout", str(exc), 400))
+                    return
+                if not endpoint._gate.admit(deadline):
+                    endpoint._count(error=True)
+                    self._send(
+                        protocol.error_json(
+                            "overloaded",
+                            "server is at capacity; retry after backoff",
+                            503,
+                            retry_after=endpoint.retry_after,
+                        )
+                    )
+                    return
+                try:
+                    with deadline_scope(deadline):
+                        # Streaming happens inside both the scope and the
+                        # admission slot: serialization is request work.
+                        self._send(work(), deadline)
+                finally:
+                    endpoint._gate.release()
 
             def do_POST(self) -> None:
                 if "chunked" in (
@@ -345,28 +692,66 @@ class OntoAccessEndpoint:
                         )
                     )
                     return
-                length = int(self.headers.get("Content-Length", "0"))
+                length_header = self.headers.get("Content-Length", "0")
+                try:
+                    length = int(length_header)
+                except ValueError:
+                    self.close_connection = True
+                    self._send(
+                        protocol.error_json(
+                            "bad-request",
+                            f"invalid Content-Length: {length_header!r}",
+                            400,
+                        )
+                    )
+                    return
+                if length > endpoint.max_body_bytes:
+                    # The body is never read: close the connection rather
+                    # than resynchronize by swallowing it.
+                    endpoint._count(error=True)
+                    self.close_connection = True
+                    self._send(
+                        protocol.error_json(
+                            "body-too-large",
+                            f"request body of {length} bytes exceeds the "
+                            f"limit of {endpoint.max_body_bytes} bytes",
+                            413,
+                        )
+                    )
+                    return
                 body = self.rfile.read(length).decode("utf-8")
-                path = urllib.parse.urlsplit(self.path).path
+                split = urllib.parse.urlsplit(self.path)
                 accept = self.headers.get("Accept")
                 content_type = self.headers.get("Content-Type")
-                if path == protocol.UPDATE_PATH:
-                    self._send(endpoint.handle_update(body))
-                elif path == protocol.QUERY_PATH:
-                    self._send(endpoint.handle_query(body, accept=accept))
-                elif path == protocol.BATCH_PATH:
-                    self._send(
-                        endpoint.handle_batch(body, content_type=content_type)
+                if split.path == protocol.UPDATE_PATH:
+                    self._admitted(split, lambda: endpoint.handle_update(body))
+                elif split.path == protocol.QUERY_PATH:
+                    self._admitted(
+                        split,
+                        lambda: endpoint.handle_query(body, accept=accept),
                     )
-                elif path == protocol.CHECKPOINT_PATH:
+                elif split.path == protocol.BATCH_PATH:
+                    self._admitted(
+                        split,
+                        lambda: endpoint.handle_batch(
+                            body, content_type=content_type
+                        ),
+                    )
+                elif split.path == protocol.CHECKPOINT_PATH:
                     self._send(endpoint.handle_checkpoint())
                 else:
                     self._send(Response.text("not found", status=404))
 
             def do_GET(self) -> None:
                 split = urllib.parse.urlsplit(self.path)
-                if split.path == protocol.DUMP_PATH:
-                    self._send(endpoint.handle_dump())
+                if split.path == protocol.HEALTH_PATH:
+                    # Health/readiness bypass admission: a probe must
+                    # answer precisely when the server is saturated.
+                    self._send(endpoint.handle_health())
+                elif split.path == protocol.READY_PATH:
+                    self._send(endpoint.handle_ready())
+                elif split.path == protocol.DUMP_PATH:
+                    self._admitted(split, endpoint.handle_dump)
                 elif split.path == protocol.MAPPING_PATH:
                     self._send(endpoint.handle_mapping())
                 elif split.path == protocol.QUERY_PATH:
@@ -379,16 +764,21 @@ class OntoAccessEndpoint:
                             Response.text("missing query parameter", status=400)
                         )
                         return
-                    self._send(
-                        endpoint.handle_query(
-                            queries[0], accept=self.headers.get("Accept")
-                        )
+                    accept = self.headers.get("Accept")
+                    self._admitted(
+                        split,
+                        lambda: endpoint.handle_query(
+                            queries[0], accept=accept
+                        ),
                     )
                 else:
                     self._send(Response.text("not found", status=404))
 
-        self._server = ThreadingHTTPServer(
-            (self.host, self._requested_port), Handler
+        self._server = _BoundedThreadingHTTPServer(
+            (self.host, self._requested_port),
+            Handler,
+            max_connections=self.max_connections,
+            retry_after=self.retry_after,
         )
         self._thread = threading.Thread(
             target=self._server.serve_forever, daemon=True
@@ -408,6 +798,19 @@ class OntoAccessEndpoint:
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+
+def _positive_seconds(text: str, what: str) -> float:
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid {what}: {text!r} is not a number") from None
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(
+            f"invalid {what}: {text!r} must be a positive finite number "
+            "of seconds"
+        )
+    return value
 
 
 def _parse_error(exc: SPARQLParseError) -> TranslationError:

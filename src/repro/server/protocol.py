@@ -55,6 +55,11 @@ __all__ = [
     "DUMP_PATH",
     "MAPPING_PATH",
     "CHECKPOINT_PATH",
+    "HEALTH_PATH",
+    "READY_PATH",
+    "QUERY_RESULT_TYPES",
+    "acceptable",
+    "error_json",
     "CONTENT_TURTLE",
     "CONTENT_SPARQL_UPDATE",
     "CONTENT_SPARQL_QUERY",
@@ -83,6 +88,8 @@ BATCH_PATH = "/batch"
 DUMP_PATH = "/dump"
 MAPPING_PATH = "/mapping"
 CHECKPOINT_PATH = "/admin/checkpoint"
+HEALTH_PATH = "/health"
+READY_PATH = "/ready"
 
 CONTENT_TURTLE = "text/turtle; charset=utf-8"
 CONTENT_SPARQL_UPDATE = "application/sparql-update"
@@ -111,11 +118,14 @@ class Response:
         body: str = "",
         content_type: str = CONTENT_TURTLE,
         body_iter: Optional[Iterable[str]] = None,
+        headers: Optional[dict] = None,
     ) -> None:
         self.status = status
         self._body = body
         self.content_type = content_type
         self.body_iter = body_iter
+        #: extra HTTP headers (e.g. ``Retry-After`` on 503/408)
+        self.headers = dict(headers) if headers else {}
 
     @property
     def body(self) -> str:
@@ -139,11 +149,18 @@ class Response:
         return cls(status=status, body=body, content_type=CONTENT_TEXT)
 
     @classmethod
-    def json(cls, payload, status: int = 200, content_type: str = CONTENT_JSON) -> "Response":
+    def json(
+        cls,
+        payload,
+        status: int = 200,
+        content_type: str = CONTENT_JSON,
+        headers: Optional[dict] = None,
+    ) -> "Response":
         return cls(
             status=status,
             body=json.dumps(payload, indent=2, sort_keys=False) + "\n",
             content_type=content_type,
+            headers=headers,
         )
 
     @classmethod
@@ -168,6 +185,59 @@ def accepts(accept: Optional[str], media_type: str) -> bool:
         if part.split(";")[0].strip().lower() == wanted:
             return True
     return False
+
+
+#: Every media type a /query response can be rendered as (ISSUE 6: the
+#: 406 error body lists these so a client can correct its Accept header).
+QUERY_RESULT_TYPES = (
+    CONTENT_SPARQL_JSON,
+    CONTENT_SPARQL_XML.split(";")[0],
+    CONTENT_CSV.split(";")[0],
+    CONTENT_TSV.split(";")[0],
+    CONTENT_TEXT.split(";")[0],
+    CONTENT_TURTLE.split(";")[0],
+)
+
+_WILDCARDS = ("*/*", "text/*", "application/*")
+
+
+def acceptable(accept: Optional[str]) -> bool:
+    """Can any /query rendering satisfy this Accept header?
+
+    An absent header selects the default rendering; wildcards match it
+    too.  Only a header that names *no* supported type and contains no
+    usable wildcard is unacceptable — the endpoint answers 406 with the
+    supported list rather than sending a representation the client
+    declared it cannot process.
+    """
+    if not accept:
+        return True
+    for part in accept.split(","):
+        media = part.split(";")[0].strip().lower()
+        if not media:
+            continue
+        if media in _WILDCARDS or media in QUERY_RESULT_TYPES:
+            return True
+    return False
+
+
+def error_json(
+    code: str,
+    message: str,
+    status: int,
+    retry_after: Optional[float] = None,
+    **extra,
+) -> Response:
+    """A machine-readable error response (ISSUE 6): JSON body with a
+    stable ``error`` code, plus a ``Retry-After`` header when the
+    condition is transient (overload, timeout)."""
+    payload = {"error": code, "message": message, **extra}
+    headers = {}
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+        # HTTP Retry-After takes integral seconds; never advertise 0.
+        headers["Retry-After"] = str(max(1, int(retry_after)))
+    return Response.json(payload, status=status, headers=headers)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,530 @@
+"""Resilient serving tier tests (ISSUE 6): deadlines over HTTP,
+admission control and overload shedding, body/negotiation error paths,
+mid-stream disconnects, health/readiness, and client retry semantics.
+
+Deterministic by construction — run in CI with ``-p no:randomly``.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro import OntoAccess
+from repro.errors import EndpointTransportError
+from repro.faults import INJECTOR
+from repro.server import OntoAccessClient, OntoAccessEndpoint, RetryPolicy
+from repro.workloads.generator import WorkloadConfig, build_populated_database
+from repro.workloads.publication import (
+    PUBLICATION_DDL,
+    build_database,
+    build_mapping,
+    seed_feasibility_data,
+)
+
+SCAN_QUERY = (
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "SELECT ?n WHERE { ?x foaf:family_name ?n . }"
+)
+
+UPDATE_OK = (
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "PREFIX ont:  <http://example.org/ontology#> "
+    "INSERT DATA { <http://example.org/db/team4> "
+    "foaf:name \"Database Technology\" ; ont:teamCode \"DBTG\" . }"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    INJECTOR.clear()
+    yield
+    INJECTOR.clear()
+
+
+@pytest.fixture(scope="module")
+def big_mediator():
+    """600 authors: scans cross several cancellation-check intervals."""
+    db = build_populated_database(
+        WorkloadConfig(authors=600, publications=900, seed=11)
+    )
+    return OntoAccess(db, build_mapping(db))
+
+
+@pytest.fixture
+def small_endpoint():
+    db = build_database()
+    seed_feasibility_data(db)
+    mediator = OntoAccess(db, build_mapping(db))
+    return OntoAccessEndpoint(mediator)
+
+
+def _post(
+    port, path, body, headers=None, host="127.0.0.1", timeout=10.0
+):
+    """One POST over a fresh connection; returns (status, headers, body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        merged = {"Content-Type": "application/sparql-query"}
+        merged.update(headers or {})
+        conn.request("POST", path, body=body.encode("utf-8"), headers=merged)
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read().decode()
+    finally:
+        conn.close()
+
+
+class TestDeadlinesOverHTTP:
+    def test_timeout_param_yields_408_with_retry_after(self, big_mediator):
+        INJECTOR.inject("executor:scan", latency=0.05)
+        with OntoAccessEndpoint(big_mediator) as endpoint:
+            status, headers, body = _post(
+                endpoint.port, "/query?timeout=0.01", SCAN_QUERY
+            )
+        assert status == 408
+        assert "Retry-After" in headers
+        document = json.loads(body)
+        assert document["error"] == "timeout"
+        assert "deadline" in document["message"]
+
+    def test_header_deadline_yields_408(self, big_mediator):
+        INJECTOR.inject("executor:scan", latency=0.05)
+        with OntoAccessEndpoint(big_mediator) as endpoint:
+            status, headers, _ = _post(
+                endpoint.port,
+                "/query",
+                SCAN_QUERY,
+                headers={"X-Request-Deadline": "0.01"},
+            )
+        assert status == 408
+        assert "Retry-After" in headers
+
+    def test_client_cannot_loosen_the_server_default(self, big_mediator):
+        """``?timeout=`` may only tighten the server-wide budget."""
+        INJECTOR.inject("executor:scan", latency=0.05)
+        with OntoAccessEndpoint(
+            big_mediator, default_timeout=0.01
+        ) as endpoint:
+            status, _, _ = _post(
+                endpoint.port, "/query?timeout=100", SCAN_QUERY
+            )
+        assert status == 408
+
+    @pytest.mark.parametrize("value", ["banana", "-1", "0", "inf", "nan"])
+    def test_bad_timeout_is_400(self, small_endpoint, value):
+        with small_endpoint as endpoint:
+            status, _, body = _post(
+                endpoint.port, f"/query?timeout={value}", SCAN_QUERY
+            )
+        assert status == 400
+        assert json.loads(body)["error"] == "bad-timeout"
+
+    def test_untimed_request_still_succeeds(self, big_mediator):
+        with OntoAccessEndpoint(big_mediator) as endpoint:
+            status, _, body = _post(endpoint.port, "/query", SCAN_QUERY)
+        assert status == 200
+        assert body.count("\n") == 601  # header + one row per author
+
+
+class TestAdmissionControl:
+    def test_saturated_server_sheds_fast_with_503(self, big_mediator):
+        release = threading.Event()
+        INJECTOR.inject("executor:scan", stall=release)
+        endpoint = OntoAccessEndpoint(
+            big_mediator, max_in_flight=1, max_queue=0, queue_timeout=0.05
+        )
+        stalled = []
+        with endpoint:
+            worker = threading.Thread(
+                target=lambda: stalled.append(
+                    _post(endpoint.port, "/query", SCAN_QUERY)
+                ),
+                daemon=True,
+            )
+            worker.start()
+            deadline = time.monotonic() + 5.0
+            while endpoint.serving_stats()["in_flight"] < 1:
+                assert time.monotonic() < deadline, "first request never admitted"
+                time.sleep(0.005)
+            start = time.monotonic()
+            status, headers, body = _post(endpoint.port, "/query", SCAN_QUERY)
+            shed_elapsed = time.monotonic() - start
+            release.set()
+            worker.join(timeout=10.0)
+        assert status == 503
+        assert "Retry-After" in headers
+        assert json.loads(body)["error"] == "overloaded"
+        assert shed_elapsed < 2.0  # shed fast, not after a full queue wait
+        assert endpoint.serving_stats()["shed_total"] >= 1
+        assert stalled and stalled[0][0] == 200  # the admitted one finished
+
+    def test_queued_request_admits_when_a_slot_frees(self, big_mediator):
+        release = threading.Event()
+        INJECTOR.inject("executor:scan", stall=release)
+        endpoint = OntoAccessEndpoint(
+            big_mediator, max_in_flight=1, max_queue=4, queue_timeout=5.0
+        )
+        results = []
+        with endpoint:
+            workers = [
+                threading.Thread(
+                    target=lambda: results.append(
+                        _post(endpoint.port, "/query", SCAN_QUERY)
+                    ),
+                    daemon=True,
+                )
+                for _ in range(2)
+            ]
+            for worker in workers:
+                worker.start()
+                time.sleep(0.05)  # first admitted, second queued
+            release.set()
+            for worker in workers:
+                worker.join(timeout=10.0)
+        assert [status for status, _, _ in results] == [200, 200]
+
+
+class TestOverloadSoak:
+    """The acceptance criterion: at 4x offered load the endpoint sheds
+    excess with 503 + Retry-After, total live threads stay bounded, and
+    every accepted request completes or times out within its deadline
+    (the executor is slowed via fault injection)."""
+
+    def test_4x_overload_sheds_and_bounds_latency(self, big_mediator):
+        INJECTOR.inject("executor:scan", latency=0.06)
+        max_connections = 8
+        endpoint = OntoAccessEndpoint(
+            big_mediator,
+            max_in_flight=2,
+            max_queue=2,
+            queue_timeout=0.05,
+            default_timeout=2.0,
+            max_connections=max_connections,
+        )
+        results = []
+        results_lock = threading.Lock()
+        stop_sampler = threading.Event()
+        samples = {"threads": 0, "connections": 0}
+
+        def sample():
+            while not stop_sampler.is_set():
+                samples["threads"] = max(
+                    samples["threads"], threading.active_count()
+                )
+                samples["connections"] = max(
+                    samples["connections"],
+                    endpoint.serving_stats().get("live_connections", 0),
+                )
+                time.sleep(0.005)
+
+        def worker(index):
+            # odd workers carry a tight per-request deadline: with three
+            # injected 60ms stalls per scan they *must* time out at 408
+            path = "/query?timeout=0.1" if index % 2 else "/query"
+            for _ in range(3):
+                start = time.monotonic()
+                try:
+                    outcome = _post(endpoint.port, path, SCAN_QUERY)
+                except Exception as exc:  # transport failures are a bug
+                    outcome = ("transport-error", {"exc": repr(exc)}, "")
+                with results_lock:
+                    results.append(
+                        (outcome[0], outcome[1], time.monotonic() - start)
+                    )
+
+        baseline_threads = threading.active_count()
+        with endpoint:
+            sampler = threading.Thread(target=sample, daemon=True)
+            sampler.start()
+            workers = [
+                threading.Thread(target=worker, args=(i,), daemon=True)
+                for i in range(4 * max_connections)
+            ]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join(timeout=60.0)
+            stop_sampler.set()
+            sampler.join(timeout=5.0)
+            stats = endpoint.serving_stats()
+
+        statuses = [status for status, _, _ in results]
+        assert len(results) == 4 * max_connections * 3
+        assert set(statuses) <= {200, 408, 503}, statuses
+        assert statuses.count(200) > 0
+        assert statuses.count(408) > 0
+        assert statuses.count(503) > 0  # overload genuinely shed
+        for status, headers, elapsed in results:
+            if status in (503, 408):
+                assert "Retry-After" in headers
+            if status in (200, 408):  # accepted: bounded by the deadline
+                assert elapsed < 2.5, (status, elapsed)
+        # thread bound: our workers + sampler + the server's capped
+        # handler threads + its accept/serve machinery, nothing unbounded
+        assert samples["connections"] <= max_connections
+        assert samples["threads"] <= (
+            baseline_threads + 4 * max_connections + 1 + max_connections + 4
+        )
+        assert stats["shed_total"] + stats["rejected_connections"] > 0
+
+
+class TestBodyAndNegotiation:
+    def test_oversized_body_is_413(self, big_mediator):
+        with OntoAccessEndpoint(big_mediator, max_body_bytes=64) as endpoint:
+            status, _, body = _post(endpoint.port, "/query", "x" * 200)
+        assert status == 413
+        assert json.loads(body)["error"] == "body-too-large"
+
+    def test_unsupportable_accept_is_406_with_supported_list(
+        self, small_endpoint
+    ):
+        response = small_endpoint.handle_query(
+            SCAN_QUERY, accept="application/vnd.ms-excel"
+        )
+        assert response.status == 406
+        document = json.loads(response.body)
+        assert document["error"] == "not-acceptable"
+        assert "application/sparql-results+json" in document["supported"]
+
+    def test_wildcard_accept_still_selects_the_default(self, small_endpoint):
+        response = small_endpoint.handle_query(
+            SCAN_QUERY, accept="application/vnd.ms-excel, */*"
+        )
+        assert response.status == 200
+
+    def test_406_over_http(self, small_endpoint):
+        with small_endpoint as endpoint:
+            status, _, _ = _post(
+                endpoint.port,
+                "/query",
+                SCAN_QUERY,
+                headers={"Accept": "application/vnd.ms-excel"},
+            )
+        assert status == 406
+
+
+class TestStreamAbort:
+    def test_midstream_disconnect_does_not_poison_the_session(
+        self, big_mediator
+    ):
+        """A client vanishing mid-chunked-response aborts that stream
+        only: the shared session keeps answering."""
+        release = threading.Event()
+        INJECTOR.inject("endpoint:stream", stall=release, times=1)
+        endpoint = OntoAccessEndpoint(big_mediator)
+        with endpoint:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", endpoint.port, timeout=10.0
+            )
+            conn.request(
+                "POST",
+                "/query",
+                body=SCAN_QUERY.encode(),
+                headers={
+                    "Content-Type": "application/sparql-query",
+                    "Accept": "application/sparql-results+json",
+                },
+            )
+            time.sleep(0.1)  # the handler is stalled before its 1st chunk
+            conn.close()  # headers sent but unread: close() fires an RST
+            INJECTOR.clear()
+            INJECTOR.inject("endpoint:stream", latency=0.01)
+            release.set()
+            deadline = time.monotonic() + 10.0
+            while endpoint.stream_aborts < 1:
+                assert time.monotonic() < deadline, "abort never recorded"
+                time.sleep(0.01)
+            INJECTOR.clear()
+            # the shared session still answers, and the admission slot
+            # was released despite the aborted stream
+            client = OntoAccessClient(endpoint.url)
+            document = client.query_json(SCAN_QUERY)
+            assert len(document["results"]["bindings"]) == 600
+            # the slot release races the client's final read by a tick
+            deadline = time.monotonic() + 5.0
+            while endpoint.serving_stats()["in_flight"] > 0:
+                assert time.monotonic() < deadline, "admission slot leaked"
+                time.sleep(0.01)
+
+
+class TestHealthAndReadiness:
+    def test_health_ok_for_in_memory_database(self, small_endpoint):
+        with small_endpoint as endpoint:
+            client = OntoAccessClient(endpoint.url)
+            document = client.health()
+        assert document["status"] == "ok"
+        assert document["backend"]["durable"] is False
+        assert "in_flight" in document["serving"]
+        assert document["requests"]["served"] >= 0
+
+    def test_wal_refusal_degrades_health_and_readiness(self, tmp_path):
+        from repro.rdb import Database
+
+        db = Database(data_dir=str(tmp_path / "dd"))
+        db.execute_script(PUBLICATION_DDL)
+        mediator = OntoAccess(db, build_mapping(db))
+        endpoint = OntoAccessEndpoint(mediator)
+        try:
+            with endpoint:
+                client = OntoAccessClient(
+                    endpoint.url, retry=RetryPolicy(max_attempts=1)
+                )
+                assert client.health()["status"] == "ok"
+                ready, _ = client.ready()
+                assert ready is True
+                # flip the refusing state through fault injection
+                INJECTOR.inject(
+                    "wal:pre-append", error=OSError(28, "injected ENOSPC")
+                )
+                db._durability._crash_hook = INJECTOR
+                db._durability.wal._crash_hook = INJECTOR
+                feedback = client.update(UPDATE_OK)
+                assert feedback.ok is False
+                assert "refusing" in (feedback.message or "")
+                document = client.health()
+                assert document["status"] == "degraded"
+                assert document["backend"]["wal_refusing"] is True
+                assert document["backend"]["durable"] is True
+                ready, doc = client.ready()
+                assert ready is False
+                assert doc["error"] == "degraded"
+                assert "restart" in doc["message"]
+                # sticky: clearing the fault does not clear the refusal
+                INJECTOR.clear()
+                assert client.health()["status"] == "degraded"
+        finally:
+            db.close()
+
+
+def _unused_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    """Scripted responses for client retry tests."""
+
+    def log_message(self, *args) -> None:
+        pass
+
+    def do_POST(self) -> None:
+        length = int(self.headers.get("Content-Length", "0"))
+        self.rfile.read(length)
+        self.server.seen.append(self.path)
+        if self.server.script:
+            status, headers, body = self.server.script.pop(0)
+        else:
+            status, headers, body = 200, {}, "ok"
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+
+class _StubServer:
+    def __init__(self, script):
+        self.server = HTTPServer(("127.0.0.1", 0), _StubHandler)
+        self.server.script = list(script)
+        self.server.seen = []
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.server.shutdown()
+        self.server.server_close()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.server.server_address[1]}"
+
+    @property
+    def seen(self):
+        return self.server.seen
+
+
+class TestClientResilience:
+    def test_transport_error_is_typed_with_request_context(self):
+        sleeps = []
+        client = OntoAccessClient(
+            f"http://127.0.0.1:{_unused_port()}",
+            timeout=0.5,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.001),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(EndpointTransportError) as excinfo:
+            client.query_text(SCAN_QUERY)
+        error = excinfo.value
+        assert error.method == "POST"
+        assert error.url.endswith("/query")
+        assert error.attempts == 3  # idempotent: retried to exhaustion
+        assert isinstance(error.cause, OSError)
+        assert len(sleeps) == 2
+
+    def test_update_transport_error_is_never_retried(self):
+        sleeps = []
+        client = OntoAccessClient(
+            f"http://127.0.0.1:{_unused_port()}",
+            timeout=0.5,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.001),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(EndpointTransportError) as excinfo:
+            client.update(UPDATE_OK)
+        assert excinfo.value.attempts == 1  # may have committed: no retry
+        assert sleeps == []
+
+    def test_idempotent_retry_honors_retry_after(self):
+        overloaded = (
+            503,
+            {"Retry-After": "0.5", "Content-Type": "application/json"},
+            '{"error": "overloaded"}',
+        )
+        sleeps = []
+        with _StubServer([overloaded, overloaded]) as stub:
+            client = OntoAccessClient(
+                stub.url,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.001),
+                sleep=sleeps.append,
+            )
+            assert client.query_text(SCAN_QUERY) == "ok"
+            assert len(stub.seen) == 3
+        # Retry-After floors the jittered delay: the client never came
+        # back earlier than the server asked.
+        assert len(sleeps) == 2
+        assert all(delay >= 0.5 for delay in sleeps)
+
+    def test_update_and_batch_503_are_not_retried(self):
+        overloaded = (
+            503,
+            {"Retry-After": "1", "Content-Type": "application/json"},
+            '{"error": "overloaded", "message": "at capacity"}',
+        )
+        sleeps = []
+        with _StubServer([overloaded] * 8) as stub:
+            client = OntoAccessClient(
+                stub.url,
+                retry=RetryPolicy(max_attempts=4, base_delay=0.001),
+                sleep=sleeps.append,
+            )
+            feedback = client.update(UPDATE_OK)
+            assert feedback.ok is False
+            assert len(stub.seen) == 1
+            feedback = client.batch([UPDATE_OK])
+            assert feedback.ok is False
+            assert len(stub.seen) == 2
+        assert sleeps == []  # write paths never back off and re-send
