@@ -1,0 +1,280 @@
+"""Replication fan-out benchmark (ISSUE 8): aggregate read throughput.
+
+Spawns a real topology of *separate server processes* via the CLI — one
+writable primary with a WAL log shipper, plus 0, 1, or 2 read replicas
+following it — and measures the aggregate closed-loop read throughput
+across all serving processes at each fan-out level, plus the p99 replica
+lag observed while the primary takes a write churn.
+
+Methodology notes:
+
+* Per-process capacity is pinned with ``--service-latency`` (a fixed
+  sleep injected into every row scan) and ``--max-in-flight 1``: one
+  request executes at a time per server, so a single process serves
+  roughly ``1/service`` req/s.  Sleeps release the GIL and the servers
+  are separate processes, so fan-out shows up as aggregate throughput
+  even on a single-core machine — that is precisely the property WAL
+  shipping buys: more read capacity without sharing the primary's
+  process.
+* The in-run floor asserts the headline claim (>= 2x aggregate read
+  throughput with 2 replicas vs. the single-process baseline); the CI
+  trend gate compares ``repl_read_throughput_replicas2`` across runs
+  calibrated by ``repl_read_throughput_replicas0`` so machine speed
+  cancels out.
+* Replica lag is sampled from ``/health`` (``replication.lag_s``)
+  while the primary applies a stream of updates; its p99 is recorded as
+  ``repl_lag_p99`` (diagnostic, not gated).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_replication.py -s
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+import time
+
+BENCH_DIR = pathlib.Path(__file__).parent
+ARTIFACT = BENCH_DIR / "BENCH_replication.json"
+SRC = str(BENCH_DIR.parent / "src")
+
+SERVICE_LATENCY = 0.02
+READ_SECONDS = 3.0
+THREADS_PER_SERVER = 4
+LAG_SAMPLES = 40
+WRITE_CHURN = 30
+
+SELECT_TEAMS = (
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "SELECT ?n WHERE { ?t foaf:name ?n }"
+)
+
+
+def _update(index):
+    return (
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+        "PREFIX ont:  <http://example.org/ontology#> "
+        f"INSERT DATA {{ <http://example.org/db/team{index}> "
+        f'foaf:name "Team {index}" ; ont:teamCode "T{index}" . }}'
+    )
+
+
+def _request(port, method, path, body=None, content_type=None, timeout=30.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        headers = {"Content-Type": content_type} if content_type else {}
+        conn.request(
+            method,
+            path,
+            body=body.encode("utf-8") if body is not None else None,
+            headers=headers,
+        )
+        response = conn.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        conn.close()
+
+
+def _spawn(args):
+    """Start one server process; returns (process, port, shipper_port)."""
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=SRC),
+    )
+    port = shipper_port = None
+    for _ in range(8):
+        line = child.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"endpoint at http://[^:]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+        match = re.search(r"log shipper at [^:]+:(\d+)", line)
+        if match:
+            shipper_port = int(match.group(1))
+        if line.startswith("POST"):
+            break
+    assert port is not None, "server process never announced its endpoint"
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            status, _ = _request(port, "GET", "/ready", timeout=5.0)
+            if status == 200:
+                return child, port, shipper_port
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise AssertionError("server process never became ready")
+
+
+def _kill(child):
+    if child.poll() is None:
+        child.kill()
+        child.wait(10)
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _read_throughput(ports):
+    """Closed-loop reads against every port concurrently; aggregate
+    completed requests per second across the whole topology."""
+    stop = time.monotonic() + READ_SECONDS
+    counts = []
+    lock = threading.Lock()
+
+    def reader(port):
+        done = 0
+        while time.monotonic() < stop:
+            status, _ = _request(
+                port, "POST", "/query", SELECT_TEAMS,
+                "application/sparql-query",
+            )
+            assert status == 200, status
+            done += 1
+        with lock:
+            counts.append(done)
+
+    threads = [
+        threading.Thread(target=reader, args=(port,), daemon=True)
+        for port in ports
+        for _ in range(THREADS_PER_SERVER)
+    ]
+    begin = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60.0)
+    elapsed = time.monotonic() - begin
+    return sum(counts) / elapsed
+
+
+def _record(records, name, median_us, **extra):
+    entry = {
+        "name": name,
+        "fullname": f"benchmarks/bench_replication.py::{name}",
+        "rounds": 1,
+        "median_us": median_us,
+        "mean_us": median_us,
+        "min_us": median_us,
+        "max_us": median_us,
+        "stddev_us": 0.0,
+        "ops": 1e6 / median_us if median_us > 0 else 0.0,
+    }
+    entry.update(extra)
+    records.append(entry)
+
+
+def test_replica_fanout_read_throughput(tmp_path, capsys):
+    common = ["--max-in-flight", "1",
+              "--service-latency", str(SERVICE_LATENCY)]
+    primary, primary_port, shipper_port = _spawn(
+        ["--data-dir", str(tmp_path / "primary"), "--sync-mode", "os",
+         "--replication-port", "0", *common]
+    )
+    assert shipper_port is not None
+    replicas = []
+    records = []
+    lines = []
+    try:
+        for index in range(3):  # seed a few rows so reads return data
+            status, body = _request(
+                primary_port, "POST", "/update", _update(index),
+                "application/sparql-update",
+            )
+            assert status == 200, body
+
+        throughput = {}
+        for level in (0, 1, 2):
+            while len(replicas) < level:
+                replicas.append(_spawn(
+                    ["--replica-of", f"127.0.0.1:{shipper_port}", *common]
+                ))
+            ports = [primary_port] + [port for _, port, _ in replicas]
+            rate = _read_throughput(ports)
+            throughput[level] = rate
+            _record(
+                records, f"repl_read_throughput_replicas{level}",
+                1e6 / rate, ops=rate, servers=len(ports),
+                read_seconds=READ_SECONDS,
+            )
+            lines.append(
+                f"{level} replicas ({len(ports)} servers): "
+                f"{rate:6.1f} req/s aggregate"
+            )
+
+        # -- replica lag under write churn -----------------------------
+        lags = []
+        stop_writes = threading.Event()
+
+        def churn():
+            index = 100
+            while not stop_writes.is_set() and index < 100 + WRITE_CHURN:
+                _request(
+                    primary_port, "POST", "/update", _update(index),
+                    "application/sparql-update",
+                )
+                index += 1
+                time.sleep(0.02)
+            stop_writes.set()
+
+        writer = threading.Thread(target=churn, daemon=True)
+        writer.start()
+        replica_port = replicas[0][1]
+        while len(lags) < LAG_SAMPLES:
+            status, body = _request(replica_port, "GET", "/health")
+            if status == 200:
+                lag = json.loads(body)["replication"]["lag_s"]
+                if lag is not None:
+                    lags.append(lag)
+            time.sleep(0.02)
+        stop_writes.set()
+        writer.join(30.0)
+        lag_p99 = _percentile(lags, 0.99)
+        _record(
+            records, "repl_lag_p99", max(lag_p99 * 1e6, 1.0),
+            lag_p99_s=round(lag_p99, 4), samples=len(lags),
+        )
+        lines.append(f"replica lag p99 {lag_p99 * 1e3:6.1f} ms "
+                     f"({len(lags)} samples under write churn)")
+    finally:
+        for child, _, _ in replicas:
+            _kill(child)
+        _kill(primary)
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "module": "bench_replication",
+                "benchmarks": records,
+                "service_latency_s": SERVICE_LATENCY,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    with capsys.disabled():
+        print("\n### replication fan-out: aggregate read throughput")
+        for line in lines:
+            print(f"    {line}")
+
+    # -- in-run floor: the headline fan-out claim ----------------------
+    ratio = throughput[2] / throughput[0]
+    assert ratio >= 2.0, (
+        f"2-replica aggregate throughput is only {ratio:.2f}x the "
+        "single-process baseline — replica fan-out is not scaling reads"
+    )

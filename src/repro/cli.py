@@ -95,6 +95,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-after", type=float, default=1.0, metavar="SECONDS",
         help="Retry-After hint sent with 503/408 responses (default: 1)",
     )
+    serve.add_argument(
+        "--replication-port", type=int, default=None, metavar="PORT",
+        help="also start a WAL log shipper on this port (0 = ephemeral) "
+        "so replicas can follow; requires --data-dir",
+    )
+    serve.add_argument(
+        "--replica-of", metavar="HOST:PORT",
+        help="serve as a read replica of the primary whose log shipper "
+        "listens at HOST:PORT (writes answer 403; incompatible with "
+        "--data-dir)",
+    )
+    serve.add_argument(
+        "--max-replica-lag", type=float, default=5.0, metavar="SECONDS",
+        help="staleness bound on a replica: reads past this lag answer "
+        "503 so clients fall back to the primary (default: 5)",
+    )
+    serve.add_argument(
+        "--bootstrap-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="longest to wait for a replica's bootstrap replay to catch "
+        "up before giving up (default: 60)",
+    )
+    serve.add_argument(
+        "--service-latency", type=float, default=None, metavar="SECONDS",
+        help="inject this much latency into every row scan (benchmark "
+        "aid: pins per-process capacity so replica fan-out is measurable "
+        "on any machine)",
+    )
     _add_schema_args(serve)
 
     update = sub.add_parser("update", help="execute a SPARQL/Update request")
@@ -266,10 +293,51 @@ def _cmd_demo(args, out) -> int:
     return 0
 
 
+def _parse_address(text: str) -> tuple:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(
+            f"invalid address {text!r}: expected HOST:PORT"
+        )
+    return host, int(port)
+
+
 def _cmd_serve(args, out) -> int:
     from .server.endpoint import OntoAccessEndpoint
 
-    mediator = _build_mediator(args)
+    if args.service_latency:
+        from .faults import INJECTOR
+
+        INJECTOR.inject("executor:scan", latency=args.service_latency)
+
+    replica = None
+    shipper = None
+    if args.replica_of:
+        if getattr(args, "data_dir", None):
+            raise ReproError(
+                "--replica-of is incompatible with --data-dir: a replica's "
+                "store is rebuilt from the primary's log"
+            )
+        from .replication import Replica
+
+        replica = Replica(_parse_address(args.replica_of)).start()
+        if not replica.wait_ready(args.bootstrap_timeout):
+            replica.close()
+            raise ReproError(
+                f"replica did not catch up to {args.replica_of} within "
+                f"{args.bootstrap_timeout:g}s"
+            )
+        db = replica.db
+        mediator = OntoAccess(db, _select_mapping(args, db))
+    else:
+        mediator = _build_mediator(args)
+        if args.replication_port is not None:
+            from .replication import LogShipper
+
+            shipper = LogShipper(
+                mediator.db, host=args.host, port=args.replication_port
+            ).start()
+
     endpoint = OntoAccessEndpoint(
         mediator,
         host=args.host,
@@ -281,13 +349,25 @@ def _cmd_serve(args, out) -> int:
         max_connections=args.max_connections,
         max_body_bytes=args.max_body_bytes,
         retry_after=args.retry_after,
+        replica=replica,
+        max_replica_lag=args.max_replica_lag if replica is not None else None,
     )
     endpoint.start()
     print(f"OntoAccess endpoint at {endpoint.url}", file=out)
+    if shipper is not None:
+        host, port = shipper.address
+        print(f"replication log shipper at {host}:{port}", file=out)
+    if replica is not None:
+        print(
+            f"read replica of {args.replica_of} "
+            f"(max lag {args.max_replica_lag:g}s)",
+            file=out,
+        )
     print(
         "POST /update, POST /query, GET /dump, GET /mapping, GET /health",
         file=out,
     )
+    out.flush()  # a parent process may be parsing the announced ports
     try:
         import threading
 
@@ -296,7 +376,12 @@ def _cmd_serve(args, out) -> int:
         pass
     finally:
         endpoint.stop()
-        mediator.db.close()
+        if shipper is not None:
+            shipper.stop()
+        if replica is not None:
+            replica.close()
+        else:
+            mediator.db.close()
     return 0
 
 

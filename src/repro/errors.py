@@ -148,6 +148,16 @@ class FaultError(ReproError):
     rule that does not specify its own exception instance."""
 
 
+class ReplicationError(ReproError):
+    """WAL-shipping replication failure: a torn or CRC-failing frame on
+    the wire, an unknown message kind, or an unsatisfiable handshake.
+
+    Always connection-scoped, never fatal: the replica supervisor treats
+    it like a dropped connection — disconnect, back off, reconnect, and
+    resume from its applied position (or re-bootstrap from a checkpoint
+    when the primary can no longer serve that position)."""
+
+
 # ---------------------------------------------------------------------------
 # SPARQL layer
 # ---------------------------------------------------------------------------

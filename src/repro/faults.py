@@ -19,6 +19,9 @@ Known sites:
   durability kill points: an injector instance is itself a valid
   ``_crash_hook`` (``__call__`` aliases :meth:`fire`), so the same rule
   table drives WAL/checkpoint chaos.
+* ``repl:ship``    — log shipper, before sending each WAL frame
+* ``repl:connect`` — replica supervisor, before each connect attempt
+* ``repl:apply``   — replica applier, before applying a snapshot/frame
 
 Rules are consumed-per-fire with an optional ``times`` budget, and the
 ``armed`` flag keeps the disarmed fast path to one attribute read.

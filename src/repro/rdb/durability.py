@@ -80,8 +80,10 @@ __all__ = [
     "SYNC_FSYNC",
     "SYNC_OS",
     "SYNC_NONE",
+    "WAL_HEADER_SIZE",
     "encode_payload",
     "decode_payload",
+    "iter_wal_frames",
 ]
 
 SYNC_FSYNC = "fsync"
@@ -97,6 +99,10 @@ _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
 
 _CKPT_RE = re.compile(r"^checkpoint-(\d{8})\.db$")
 _WAL_RE = re.compile(r"^wal-(\d{8})\.log$")
+
+#: Offset of the first frame in every WAL segment (replication resumes
+#: from here on a fresh segment).
+WAL_HEADER_SIZE = len(_WAL_MAGIC)
 
 
 # ---------------------------------------------------------------------------
@@ -397,6 +403,35 @@ def _read_wal(path: str) -> Tuple[List[Any], int, bool]:
         pos += _FRAME.size + length
 
 
+def iter_wal_frames(path: str, start: int = WAL_HEADER_SIZE):
+    """Yield ``(payload, end_offset)`` for each complete frame at or
+    after byte offset ``start`` of a WAL segment.
+
+    The log shipper's read path: ``end_offset`` is the absolute offset
+    just past the frame (including the segment header), i.e. the replica's
+    resume position after applying the payload.  Iteration stops silently
+    at the first short or CRC-failing record — on the live segment that is
+    simply the not-yet-flushed tail, and the shipper will pick the frames
+    up on its next pass.  Payloads are NOT decoded; they ship verbatim so
+    the replica's CRC check covers the wire too.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if not data.startswith(_WAL_MAGIC):
+        return
+    pos = max(start, WAL_HEADER_SIZE)
+    while True:
+        header = data[pos:pos + _FRAME.size]
+        if len(header) < _FRAME.size:
+            return
+        length, crc = _FRAME.unpack(header)
+        payload = data[pos + _FRAME.size:pos + _FRAME.size + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return
+        pos += _FRAME.size + length
+        yield payload, pos
+
+
 # ---------------------------------------------------------------------------
 # the manager
 # ---------------------------------------------------------------------------
@@ -435,6 +470,12 @@ class DurabilityManager:
         #: wall-clock time of the newest checkpoint (None before the
         #: first one); /health reports its age
         self.last_checkpoint_time: Optional[float] = None
+        #: replication: shipper threads block on this condition until the
+        #: log grows; the sequence number only ever increases.  It also
+        #: guards the (generation, writer) pair so :meth:`position` never
+        #: observes a new generation with the old segment's offset.
+        self._ship_cond = threading.Condition()
+        self._ship_seq = 0
 
     # -- single-owner lock ----------------------------------------------
 
@@ -577,7 +618,9 @@ class DurabilityManager:
         the record landed in, so a concurrent checkpoint rotation can
         never strand the waiter against the wrong file's offsets."""
         assert self._wal is not None
-        return (self._wal, self._wal.append(encode_payload(changes)))
+        token = (self._wal, self._wal.append(encode_payload(changes)))
+        self._ship_notify()
+        return token
 
     def wait_durable(self, token: Tuple[_WalWriter, int]) -> None:
         """Group-commit durability wait; called outside the writer lock."""
@@ -593,11 +636,17 @@ class DurabilityManager:
         of the old segment."""
         assert self._wal is not None
         old = self._wal
-        self.generation += 1
-        self._wal = _WalWriter(
-            self._wal_path(self.generation), self.sync_mode, self._crash_hook
-        )
+        with self._ship_cond:
+            # Swap generation and writer atomically w.r.t. position():
+            # a shipper must never pair the new generation with the old
+            # segment's (large) offset, or its watermark runs ahead of
+            # reality and replicas report phantom lag.
+            self.generation += 1
+            self._wal = _WalWriter(
+                self._wal_path(self.generation), self.sync_mode, self._crash_hook
+            )
         old.close()
+        self._ship_notify()
         return self.generation
 
     def write_checkpoint(self, generation: int, body: Any) -> str:
@@ -630,7 +679,77 @@ class DurabilityManager:
         for old_generation in wals:
             if old_generation < generation:
                 os.unlink(self._wal_path(old_generation))
+        self._ship_notify()
         return final
+
+    # -- replication (log shipping) -------------------------------------
+    #
+    # The shipper reads WAL segments *from disk* (via iter_wal_frames)
+    # rather than tapping the commit path: the files are the source of
+    # truth, so a replica can never apply a change the primary would lose
+    # in a crash.  These methods give it a consistent position watermark,
+    # a wakeup signal, and checkpoint access for bootstrap/resync.
+
+    def _ship_notify(self) -> None:
+        with self._ship_cond:
+            self._ship_seq += 1
+            self._ship_cond.notify_all()
+
+    def ship_seq(self) -> int:
+        """Monotone counter bumped on every append/rotate/checkpoint."""
+        with self._ship_cond:
+            return self._ship_seq
+
+    def ship_wait(self, seq: int, timeout: float) -> int:
+        """Block until the log moves past ``seq`` (or timeout); returns
+        the current sequence number."""
+        with self._ship_cond:
+            if self._ship_seq == seq:
+                self._ship_cond.wait(timeout)
+            return self._ship_seq
+
+    def ship_flush(self) -> None:
+        """Push buffered frames to the OS so the shipper's file reads see
+        them.  ``io.BufferedWriter`` serializes flush against in-flight
+        writes internally, so the on-disk view stays frame-aligned.  The
+        writer may be closed by a concurrent rotation — harmless, the
+        rotation itself flushed it."""
+        wal = self._wal
+        if wal is None:
+            return
+        try:
+            wal.flush()
+        except (OSError, ValueError):  # pragma: no cover - racing close
+            pass
+
+    def position(self) -> Tuple[int, int]:
+        """Current end of log as ``(generation, byte_offset)`` — the
+        watermark a fully caught-up replica has applied up to."""
+        with self._ship_cond:
+            generation = self.generation
+            wal = self._wal
+            if wal is None:
+                return generation, WAL_HEADER_SIZE
+            with wal._cond:
+                return generation, wal._appended
+
+    def wal_generations(self) -> List[int]:
+        """Sorted generations of the WAL segments currently on disk."""
+        return self._scan_dir()[1]
+
+    def newest_checkpoint(self) -> Optional[int]:
+        """Generation of the newest checkpoint, or None before the first."""
+        checkpoints, _ = self._scan_dir()
+        return checkpoints[-1] if checkpoints else None
+
+    def checkpoint_body(self, generation: int) -> Any:
+        """Decoded body of checkpoint ``generation`` (DurabilityError if
+        it vanished — a newer checkpoint superseded it; retry)."""
+        return self._load_checkpoint(generation)
+
+    def segment_path(self, generation: int) -> str:
+        """Path of WAL segment ``generation`` (for iter_wal_frames)."""
+        return self._wal_path(generation)
 
     # -- lifecycle ------------------------------------------------------
 

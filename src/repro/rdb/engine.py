@@ -58,7 +58,12 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
-from ..errors import CatalogError, DatabaseError, TransactionError
+from ..errors import (
+    CatalogError,
+    DatabaseError,
+    DurabilityError,
+    TransactionError,
+)
 from ..sql import ast
 from ..sql.parser import parse_statements
 from ..sql.render import render
@@ -329,6 +334,90 @@ class Database:
         database object must not be used afterwards."""
         if self._durability is not None:
             self._durability.close()
+
+    # ------------------------------------------------------------------
+    # replication (replica-side apply)
+    # ------------------------------------------------------------------
+
+    def apply_replicated(self, changes: List[Any]) -> None:
+        """Apply one shipped commit batch to this (replica) database.
+
+        Unlike :meth:`_apply_wal_changes` — which runs single-threaded at
+        recovery — a replica applies while serving concurrent snapshot
+        reads, so row changes go through the :meth:`_writable` COW gate
+        and the batch publishes like a local commit: readers either see
+        the whole batch or none of it.
+        """
+        with self._write_lock:
+            if self._txn is not None:
+                raise TransactionError(
+                    "cannot apply replicated changes inside an open "
+                    "transaction"
+                )
+            for change in changes:
+                kind = change[0]
+                if kind == "x":
+                    # Rendered DDL replays through the normal path (plan
+                    # cache invalidation, publication); the replica has no
+                    # WAL, so nothing is re-logged.
+                    self.execute(change[1])
+                elif kind == "i":
+                    _, name, rowid, row = change
+                    table_data = self._writable(name)
+                    table_data.restore(rowid, row)
+                    if rowid >= table_data._next_rowid:
+                        table_data._next_rowid = rowid + 1
+                    table = self.schema.table(name)
+                    for column in table.columns.values():
+                        if column.autoincrement and row.get(column.name) is not None:
+                            table_data.note_autoincrement_value(
+                                column.name, row[column.name]
+                            )
+                elif kind == "u":
+                    self._writable(change[1]).update(change[2], change[3])
+                elif kind == "d":
+                    self._writable(change[1]).delete(change[2])
+                else:
+                    raise DurabilityError(
+                        f"corrupt replicated batch: unknown change kind "
+                        f"{kind!r}"
+                    )
+            self.data_version += 1
+            self._mark_committed()
+
+    def reset_for_snapshot(self, body: Optional[Dict[str, Any]]) -> None:
+        """Replace this (replica) database's entire state with a shipped
+        checkpoint body (None = the primary is fresh: just empty out).
+
+        Used at bootstrap and on resync after the primary checkpointed
+        away the segment a replica was tailing.  Existing tables drop
+        children-first (the catalog refuses to drop a referenced table);
+        readers racing the reset may observe intermediate states, which is
+        why the serving layer gates queries on the replica's readiness.
+        """
+        with self._write_lock:
+            if self._txn is not None:
+                raise TransactionError(
+                    "cannot reset for a snapshot inside an open transaction"
+                )
+            remaining = set(self.schema.table_names())
+            while remaining:
+                referenced = set()
+                for name in remaining:
+                    for parent in self.schema.table(name).referenced_tables():
+                        if parent != name:
+                            referenced.add(parent)
+                droppable = sorted(remaining - referenced)
+                if not droppable:  # FK cycle: force an order
+                    droppable = sorted(remaining)
+                for name in droppable:
+                    self.execute(ast.DropTable(name=name, if_exists=True))
+                    remaining.discard(name)
+            self._ddl_history.clear()
+            if body is not None:
+                self._load_checkpoint_body(body)
+            self.data_version += 1
+            self._mark_committed()
 
     # ------------------------------------------------------------------
     # transaction control

@@ -1,0 +1,269 @@
+"""Replica-side supervisor: connects, applies the stream, tracks lag.
+
+A :class:`Replica` owns an (in-memory) :class:`~repro.rdb.engine.
+Database` and a supervisor thread that keeps one replication connection
+alive to the primary's :class:`~repro.replication.shipper.LogShipper`:
+
+* connect (with exponential backoff), send ``HELLO`` with the applied
+  position, then apply whatever arrives: a ``SNAPSHOT`` resets the store
+  wholesale (:meth:`Database.reset_for_snapshot`), a ``FRAME`` replays
+  one commit batch (:meth:`Database.apply_replicated`), ``ROTATE`` just
+  advances the position, ``HEARTBEAT`` refreshes the watermark.
+* every error — socket, torn frame (CRC), injected fault — tears the
+  connection down and the supervisor reconnects; the applied position in
+  the next ``HELLO`` makes resumption exact (a frame the crash cut short
+  was never applied, so it ships again).
+
+**Lag** is the replica's staleness bound, in seconds, computed from two
+signals: how long the replica has been behind the primary's watermark
+(time since it was last caught up), and how long since the primary was
+last heard from at all (beyond a heartbeat grace).  A disconnected or
+stalled replica therefore reports growing lag even though no new frames
+arrive to measure against.  Before the first successful sync, lag is
+infinite — the serving layer's ``/ready`` stays 503.
+
+**At-least-once, idempotent-once**: the shipper may resend a frame the
+replica already applied (reconnect races); frames carry their end
+position, so anything at or below the applied position is skipped.
+
+Fault sites: ``repl:connect`` fires before each connection attempt,
+``repl:apply`` before applying each snapshot/frame (so an injected
+error leaves the frame unapplied — it replays on reconnect).
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import DurabilityError, FaultError, ReplicationError
+from ..faults import INJECTOR
+from ..rdb.durability import decode_payload
+from ..rdb.engine import Database
+from . import wire
+
+__all__ = ["Replica"]
+
+#: applied position before anything was ever received; below any real
+#: position (those start at the segment header size) and representable
+#: in the wire header's unsigned fields, so a first HELLO carries it and
+#: the primary answers with a bootstrap snapshot
+_NOWHERE = (0, 0)
+
+
+class Replica:
+    """Maintains a read replica of a primary database over one socket."""
+
+    def __init__(
+        self,
+        primary_address: Tuple[str, int],
+        *,
+        db: Optional[Database] = None,
+        reconnect_backoff: float = 0.05,
+        max_backoff: float = 1.0,
+        heartbeat_grace: float = 1.0,
+        socket_timeout: float = 10.0,
+    ) -> None:
+        self.primary_address = tuple(primary_address)
+        self.db = db if db is not None else Database()
+        self.reconnect_backoff = reconnect_backoff
+        self.max_backoff = max_backoff
+        self.heartbeat_grace = heartbeat_grace
+        self.socket_timeout = socket_timeout
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+        #: positions, all under _lock
+        self._applied: Tuple[int, int] = _NOWHERE
+        self._watermark: Tuple[int, int] = _NOWHERE
+        self._last_contact: Optional[float] = None
+        self._caught_up_at: Optional[float] = None
+        self._synced_once = False
+        self._ready_event = threading.Event()
+        self._connected = False
+        #: diagnostics
+        self.connects = 0
+        self.frames_applied = 0
+        self.snapshots_loaded = 0
+        self.wire_errors = 0
+        self.last_error: Optional[str] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "Replica":
+        self._thread = threading.Thread(
+            target=self._run, name="repl-replica", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopped.set()
+        self._close_socket()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def close(self) -> None:
+        self.stop()
+        self.db.close()
+
+    def _close_socket(self) -> None:
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    # -- supervisor loop ------------------------------------------------
+
+    def _run(self) -> None:
+        backoff = self.reconnect_backoff
+        while not self._stopped.is_set():
+            try:
+                INJECTOR.fire("repl:connect")
+                sock = socket.create_connection(
+                    self.primary_address, timeout=self.socket_timeout
+                )
+            except (OSError, FaultError) as exc:
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                if self._stopped.wait(backoff):
+                    return
+                backoff = min(backoff * 2, self.max_backoff)
+                continue
+            backoff = self.reconnect_backoff
+            self._sock = sock
+            self.connects += 1
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                wire.send_message(
+                    sock, wire.HELLO, *self._position(), sent_at=time.time()
+                )
+                self._connected = True
+                while not self._stopped.is_set():
+                    self._handle(wire.recv_message(sock))
+            except (OSError, ConnectionError, ReplicationError,
+                    DurabilityError, FaultError) as exc:
+                if isinstance(exc, ReplicationError):
+                    self.wire_errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                self._connected = False
+                self._close_socket()
+
+    def _position(self) -> Tuple[int, int]:
+        with self._lock:
+            return self._applied
+
+    def _handle(self, message: wire.Message) -> None:
+        if message.kind == wire.SNAPSHOT:
+            # repl:apply fires BEFORE the mutation: an injected error
+            # leaves the store untouched and the message replays after
+            # the reconnect.
+            INJECTOR.fire("repl:apply")
+            self._ready_event.clear()
+            self.db.reset_for_snapshot(
+                decode_payload(message.payload) if message.payload else None
+            )
+            self.snapshots_loaded += 1
+            with self._lock:
+                self._applied = message.position
+                self._synced_once = False
+        elif message.kind == wire.FRAME:
+            if message.position > self._position():
+                INJECTOR.fire("repl:apply")
+                self.db.apply_replicated(decode_payload(message.payload))
+                self.frames_applied += 1
+                with self._lock:
+                    self._applied = message.position
+        elif message.kind == wire.ROTATE:
+            with self._lock:
+                self._applied = max(self._applied, message.position)
+        # every message (incl. HEARTBEAT) refreshes watermark + liveness
+        now = time.time()
+        with self._lock:
+            self._watermark = max(self._watermark, message.position)
+            self._last_contact = now
+            # A SNAPSHOT alone can never prove sync: its base position is
+            # trivially "caught up" to itself, while the primary's real
+            # end of log is only learned from the heartbeat the shipper
+            # sends right after it.  Declaring ready here would let a
+            # bootstrap observer (mapping generation, /ready) read a
+            # store that is still mid-replay.
+            if message.kind != wire.SNAPSHOT and (
+                self._applied >= self._watermark
+            ):
+                self._caught_up_at = now
+                self._synced_once = True
+                self._ready_event.set()
+
+    # -- the lag signal -------------------------------------------------
+
+    def lag(self) -> float:
+        """Staleness bound in seconds: ``inf`` before the first full
+        sync, else how long the replica has been behind the watermark,
+        floored by silence from the primary beyond the heartbeat grace.
+        A caught-up, connected replica reports ~0."""
+        now = time.time()
+        with self._lock:
+            if not self._synced_once or self._caught_up_at is None:
+                return math.inf
+            behind = 0.0
+            if self._applied < self._watermark:
+                behind = now - self._caught_up_at
+            if self._last_contact is not None:
+                silence = now - self._last_contact - self.heartbeat_grace
+                behind = max(behind, silence)
+            return max(0.0, behind)
+
+    @property
+    def ready(self) -> bool:
+        """True once bootstrap replay caught up to the primary's
+        watermark (stays true across reconnects; a mid-life re-bootstrap
+        snapshot clears it until replay catches up again)."""
+        return self._ready_event.is_set()
+
+    def wait_ready(self, timeout: float) -> bool:
+        return self._ready_event.wait(timeout)
+
+    def applied_position(self) -> Tuple[int, int]:
+        return self._position()
+
+    def wait_applied(self, position: Tuple[int, int], timeout: float) -> bool:
+        """Block until the applied position reaches ``position`` (the
+        quiesce primitive the differential harness uses)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._position() >= position:
+                return True
+            time.sleep(0.005)
+        return self._position() >= position
+
+    def status(self) -> Dict[str, Any]:
+        """Machine-readable replication state for /health and /ready."""
+        lag = self.lag()
+        with self._lock:
+            applied = list(self._applied)
+            watermark = list(self._watermark)
+        return {
+            "role": "replica",
+            "primary": f"{self.primary_address[0]}:{self.primary_address[1]}",
+            "connected": self._connected,
+            "ready": self.ready,
+            "lag_s": None if math.isinf(lag) else round(lag, 3),
+            "applied": applied,
+            "watermark": watermark,
+            "connects": self.connects,
+            "frames_applied": self.frames_applied,
+            "snapshots_loaded": self.snapshots_loaded,
+            "wire_errors": self.wire_errors,
+        }

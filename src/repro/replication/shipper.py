@@ -1,0 +1,267 @@
+"""Primary-side log shipper: streams WAL frames to read replicas.
+
+One :class:`LogShipper` per primary database.  It listens on a TCP port;
+each connecting replica gets its own shipping thread that
+
+1. reads the replica's ``HELLO`` (its applied position),
+2. resumes streaming from that position when the primary still has the
+   segment and the offset lands on a frame boundary — otherwise sends a
+   ``SNAPSHOT`` (the newest checkpoint body) to re-base the replica,
+3. tails the log: flush the live segment, read complete frames from
+   disk (:func:`~repro.rdb.durability.iter_wal_frames`), ship them
+   verbatim, cross segment boundaries with ``ROTATE``, and idle on the
+   manager's ship condition with periodic ``HEARTBEAT``\\ s carrying the
+   end-of-log watermark.
+
+The shipper never taps the commit path: frames are read back from the
+files the WAL writer produced, so a replica can only ever apply changes
+the primary could also recover — an acknowledged-but-unshipped commit is
+impossible by construction, and an unflushed tail is simply invisible
+until the next pass.
+
+Backpressure is TCP's: a stalled replica blocks its ``sendall`` while
+other replicas and the primary's commit path proceed.  If a checkpoint
+deletes the segment a slow replica was tailing, the shipper falls back
+to a fresh ``SNAPSHOT`` on the same connection.
+
+Fault sites: ``repl:ship`` fires before each frame send; injected
+errors tear the connection down exactly like a network failure.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import DurabilityError, FaultError, ReplicationError
+from ..faults import INJECTOR
+from ..rdb.durability import WAL_HEADER_SIZE, iter_wal_frames
+from . import wire
+
+__all__ = ["LogShipper"]
+
+
+class LogShipper:
+    """Streams a primary database's WAL to any number of replicas."""
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        heartbeat_interval: float = 0.2,
+    ) -> None:
+        if db._durability is None:
+            raise ReplicationError(
+                "cannot ship the log of an in-memory database; "
+                "open it with a data_dir"
+            )
+        self.db = db
+        self.manager = db._durability
+        self.host = host
+        self._requested_port = port
+        self.heartbeat_interval = heartbeat_interval
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+        #: test seam: corrupts the payload of the next FRAME sent (after
+        #: its CRC is computed), simulating a torn frame on the wire
+        self.mangle_next_frame: Optional[Callable[[bytes], bytes]] = None
+        #: diagnostics
+        self.connections_served = 0
+        self.snapshots_sent = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "LogShipper":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(8)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repl-shipper-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopped.set()
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()  # unblocks a sendall stuck on a stalled peer
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self._listener is not None, "shipper not started"
+        return self._listener.getsockname()[:2]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    # -- accept / serve -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopped.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            with self._lock:
+                self._conns.append(conn)
+            self.connections_served += 1
+            threading.Thread(
+                target=self._serve, args=(conn,),
+                name="repl-shipper-conn", daemon=True,
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = wire.recv_message(conn)
+            if hello.kind != wire.HELLO:
+                raise ReplicationError(
+                    f"expected hello, got {wire.KIND_NAMES[hello.kind]}"
+                )
+            position = self._resume_position(hello.position)
+            if position is None:
+                position = self._send_snapshot(conn)
+            # The current end of log is the replica's sync target: once
+            # it applies up to this watermark it can report itself ready.
+            self._send_heartbeat(conn)
+            self._stream(conn, position)
+        except (OSError, ConnectionError, ReplicationError,
+                DurabilityError, FaultError):
+            pass  # connection-scoped: the replica reconnects and resyncs
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+
+    # -- handshake ------------------------------------------------------
+
+    def _resume_position(
+        self, position: Tuple[int, int]
+    ) -> Optional[Tuple[int, int]]:
+        """Validate a replica's claimed position against the on-disk log.
+
+        Resumable iff the segment still exists and the offset is a frame
+        boundary of it (the segment start, or the end of some complete
+        frame).  Anything else — the segment was checkpointed away, or
+        the offset is from a diverged history — means re-bootstrap.
+        """
+        generation, offset = position
+        if generation not in self.manager.wal_generations():
+            return None
+        if offset == WAL_HEADER_SIZE:
+            return position
+        self.manager.ship_flush()
+        path = self.manager.segment_path(generation)
+        try:
+            for _, end in iter_wal_frames(path, WAL_HEADER_SIZE):
+                if end == offset:
+                    return position
+                if end > offset:
+                    return None
+        except OSError:
+            return None
+        return None
+
+    def _send_snapshot(self, conn: socket.socket) -> Tuple[int, int]:
+        """Ship the newest checkpoint (or "start empty" for a fresh
+        primary) and return the base position streaming resumes from."""
+        while True:
+            generation = self.manager.newest_checkpoint()
+            if generation is None:
+                wals = self.manager.wal_generations()
+                base = (wals[0] if wals else self.manager.generation,
+                        WAL_HEADER_SIZE)
+                payload = b""
+            else:
+                base = (generation, WAL_HEADER_SIZE)
+                try:
+                    from ..rdb.durability import encode_payload
+
+                    payload = encode_payload(
+                        self.manager.checkpoint_body(generation)
+                    )
+                except DurabilityError:
+                    continue  # a newer checkpoint raced the read; retry
+            wire.send_message(
+                conn, wire.SNAPSHOT, base[0], base[1], payload,
+                sent_at=time.time(),
+            )
+            self.snapshots_sent += 1
+            return base
+
+    def _send_heartbeat(self, conn: socket.socket) -> None:
+        generation, offset = self.manager.position()
+        wire.send_message(
+            conn, wire.HEARTBEAT, generation, offset, sent_at=time.time()
+        )
+
+    # -- the tail loop --------------------------------------------------
+
+    def _stream(self, conn: socket.socket, position: Tuple[int, int]) -> None:
+        generation, offset = position
+        while not self._stopped.is_set():
+            seq = self.manager.ship_seq()
+            self.manager.ship_flush()
+            current = self.manager.position()
+            try:
+                frames = list(
+                    iter_wal_frames(
+                        self.manager.segment_path(generation), offset
+                    )
+                )
+            except FileNotFoundError:
+                # A checkpoint superseded the segment we were tailing:
+                # re-base this replica from the checkpoint.
+                generation, offset = self._send_snapshot(conn)
+                self._send_heartbeat(conn)
+                continue
+            for payload, end in frames:
+                if INJECTOR.armed:
+                    INJECTOR.fire("repl:ship")
+                mangle, self.mangle_next_frame = self.mangle_next_frame, None
+                wire.send_message(
+                    conn, wire.FRAME, generation, end, payload,
+                    sent_at=time.time(), mangle=mangle,
+                )
+                offset = end
+            if generation < current[0]:
+                # Segment exhausted and the log moved on: generations are
+                # strictly consecutive and closed segments are complete
+                # (close() flushes), so step to the next one.
+                generation += 1
+                offset = WAL_HEADER_SIZE
+                wire.send_message(
+                    conn, wire.ROTATE, generation, offset,
+                    sent_at=time.time(),
+                )
+                continue
+            self._send_heartbeat(conn)
+            self.manager.ship_wait(seq, self.heartbeat_interval)

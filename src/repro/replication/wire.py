@@ -1,0 +1,131 @@
+"""Wire protocol for WAL shipping (primary → replica, one TCP stream).
+
+Five message kinds flow over a replication connection, each framed as a
+fixed header plus an optional CRC32-checksummed payload::
+
+    header  := u8 kind | u32 generation | u64 offset | f64 sent_at
+             | u32 payload_length | u32 crc32(payload)
+
+* ``HELLO`` (replica → primary): the only upstream message.  Carries the
+  replica's applied position; the primary decides whether it can resume
+  streaming from there or must re-bootstrap the replica.
+* ``SNAPSHOT``: an encoded checkpoint body (empty payload = the primary
+  is fresh, start empty).  ``(generation, offset)`` is the base position
+  the snapshot covers — streaming resumes there.
+* ``FRAME``: one WAL frame payload, shipped verbatim (byte-for-byte what
+  the primary's log holds, so the CRC covers disk *and* wire).
+  ``(generation, offset)`` is the position just past the frame — the
+  replica's applied position once it replays the payload.
+* ``ROTATE``: the primary's log rotated; advance to ``(generation,
+  WAL_HEADER_SIZE)`` with nothing to apply.
+* ``HEARTBEAT``: the primary's current end-of-log watermark.  Replicas
+  compute lag from it and from ``sent_at``; it also proves liveness
+  while the log is quiet.
+
+Positions are ``(generation, byte_offset)`` pairs ordered
+lexicographically.  Corruption anywhere (bad CRC, unknown kind) raises
+:class:`~repro.errors.ReplicationError`; a clean EOF raises
+``ConnectionError``.  Both are connection-scoped: drop and reconnect.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..errors import ReplicationError
+
+__all__ = [
+    "HELLO",
+    "SNAPSHOT",
+    "FRAME",
+    "ROTATE",
+    "HEARTBEAT",
+    "KIND_NAMES",
+    "Message",
+    "send_message",
+    "recv_message",
+]
+
+HELLO = 1
+SNAPSHOT = 2
+FRAME = 3
+ROTATE = 4
+HEARTBEAT = 5
+
+KIND_NAMES = {
+    HELLO: "hello",
+    SNAPSHOT: "snapshot",
+    FRAME: "frame",
+    ROTATE: "rotate",
+    HEARTBEAT: "heartbeat",
+}
+
+# kind, generation, offset, sent_at, payload_length, crc32(payload)
+_HEADER = struct.Struct("<BIQdII")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded replication message."""
+
+    kind: int
+    generation: int
+    offset: int
+    sent_at: float
+    payload: bytes
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.generation, self.offset)
+
+
+def send_message(
+    sock: socket.socket,
+    kind: int,
+    generation: int,
+    offset: int,
+    payload: bytes = b"",
+    *,
+    sent_at: float,
+    mangle: Optional[Callable[[bytes], bytes]] = None,
+) -> None:
+    """Send one message.  ``mangle`` is a test seam: it corrupts the
+    payload *after* the CRC is computed, producing a receiver-side CRC
+    mismatch exactly like a torn frame on the wire."""
+    header = _HEADER.pack(
+        kind, generation, offset, sent_at, len(payload), zlib.crc32(payload)
+    )
+    if mangle is not None:
+        payload = mangle(payload)
+    sock.sendall(header + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("replication peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Message:
+    """Receive one message, verifying the payload CRC."""
+    kind, generation, offset, sent_at, length, crc = _HEADER.unpack(
+        _recv_exact(sock, _HEADER.size)
+    )
+    payload = _recv_exact(sock, length) if length else b""
+    if kind not in KIND_NAMES:
+        raise ReplicationError(f"unknown replication message kind {kind}")
+    if zlib.crc32(payload) != crc:
+        raise ReplicationError(
+            f"torn {KIND_NAMES[kind]} message: payload checksum mismatch"
+        )
+    return Message(kind, generation, offset, sent_at, payload)

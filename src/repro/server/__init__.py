@@ -1,6 +1,6 @@
 """The OntoAccess HTTP endpoint prototype (paper Section 6)."""
 
-from .client import Feedback, OntoAccessClient, RetryPolicy
+from .client import Feedback, OntoAccessClient, ReplicatedClient, RetryPolicy
 from .endpoint import OntoAccessEndpoint
 from .protocol import Response
 
@@ -8,6 +8,7 @@ __all__ = [
     "Feedback",
     "OntoAccessClient",
     "OntoAccessEndpoint",
+    "ReplicatedClient",
     "Response",
     "RetryPolicy",
 ]

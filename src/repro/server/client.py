@@ -43,7 +43,7 @@ from ..rdf.terms import Literal
 from ..rdf.turtle import parse_turtle
 from . import protocol
 
-__all__ = ["OntoAccessClient", "Feedback", "RetryPolicy"]
+__all__ = ["OntoAccessClient", "Feedback", "ReplicatedClient", "RetryPolicy"]
 
 
 @dataclass
@@ -124,6 +124,9 @@ class OntoAccessClient:
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: headers of the last response received (e.g. ``X-Replica-Lag``
+        #: from a replica endpoint); None before the first response
+        self.last_response_headers: Optional[dict] = None
 
     # -- write path (never auto-retried) --------------------------------
 
@@ -297,6 +300,7 @@ class OntoAccessClient:
                 response = conn.getresponse()
                 payload = response.read().decode("utf-8")
                 status = response.status
+                self.last_response_headers = dict(response.getheaders())
                 retry_after = _parse_retry_after(
                     response.getheader("Retry-After")
                 )
@@ -327,6 +331,151 @@ class OntoAccessClient:
                 attempt += 1
                 continue
             return status, payload
+
+
+class ReplicatedClient:
+    """Routes over a replicated deployment (ISSUE 8): writes to the
+    primary, snapshot reads round-robin across read replicas, with
+    automatic fallback to the primary when a replica is unreachable,
+    still syncing, or past its staleness bound (its endpoint answers
+    503 ``replica-lagging``).
+
+    Replica sub-clients get a single-attempt retry policy: a failing
+    replica should cost one round-trip before the primary answers, not a
+    backoff loop.  ``last_replica_lag`` records the ``X-Replica-Lag``
+    header of the most recent replica-served read.  Like
+    :class:`OntoAccessClient`, not thread-safe — one per thread.
+    """
+
+    def __init__(
+        self,
+        primary_url: str,
+        replica_urls: Sequence[str] = (),
+        timeout: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.primary = OntoAccessClient(
+            primary_url, timeout=timeout, retry=retry, sleep=sleep
+        )
+        self.replicas = [
+            OntoAccessClient(
+                url,
+                timeout=timeout,
+                retry=RetryPolicy(max_attempts=1),
+                sleep=sleep,
+            )
+            for url in replica_urls
+        ]
+        self._next_replica = 0
+        #: seconds of staleness reported by the last replica-served read
+        self.last_replica_lag: Optional[float] = None
+        #: routing diagnostics
+        self.replica_reads = 0
+        self.primary_reads = 0
+        self.primary_fallbacks = 0
+
+    # -- write path: always the primary ---------------------------------
+
+    def update(self, sparql_update: str) -> Feedback:
+        return self.primary.update(sparql_update)
+
+    def batch(self, updates: Union[str, Sequence[str]]) -> Feedback:
+        return self.primary.batch(updates)
+
+    def checkpoint(self) -> dict:
+        return self.primary.checkpoint()
+
+    def health(self) -> dict:
+        return self.primary.health()
+
+    # -- read path: replica first, primary on failure -------------------
+
+    def _pick(self) -> Optional[OntoAccessClient]:
+        if not self.replicas:
+            return None
+        client = self.replicas[self._next_replica % len(self.replicas)]
+        self._next_replica += 1
+        return client
+
+    def _note_lag(self, client: OntoAccessClient) -> None:
+        headers = client.last_response_headers or {}
+        for name, value in headers.items():
+            if name.lower() == "x-replica-lag":
+                try:
+                    self.last_replica_lag = float(value)
+                except ValueError:
+                    pass
+                return
+
+    def query_json(
+        self, sparql_query: str, request_timeout: Optional[float] = None
+    ) -> dict:
+        replica = self._pick()
+        if replica is not None:
+            try:
+                result = replica.query_json(sparql_query, request_timeout)
+            except ReproError:
+                self.primary_fallbacks += 1
+            else:
+                self.replica_reads += 1
+                self._note_lag(replica)
+                return result
+        self.primary_reads += 1
+        return self.primary.query_json(sparql_query, request_timeout)
+
+    def query_text(
+        self, sparql_query: str, request_timeout: Optional[float] = None
+    ) -> str:
+        replica = self._pick()
+        if replica is not None:
+            try:
+                # _post (not query_text) so the status is visible: a 503
+                # replica-lagging body must not be returned as a result.
+                status, body = replica._post(
+                    protocol.QUERY_PATH,
+                    sparql_query,
+                    protocol.CONTENT_SPARQL_QUERY,
+                    idempotent=True,
+                    request_timeout=request_timeout,
+                )
+            except ReproError:
+                self.primary_fallbacks += 1
+            else:
+                if status == 200:
+                    self.replica_reads += 1
+                    self._note_lag(replica)
+                    return body
+                self.primary_fallbacks += 1
+        self.primary_reads += 1
+        return self.primary.query_text(sparql_query, request_timeout)
+
+    def dump(self) -> Graph:
+        replica = self._pick()
+        if replica is not None:
+            try:
+                result = replica.dump()
+            except ReproError:
+                self.primary_fallbacks += 1
+            else:
+                self.replica_reads += 1
+                self._note_lag(replica)
+                return result
+        self.primary_reads += 1
+        return self.primary.dump()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        self.primary.close()
+        for replica in self.replicas:
+            replica.close()
+
+    def __enter__(self) -> "ReplicatedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:

@@ -38,6 +38,19 @@ falling over:
   and ``GET /ready`` (503 while degraded) surface durability state:
   WAL refusing mode, last checkpoint age.  Both bypass admission so a
   probe can never be starved by load.
+
+Replica mode (ISSUE 8) — constructed with ``replica=`` (a
+:class:`~repro.replication.replica.Replica`), the endpoint serves the
+read side of WAL-shipping replication:
+
+* writes (``/update``, ``/batch``, ``/admin/checkpoint``) answer 403 —
+  they belong on the primary;
+* reads carry an ``X-Replica-Lag`` header (seconds of staleness) and are
+  refused with 503 while the replica is bootstrapping or once its lag
+  exceeds ``max_replica_lag`` — the client's cue to fall back to the
+  primary;
+* ``/ready`` is 503 until bootstrap replay has caught up to the
+  primary's watermark, so load balancers only route to synced replicas.
 """
 
 from __future__ import annotations
@@ -270,8 +283,13 @@ class OntoAccessEndpoint:
         max_body_bytes: int = 8 * 1024 * 1024,
         max_connections: int = 128,
         retry_after: float = 1.0,
+        replica: Optional[Any] = None,
+        max_replica_lag: Optional[float] = None,
     ) -> None:
         self.mediator = mediator
+        #: replication (ISSUE 8): serving the read side of a replica
+        self.replica = replica
+        self.max_replica_lag = max_replica_lag
         #: One session shared by all handler threads: writes serialize on
         #: its write-tier lock, reads run against committed snapshots, and
         #: its prepared cache amortizes repeated texts across threads.
@@ -352,6 +370,59 @@ class OntoAccessEndpoint:
         return None if budget is None else Deadline(budget)
 
     # ------------------------------------------------------------------
+    # replica staleness gate (ISSUE 8)
+    # ------------------------------------------------------------------
+
+    def _replica_gate(self) -> Optional[Response]:
+        """None when a read may be served here; a 503 when this endpoint
+        is a replica that is still syncing or too stale (``max_replica_
+        lag`` exceeded) — the client retries against the primary."""
+        replica = self.replica
+        if replica is None:
+            return None
+        if not replica.ready:
+            self._count(error=True)
+            return protocol.error_json(
+                "replica-syncing",
+                "replica has not finished bootstrap replay; retry on "
+                "the primary",
+                503,
+                retry_after=self.retry_after,
+            )
+        lag = replica.lag()
+        if self.max_replica_lag is not None and lag > self.max_replica_lag:
+            self._count(error=True)
+            response = protocol.error_json(
+                "replica-lagging",
+                f"replica lag {lag:.3f}s exceeds the bound of "
+                f"{self.max_replica_lag:g}s; retry on the primary",
+                503,
+                retry_after=self.retry_after,
+                lag_s=round(lag, 3),
+            )
+            response.headers["X-Replica-Lag"] = f"{lag:.3f}"
+            return response
+        return None
+
+    def _tag_replica(self, response: Response) -> Response:
+        """Attach the staleness measurement to a replica-served read."""
+        replica = self.replica
+        if replica is not None:
+            lag = replica.lag()
+            if math.isfinite(lag):
+                response.headers["X-Replica-Lag"] = f"{lag:.3f}"
+        return response
+
+    def _refuse_write(self, what: str) -> Response:
+        self._count(error=True)
+        return protocol.error_json(
+            "read-only-replica",
+            f"{what} must go to the primary; this endpoint serves a "
+            "read replica",
+            403,
+        )
+
+    # ------------------------------------------------------------------
     # protocol handlers (network-independent)
     # ------------------------------------------------------------------
 
@@ -361,6 +432,8 @@ class OntoAccessEndpoint:
         Placeholders are rejected at parse time (the wire protocol has no
         bindings), preserving the submission's concreteness rule.
         """
+        if self.replica is not None:
+            return self._refuse_write("updates")
         try:
             result = self.session.prepare_update(
                 body, allow_placeholders=False
@@ -389,6 +462,8 @@ class OntoAccessEndpoint:
         request strings; anything else is one (possibly multi-operation)
         SPARQL/Update request.  On error nothing is persisted.
         """
+        if self.replica is not None:
+            return self._refuse_write("batches")
         try:
             if (
                 content_type
@@ -435,7 +510,16 @@ class OntoAccessEndpoint:
         SELECT results are serialized incrementally (JSON / CSV / TSV /
         text table) and streamed with chunked transfer encoding, so a
         large result never needs to exist as one response string.
+
+        On a replica the query is refused with 503 while syncing or past
+        the lag bound, and a served result carries ``X-Replica-Lag``.
         """
+        blocked = self._replica_gate()
+        if blocked is not None:
+            return blocked
+        return self._tag_replica(self._handle_query(body, accept))
+
+    def _handle_query(self, body: str, accept: Optional[str] = None) -> Response:
         if not protocol.acceptable(accept):
             self._count(error=True)
             return protocol.error_json(
@@ -499,13 +583,18 @@ class OntoAccessEndpoint:
         )
 
     def handle_dump(self) -> Response:
+        blocked = self._replica_gate()
+        if blocked is not None:
+            return blocked
         self._count()
-        return Response.turtle(self.session.dump())
+        return self._tag_replica(Response.turtle(self.session.dump()))
 
     def handle_checkpoint(self) -> Response:
         """POST /admin/checkpoint: serialize the committed state and
         truncate the write-ahead log (no-op answer when the endpoint
         serves an in-memory database)."""
+        if self.replica is not None:
+            return self._refuse_write("checkpoints")
         try:
             path = self.session.checkpoint()
         except ReproError as exc:
@@ -535,21 +624,33 @@ class OntoAccessEndpoint:
         backend = self.session.health()
         degraded = bool(backend.get("wal_refusing"))
         self._count()
-        return Response.json(
-            {
-                "status": "degraded" if degraded else "ok",
-                "backend": backend,
-                "serving": self.serving_stats(),
-                "requests": {
-                    "served": self.requests_served,
-                    "errors": self.errors_returned,
-                },
-            }
-        )
+        doc = {
+            "status": "degraded" if degraded else "ok",
+            "backend": backend,
+            "serving": self.serving_stats(),
+            "requests": {
+                "served": self.requests_served,
+                "errors": self.errors_returned,
+            },
+        }
+        if self.replica is not None:
+            doc["replication"] = self.replica.status()
+        return Response.json(doc)
 
     def handle_ready(self) -> Response:
-        """GET /ready: 200 while the endpoint can accept writes, 503 once
-        the durable store is degraded (load balancers drain on this)."""
+        """GET /ready: 200 while the endpoint can accept writes (or, on a
+        replica, serve synced reads), 503 while degraded — durable store
+        refusing commits, or replica bootstrap replay still running
+        (load balancers drain on this)."""
+        if self.replica is not None and not self.replica.ready:
+            self._count(error=True)
+            return protocol.error_json(
+                "replica-syncing",
+                "replica has not finished bootstrap replay",
+                503,
+                retry_after=self.retry_after,
+                replica=self.replica.status(),
+            )
         backend = self.session.health()
         if backend.get("wal_refusing"):
             self._count(error=True)
@@ -560,7 +661,10 @@ class OntoAccessEndpoint:
                 503,
             )
         self._count()
-        return Response.json({"ready": True})
+        doc: Dict[str, Any] = {"ready": True}
+        if self.replica is not None:
+            doc["replica"] = self.replica.status()
+        return Response.json(doc)
 
     # ------------------------------------------------------------------
     # HTTP plumbing

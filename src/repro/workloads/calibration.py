@@ -1,0 +1,110 @@
+"""Short closed-loop calibration for load tests and benchmarks (ISSUE 8).
+
+The serving-tier tests and benchmarks pin their offered load and
+deadlines to an *injected* service latency so the numbers mean the same
+thing on every machine.  That only holds while the injected latency
+dominates the raw (machine-dependent) request time; PR 6 hard-coded the
+raw side away (≈46 req/s capacity, 60 ms stalls, 2.0 s deadlines) and
+the overload soak flaked whenever a slow or loaded box broke those
+assumptions.  The cure is a few sequential requests up front:
+
+1. :func:`measure_service_time` runs a short, uninjected closed loop and
+   returns the median wall-clock time of one request;
+2. :func:`derive_overload_pins` turns that raw figure into every pin an
+   overload scenario needs — the latency to inject (large enough to
+   dominate), the tight per-request timeout that *must* expire, the
+   server-wide deadline that admitted requests *must* meet, and the
+   elapsed-time ceiling the test may assert.
+
+The guarantees the pins encode:
+
+* ``injected_latency_s >= dominance * raw_service_s``, so capacity
+  ``1/service_s`` is stable across machines;
+* ``tight_timeout_s < 3 * injected_latency_s``, so any request whose
+  execution crosses at least three injection points is guaranteed to
+  exceed a deadline of ``tight_timeout_s`` (a deterministic 408);
+* ``default_timeout_s`` and ``accepted_latency_bound_s`` scale with the
+  measured service time (with the PR 6 values as floors), so admitted
+  requests on a slow machine are not misclassified as unbounded.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["OverloadPins", "derive_overload_pins", "measure_service_time"]
+
+
+def measure_service_time(
+    fire: Callable[[], object], *, samples: int = 7, warmup: int = 2
+) -> float:
+    """Median wall-clock seconds of one sequential ``fire()`` call.
+
+    ``fire`` performs one complete request against the system under
+    test (and may assert on its outcome).  The warmup calls absorb
+    one-time costs — connection setup, lazily built plans, cold caches —
+    so the median reflects steady state.
+    """
+    for _ in range(warmup):
+        fire()
+    elapsed = []
+    for _ in range(samples):
+        start = time.monotonic()
+        fire()
+        elapsed.append(time.monotonic() - start)
+    return statistics.median(elapsed)
+
+
+@dataclass(frozen=True)
+class OverloadPins:
+    """Calibration-derived constants for one overload scenario."""
+
+    #: measured, uninjected service time (median seconds per request)
+    raw_service_s: float
+    #: latency to inject at the executor so service time is pinned
+    injected_latency_s: float
+    #: expected service time with injection = raw + injected
+    service_s: float
+    #: closed-loop capacity of ONE admitted slot, requests/second
+    capacity_rps: float
+    #: per-request ``?timeout=`` that must deterministically expire for
+    #: any request crossing >= 3 injection points
+    tight_timeout_s: float
+    #: server-wide default deadline admitted requests must meet
+    default_timeout_s: float
+    #: ceiling a test may assert on an accepted request's elapsed time
+    accepted_latency_bound_s: float
+
+
+def derive_overload_pins(
+    raw_service_s: float,
+    *,
+    min_injected: float = 0.02,
+    dominance: float = 4.0,
+) -> OverloadPins:
+    """Derive every overload pin from one measured raw service time.
+
+    ``min_injected`` keeps fast machines on the historical pins (PR 6
+    used 0.02 s for the benchmark, 0.06 s for the soak); ``dominance``
+    is how many times the raw service time the injected latency must be
+    for the pin to dominate.
+    """
+    raw = max(0.0, raw_service_s)
+    injected = max(min_injected, dominance * raw)
+    service = raw + injected
+    # 2 * service < 3 * injected  <=>  2 * raw < injected, which holds
+    # by construction whenever dominance >= 2 (we require >= 4): the
+    # tight timeout deterministically expires across three stalls while
+    # still being long enough that admission itself never races it.
+    return OverloadPins(
+        raw_service_s=raw,
+        injected_latency_s=injected,
+        service_s=service,
+        capacity_rps=1.0 / service,
+        tight_timeout_s=2.0 * service,
+        default_timeout_s=max(2.0, 25.0 * service),
+        accepted_latency_bound_s=max(2.5, 30.0 * service),
+    )

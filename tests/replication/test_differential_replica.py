@@ -1,0 +1,146 @@
+"""Differential replica consistency: replicas vs. the primary (ISSUE 8).
+
+The `test` archetype's proof for WAL-shipping replication: the seeded
+randomized workload generator from :mod:`tests.rdb.test_differential`
+drives DML *and* DDL (index churn, checkpoints) rounds on a durable
+primary while two replicas follow over real sockets; then the workload
+quiesces to a known WAL position (every replica has applied exactly the
+primary's end-of-log watermark) and a generated query battery must
+return **exactly** the primary's results on every replica — exact
+sequences for totally ordered queries, key-sequence + multiset for
+single-key ORDER BY, multisets otherwise, plus a full ordered scan of
+every table.  Any divergence is a replication bug by definition: the
+replica applied the logical change stream the primary's durability layer
+wrote.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import DatabaseError
+from repro.rdb import Database
+from repro.replication import LogShipper, Replica
+
+from tests.rdb.test_differential import (
+    QUERIES_PER_BATCH,
+    _assert_agree,
+    _build_schema,
+    _populate,
+    _random_dml,
+    _random_query,
+)
+
+SEEDS = range(4)
+REPLICAS = 2
+DML_ROUNDS = 3
+
+
+def _apply(db, statement):
+    """Statement-level atomicity: a failing statement (e.g. a random PK
+    collision) is skipped; the replica never sees it (nothing logged)."""
+    try:
+        db.execute(statement)
+    except DatabaseError:
+        pass
+
+
+def _quiesce(db, replicas, timeout=15.0):
+    """Flush the primary's log and block until every replica has applied
+    exactly up to the primary's end-of-log position."""
+    manager = db._durability
+    manager.ship_flush()
+    position = manager.position()
+    for replica in replicas:
+        assert replica.wait_applied(position, timeout), (
+            f"replica never reached {position}: {replica.status()}"
+        )
+        assert replica.applied_position() >= position
+    return position
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_replicas_exactly_match_primary_after_quiesce(seed, tmp_path):
+    rng = random.Random(55_000 + seed)
+    specs, ddl = _build_schema(rng)
+    inserts = _populate(specs, rng)
+
+    db = Database(data_dir=str(tmp_path / "primary"), sync_mode="os")
+    shipper = None
+    replicas = []
+    try:
+        for statement in ddl + inserts:
+            db.execute(statement)
+        shipper = LogShipper(db).start()
+        replicas = [Replica(shipper.address).start() for _ in range(REPLICAS)]
+        for replica in replicas:
+            assert replica.wait_ready(15.0), replica.status()
+
+        target = specs[0].name
+        for round_no in range(DML_ROUNDS):
+            for statement in _random_dml(rng, specs):
+                _apply(db, statement)
+            if round_no == 0:
+                # DDL rides the same stream: index churn must replicate
+                db.execute(f"DROP INDEX IF EXISTS idx_{target}_a")
+                db.execute(f"CREATE INDEX idx_{target}_repl ON {target} (a)")
+            if round_no == 1:
+                # rotate + truncate mid-stream: replicas must follow the
+                # generation bump without resyncing
+                db.checkpoint()
+
+        _quiesce(db, replicas)
+
+        for _ in range(QUERIES_PER_BATCH):
+            sql, compare = _random_query(rng, specs)
+            for replica in replicas:
+                _assert_agree(replica.db, db, sql, compare)
+        for spec in specs:
+            scan = f"SELECT * FROM {spec.name} ORDER BY id"
+            for replica in replicas:
+                _assert_agree(replica.db, db, scan, "exact")
+    finally:
+        for replica in replicas:
+            replica.close()
+        if shipper is not None:
+            shipper.stop()
+        db.close()
+
+
+def test_late_joiner_bootstraps_to_equality(tmp_path):
+    """A replica that joins after the workload ran (checkpoint + tail on
+    disk) bootstraps from the snapshot and converges to exact equality."""
+    rng = random.Random(99_123)
+    specs, ddl = _build_schema(rng)
+    inserts = _populate(specs, rng)
+
+    db = Database(data_dir=str(tmp_path / "primary"), sync_mode="os")
+    shipper = None
+    replica = None
+    try:
+        for statement in ddl + inserts:
+            db.execute(statement)
+        for statement in _random_dml(rng, specs):
+            _apply(db, statement)
+        db.checkpoint()  # bootstrap base
+        for statement in _random_dml(rng, specs):
+            _apply(db, statement)  # tail past the checkpoint
+
+        shipper = LogShipper(db).start()
+        replica = Replica(shipper.address).start()
+        assert replica.wait_ready(15.0), replica.status()
+        assert replica.snapshots_loaded == 1
+        _quiesce(db, [replica])
+
+        for spec in specs:
+            scan = f"SELECT * FROM {spec.name} ORDER BY id"
+            _assert_agree(replica.db, db, scan, "exact")
+        for _ in range(QUERIES_PER_BATCH):
+            sql, compare = _random_query(rng, specs)
+            _assert_agree(replica.db, db, sql, compare)
+    finally:
+        if replica is not None:
+            replica.close()
+        if shipper is not None:
+            shipper.stop()
+        db.close()

@@ -18,6 +18,10 @@ from repro import OntoAccess
 from repro.errors import EndpointTransportError
 from repro.faults import INJECTOR
 from repro.server import OntoAccessClient, OntoAccessEndpoint, RetryPolicy
+from repro.workloads.calibration import (
+    derive_overload_pins,
+    measure_service_time,
+)
 from repro.workloads.generator import WorkloadConfig, build_populated_database
 from repro.workloads.publication import (
     PUBLICATION_DDL,
@@ -195,14 +199,24 @@ class TestOverloadSoak:
     (the executor is slowed via fault injection)."""
 
     def test_4x_overload_sheds_and_bounds_latency(self, big_mediator):
-        INJECTOR.inject("executor:scan", latency=0.06)
+        # Calibrate instead of assuming: the old hard-coded pins (60 ms
+        # stalls against an implied ~46 req/s machine, 2.0 s deadline)
+        # flaked wherever the raw scan time wasn't negligible.
+        with OntoAccessEndpoint(big_mediator) as probe:
+            raw = measure_service_time(
+                lambda: _post(probe.port, "/query", SCAN_QUERY),
+                samples=5,
+                warmup=1,
+            )
+        pins = derive_overload_pins(raw, min_injected=0.06)
+        INJECTOR.inject("executor:scan", latency=pins.injected_latency_s)
         max_connections = 8
         endpoint = OntoAccessEndpoint(
             big_mediator,
             max_in_flight=2,
             max_queue=2,
             queue_timeout=0.05,
-            default_timeout=2.0,
+            default_timeout=pins.default_timeout_s,
             max_connections=max_connections,
         )
         results = []
@@ -222,9 +236,11 @@ class TestOverloadSoak:
                 time.sleep(0.005)
 
         def worker(index):
-            # odd workers carry a tight per-request deadline: with three
-            # injected 60ms stalls per scan they *must* time out at 408
-            path = "/query?timeout=0.1" if index % 2 else "/query"
+            # odd workers carry a tight per-request deadline: crossing
+            # three injection points per scan *must* time out at 408
+            # (tight_timeout_s < 3 * injected_latency_s by construction)
+            tight = f"/query?timeout={pins.tight_timeout_s:.3f}"
+            path = tight if index % 2 else "/query"
             for _ in range(3):
                 start = time.monotonic()
                 try:
@@ -262,7 +278,9 @@ class TestOverloadSoak:
             if status in (503, 408):
                 assert "Retry-After" in headers
             if status in (200, 408):  # accepted: bounded by the deadline
-                assert elapsed < 2.5, (status, elapsed)
+                assert elapsed < pins.accepted_latency_bound_s, (
+                    status, elapsed, pins,
+                )
         # thread bound: our workers + sampler + the server's capped
         # handler threads + its accept/serve machinery, nothing unbounded
         assert samples["connections"] <= max_connections
