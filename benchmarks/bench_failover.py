@@ -1,0 +1,256 @@
+"""Failover benchmark (ISSUE 9): write-unavailability window.
+
+Spawns a real two-process topology via the CLI — a durable primary with
+a WAL log shipper, and one replica following it with
+``--promote-on-primary-loss`` armed — then SIGKILLs the primary under a
+running write load and measures the wall-clock window from the kill to
+the **first accepted write** on the auto-promoted replica.  That window
+is the headline failover metric: it covers heartbeat-silence detection
+(``--primary-loss-timeout``), the promotion itself (drain + epoch bump +
+flipping the database writable), and the endpoint gates lifting.
+
+Methodology notes:
+
+* The window's floor is the configured loss timeout — a detector that
+  promoted faster than the silence threshold would be promoting on
+  jitter, so the in-run assertion checks *both* sides: the window must
+  be at least ``PRIMARY_LOSS_TIMEOUT`` and under a generous ceiling.
+* The writer probes the replica endpoint closed-loop after the kill;
+  403 ``read-only-replica`` refusals before promotion are expected and
+  counted (they are the fail-fast path clients re-route on).
+* The CI trend gate compares ``failover_window`` uncalibrated
+  (``--calibration ''``): the window is dominated by the configured
+  timeouts, which are machine-independent, so only a detection or
+  promotion stall (3x+) trips it.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_failover.py -s
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import time
+
+BENCH_DIR = pathlib.Path(__file__).parent
+ARTIFACT = BENCH_DIR / "BENCH_failover.json"
+SRC = str(BENCH_DIR.parent / "src")
+
+PRIMARY_LOSS_TIMEOUT = 0.5
+HEARTBEAT_INTERVAL = 0.05
+HEARTBEAT_GRACE = 0.3
+SEED_WRITES = 5
+WINDOW_CEILING_S = 15.0
+
+SELECT_TEAMS = (
+    "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+    "SELECT ?n WHERE { ?t foaf:name ?n }"
+)
+
+
+def _update(index):
+    return (
+        "PREFIX foaf: <http://xmlns.com/foaf/0.1/> "
+        "PREFIX ont:  <http://example.org/ontology#> "
+        f"INSERT DATA {{ <http://example.org/db/team{index}> "
+        f'foaf:name "Team {index}" ; ont:teamCode "T{index}" . }}'
+    )
+
+
+def _request(port, method, path, body=None, content_type=None, timeout=30.0,
+             accept=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        headers = {"Content-Type": content_type} if content_type else {}
+        if accept:
+            headers["Accept"] = accept
+        conn.request(
+            method,
+            path,
+            body=body.encode("utf-8") if body is not None else None,
+            headers=headers,
+        )
+        response = conn.getresponse()
+        return response.status, response.read().decode()
+    finally:
+        conn.close()
+
+
+def _spawn(args):
+    """Start one server process; returns (process, port, shipper_port)."""
+    child = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", *args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=dict(os.environ, PYTHONPATH=SRC),
+    )
+    port = shipper_port = None
+    for _ in range(8):
+        line = child.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"endpoint at http://[^:]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+        match = re.search(r"log shipper at [^:]+:(\d+)", line)
+        if match:
+            shipper_port = int(match.group(1))
+        if line.startswith("POST"):
+            break
+    assert port is not None, "server process never announced its endpoint"
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            status, _ = _request(port, "GET", "/ready", timeout=5.0)
+            if status == 200:
+                return child, port, shipper_port
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise AssertionError("server process never became ready")
+
+
+def _kill(child):
+    if child.poll() is None:
+        child.kill()
+        child.wait(10)
+
+
+def _record(records, name, median_us, **extra):
+    entry = {
+        "name": name,
+        "fullname": f"benchmarks/bench_failover.py::{name}",
+        "rounds": 1,
+        "median_us": median_us,
+        "mean_us": median_us,
+        "min_us": median_us,
+        "max_us": median_us,
+        "stddev_us": 0.0,
+        "ops": 1e6 / median_us if median_us > 0 else 0.0,
+    }
+    entry.update(extra)
+    records.append(entry)
+
+
+def _row_count(port):
+    status, body = _request(
+        port, "POST", "/query", SELECT_TEAMS, "application/sparql-query",
+        timeout=5.0, accept="application/sparql-results+json",
+    )
+    assert status == 200, body
+    return len(json.loads(body)["results"]["bindings"])
+
+
+def test_failover_write_unavailability_window(tmp_path, capsys):
+    primary, primary_port, shipper_port = _spawn(
+        ["--data-dir", str(tmp_path / "primary"), "--sync-mode", "os",
+         "--replication-port", "0",
+         "--heartbeat-interval", str(HEARTBEAT_INTERVAL)]
+    )
+    assert shipper_port is not None
+    replica, replica_port, _ = _spawn(
+        ["--replica-of", f"127.0.0.1:{shipper_port}",
+         "--promote-on-primary-loss",
+         "--primary-loss-timeout", str(PRIMARY_LOSS_TIMEOUT),
+         "--heartbeat-grace", str(HEARTBEAT_GRACE)]
+    )
+    records = []
+    lines = []
+    try:
+        for index in range(SEED_WRITES):
+            status, body = _request(
+                primary_port, "POST", "/update", _update(index),
+                "application/sparql-update",
+            )
+            assert status == 200, body
+
+        # Wait until the replica has applied the whole seed: the window
+        # must not include catch-up lag from before the crash.
+        deadline = time.monotonic() + 30.0
+        while _row_count(replica_port) < SEED_WRITES:
+            assert time.monotonic() < deadline, "replica never caught up"
+            time.sleep(0.02)
+
+        # -- the crash, and the closed-loop write probe ----------------
+        primary.kill()
+        killed_at = time.monotonic()
+        attempts = 0
+        refusals = 0
+        first_accept = None
+        probe_deadline = killed_at + WINDOW_CEILING_S + 5.0
+        index = SEED_WRITES
+        while time.monotonic() < probe_deadline:
+            attempts += 1
+            try:
+                status, _body = _request(
+                    replica_port, "POST", "/update", _update(index),
+                    "application/sparql-update", timeout=2.0,
+                )
+            except OSError:
+                time.sleep(0.01)
+                continue
+            if status == 200:
+                first_accept = time.monotonic()
+                break
+            refusals += 1
+            time.sleep(0.01)
+        assert first_accept is not None, (
+            "replica never started accepting writes after the primary died"
+        )
+        window_s = first_accept - killed_at
+
+        # The accepted write (and the seed) must actually be readable on
+        # the promoted node.
+        assert _row_count(replica_port) == SEED_WRITES + 1
+
+        _record(
+            records, "failover_window", window_s * 1e6,
+            window_s=round(window_s, 4),
+            attempts=attempts,
+            pre_promotion_refusals=refusals,
+            primary_loss_timeout_s=PRIMARY_LOSS_TIMEOUT,
+            heartbeat_interval_s=HEARTBEAT_INTERVAL,
+            heartbeat_grace_s=HEARTBEAT_GRACE,
+        )
+        lines.append(
+            f"write-unavailability window {window_s * 1e3:7.1f} ms "
+            f"(loss timeout {PRIMARY_LOSS_TIMEOUT:g}s, {attempts} probes, "
+            f"{refusals} pre-promotion refusals)"
+        )
+    finally:
+        _kill(replica)
+        _kill(primary)
+
+    ARTIFACT.write_text(
+        json.dumps(
+            {
+                "module": "bench_failover",
+                "benchmarks": records,
+                "primary_loss_timeout_s": PRIMARY_LOSS_TIMEOUT,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    with capsys.disabled():
+        print("\n### failover: SIGKILL primary -> first accepted write")
+        for line in lines:
+            print(f"    {line}")
+
+    # -- in-run floor and ceiling --------------------------------------
+    assert window_s >= PRIMARY_LOSS_TIMEOUT, (
+        f"window {window_s:.3f}s is under the configured loss timeout "
+        f"{PRIMARY_LOSS_TIMEOUT}s — the detector is promoting on jitter"
+    )
+    assert window_s <= WINDOW_CEILING_S, (
+        f"window {window_s:.3f}s exceeds {WINDOW_CEILING_S}s — detection "
+        "or promotion is stalling"
+    )

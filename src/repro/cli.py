@@ -103,8 +103,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--replica-of", metavar="HOST:PORT",
         help="serve as a read replica of the primary whose log shipper "
-        "listens at HOST:PORT (writes answer 403; incompatible with "
-        "--data-dir)",
+        "listens at HOST:PORT (writes answer 403 until promoted); with "
+        "--data-dir the replica journals what it applies so it can be "
+        "promoted durably or rejoin after a restart",
+    )
+    serve.add_argument(
+        "--promote-on-primary-loss", action="store_true",
+        help="replica only: promote to primary automatically once the "
+        "primary's heartbeat lease has been silent for "
+        "--primary-loss-timeout seconds",
+    )
+    serve.add_argument(
+        "--primary-loss-timeout", type=float, default=3.0, metavar="SECONDS",
+        help="heartbeat silence after which --promote-on-primary-loss "
+        "fires (default: 3)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.2, metavar="SECONDS",
+        help="primary: interval between shipper heartbeats — the lease "
+        "renewal rate replicas judge liveness by (default: 0.2)",
+    )
+    serve.add_argument(
+        "--heartbeat-grace", type=float, default=1.0, metavar="SECONDS",
+        help="replica: heartbeat silence tolerated before the connection "
+        "is considered dead and redialed (default: 1)",
+    )
+    serve.add_argument(
+        "--sync-replicas", type=int, default=0, metavar="N",
+        help="primary: commits block until N replicas acknowledged the "
+        "frame (semi-sync replication; default: 0 = asynchronous)",
+    )
+    serve.add_argument(
+        "--ack-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="primary: longest a commit waits for --sync-replicas "
+        "acknowledgements before answering 503 (default: 5)",
     )
     serve.add_argument(
         "--max-replica-lag", type=float, default=5.0, metavar="SECONDS",
@@ -312,15 +344,24 @@ def _cmd_serve(args, out) -> int:
 
     replica = None
     shipper = None
+    detector = None
+    promoter = None
+    promoted_shippers: list = []  # at most one; a cell the closure can fill
     if args.replica_of:
-        if getattr(args, "data_dir", None):
-            raise ReproError(
-                "--replica-of is incompatible with --data-dir: a replica's "
-                "store is rebuilt from the primary's log"
-            )
-        from .replication import Replica
+        from .replication import PrimaryLossDetector, Replica
 
-        replica = Replica(_parse_address(args.replica_of)).start()
+        db = None
+        if getattr(args, "data_dir", None):
+            # A durable replica journals what it applies: it can be
+            # promoted without losing its prefix, and a deposed primary
+            # restarted with the same --data-dir rejoins here — its
+            # divergent tail is truncated against the new primary.
+            db = Database(data_dir=args.data_dir, sync_mode=args.sync_mode)
+        replica = Replica(
+            _parse_address(args.replica_of),
+            db=db,
+            heartbeat_grace=args.heartbeat_grace,
+        ).start()
         if not replica.wait_ready(args.bootstrap_timeout):
             replica.close()
             raise ReproError(
@@ -329,13 +370,67 @@ def _cmd_serve(args, out) -> int:
             )
         db = replica.db
         mediator = OntoAccess(db, _select_mapping(args, db))
+
+        def promote_now() -> dict:
+            # Shared by POST /admin/promote and the primary-loss
+            # detector; Replica.promote is idempotent under its own
+            # lock, so a race between the two is harmless.
+            record = replica.promote(
+                data_dir=getattr(args, "data_dir", None),
+                sync_mode=args.sync_mode,
+            )
+            print(
+                f"promoted to primary at epoch {record['epoch']}", file=out
+            )
+            if args.replication_port is not None and not promoted_shippers:
+                from .replication import LogShipper
+
+                promoted = LogShipper(
+                    replica.db,
+                    host=args.host,
+                    port=args.replication_port,
+                    heartbeat_interval=args.heartbeat_interval,
+                    min_sync_replicas=args.sync_replicas,
+                    ack_timeout=args.ack_timeout,
+                ).start()
+                promoted_shippers.append(promoted)
+                ship_host, ship_port = promoted.address
+                print(
+                    f"replication log shipper at {ship_host}:{ship_port}",
+                    file=out,
+                )
+            out.flush()
+            return record
+
+        promoter = promote_now
+        if args.promote_on_primary_loss:
+            detector = PrimaryLossDetector(
+                replica, args.primary_loss_timeout, promote_now
+            ).start()
     else:
         mediator = _build_mediator(args)
         if args.replication_port is not None:
             from .replication import LogShipper
 
+            def _deposed(epoch: int) -> None:
+                # Fenced by a promoted replica: refuse writes from here
+                # on so no client can split-brain this lineage.
+                mediator.db.read_only = True
+                print(
+                    f"fenced by replication epoch {epoch}: "
+                    "this primary is now read-only",
+                    file=out,
+                )
+                out.flush()
+
             shipper = LogShipper(
-                mediator.db, host=args.host, port=args.replication_port
+                mediator.db,
+                host=args.host,
+                port=args.replication_port,
+                heartbeat_interval=args.heartbeat_interval,
+                min_sync_replicas=args.sync_replicas,
+                ack_timeout=args.ack_timeout,
+                on_deposed=_deposed,
             ).start()
 
     endpoint = OntoAccessEndpoint(
@@ -351,6 +446,7 @@ def _cmd_serve(args, out) -> int:
         retry_after=args.retry_after,
         replica=replica,
         max_replica_lag=args.max_replica_lag if replica is not None else None,
+        promoter=promoter,
     )
     endpoint.start()
     print(f"OntoAccess endpoint at {endpoint.url}", file=out)
@@ -363,6 +459,12 @@ def _cmd_serve(args, out) -> int:
             f"(max lag {args.max_replica_lag:g}s)",
             file=out,
         )
+        if args.promote_on_primary_loss:
+            print(
+                "auto-promote after "
+                f"{args.primary_loss_timeout:g}s of primary silence",
+                file=out,
+            )
     print(
         "POST /update, POST /query, GET /dump, GET /mapping, GET /health",
         file=out,
@@ -375,9 +477,13 @@ def _cmd_serve(args, out) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if detector is not None:
+            detector.stop()
         endpoint.stop()
         if shipper is not None:
             shipper.stop()
+        for promoted in promoted_shippers:
+            promoted.stop()
         if replica is not None:
             replica.close()
         else:

@@ -32,6 +32,7 @@ from ..errors import (
     DatabaseError,
     DurabilityError,
     IntegrityError,
+    ReadOnlyDatabaseError,
     TransactionError,
     TranslationError,
 )
@@ -422,6 +423,12 @@ class RelationalBackend(Backend):
                     "durable prefix.  Restart the process to recover the "
                     "intact prefix, then retry."
                 )
+            return exc
+        if isinstance(exc, ReadOnlyDatabaseError):
+            # Not a translation problem either: the write was refused
+            # before execution (replica / fenced primary).  Keep the
+            # type — the endpoint maps it to 403 "read-only" so the
+            # client can re-route to the current primary.
             return exc
         if isinstance(exc, (IntegrityError, DatabaseError)):
             return wrap_db_error(exc)

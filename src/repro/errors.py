@@ -101,6 +101,14 @@ class DurabilityError(DatabaseError):
     over (a torn record anywhere but the final segment's tail)."""
 
 
+class ReadOnlyDatabaseError(DatabaseError):
+    """A write was attempted against a database that is not the primary:
+    either a replica still in ``apply_replicated`` mode, or a deposed
+    primary that was fenced by a higher replication epoch.  The endpoint
+    maps it to HTTP 403 with error code ``"read-only"`` — the write
+    provably did not execute, so clients may safely re-route it."""
+
+
 # ---------------------------------------------------------------------------
 # Serving / resilience layer (ISSUE 6)
 # ---------------------------------------------------------------------------
@@ -150,12 +158,22 @@ class FaultError(ReproError):
 
 class ReplicationError(ReproError):
     """WAL-shipping replication failure: a torn or CRC-failing frame on
-    the wire, an unknown message kind, or an unsatisfiable handshake.
+    the wire, an unknown message kind, an unsatisfiable handshake, or a
+    semi-sync commit that no replica acknowledged in time.
 
-    Always connection-scoped, never fatal: the replica supervisor treats
-    it like a dropped connection — disconnect, back off, reconnect, and
-    resume from its applied position (or re-bootstrap from a checkpoint
-    when the primary can no longer serve that position)."""
+    Usually connection-scoped: the replica supervisor treats it like a
+    dropped connection — disconnect, back off, reconnect, and resume
+    from its applied position (or re-bootstrap from a checkpoint when
+    the primary can no longer serve that position).  The exception is
+    fencing (:class:`StaleEpochError`): a shipper deposed by a higher
+    epoch stays fenced until its node rejoins as a replica."""
+
+
+class StaleEpochError(ReplicationError):
+    """An epoch-fencing violation: a message arrived stamped with an
+    epoch below the receiver's, or a shipper discovered a replica living
+    in a later epoch than its own.  The stale side must stop writing and
+    rejoin the new primary as a replica; its frames are never applied."""
 
 
 # ---------------------------------------------------------------------------

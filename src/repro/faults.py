@@ -22,6 +22,8 @@ Known sites:
 * ``repl:ship``    — log shipper, before sending each WAL frame
 * ``repl:connect`` — replica supervisor, before each connect attempt
 * ``repl:apply``   — replica applier, before applying a snapshot/frame
+* ``repl:lease``   — primary-loss detector, at each lease check
+* ``repl:promote`` — replica promotion, before any state changes
 
 Rules are consumed-per-fire with an optional ``times`` budget, and the
 ``armed`` flag keeps the disarmed fast path to one attribute read.

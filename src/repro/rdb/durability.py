@@ -462,6 +462,9 @@ class DurabilityManager:
         os.makedirs(data_dir, exist_ok=True)
         self._lock_file = None
         self._acquire_lock()
+        #: replication epoch this data_dir lives in (monotone, persisted
+        #: in ``data_dir/EPOCH``); a fresh directory starts at epoch 1
+        self.epoch = self._read_epoch()
         self.generation = 0
         self._wal: Optional[_WalWriter] = None
         #: recovery report, for diagnostics and tests
@@ -502,6 +505,82 @@ class DurabilityManager:
         if self._lock_file is not None:
             self._lock_file.close()  # closing the fd releases the flock
             self._lock_file = None
+
+    # -- replication epoch ----------------------------------------------
+
+    def _epoch_path(self) -> str:
+        return os.path.join(self.data_dir, "EPOCH")
+
+    def _read_epoch(self) -> int:
+        try:
+            with open(self._epoch_path(), "r", encoding="ascii") as handle:
+                return max(1, int(handle.read().strip() or 1))
+        except FileNotFoundError:
+            return 1
+        except (OSError, ValueError) as exc:
+            raise DurabilityError(
+                f"unreadable epoch file {self._epoch_path()!r}: {exc}"
+            ) from exc
+
+    def set_epoch(self, epoch: int) -> int:
+        """Persist a new replication epoch (forward-only).  Durable via
+        temp file + fsync + atomic rename *before* the in-memory epoch
+        moves, so a node can never stamp messages with an epoch a crash
+        would roll back."""
+        epoch = int(epoch)
+        if epoch < self.epoch:
+            raise DurabilityError(
+                f"epoch may only advance: {epoch} < current {self.epoch}"
+            )
+        if epoch == self.epoch:
+            return self.epoch
+        final = self._epoch_path()
+        tmp = final + ".new"
+        with open(tmp, "w", encoding="ascii") as handle:
+            handle.write(f"{epoch}\n")
+            handle.flush()
+            _fsync_file(handle)
+        os.replace(tmp, final)
+        _fsync_dir(self.data_dir)
+        self.epoch = epoch
+        return self.epoch
+
+    def advance_epoch(self, minimum: int = 0) -> int:
+        """Bump to at least ``minimum`` and strictly past the current
+        epoch — the promotion primitive."""
+        return self.set_epoch(max(self.epoch + 1, int(minimum)))
+
+    def reset_storage(self, epoch: int) -> None:
+        """Discard the entire local lineage — every WAL segment and
+        checkpoint — and restart at generation 0 under ``epoch``.
+
+        This is the demotion/rejoin primitive: a fenced old primary's
+        un-shipped WAL tail diverged from the new primary's history, so
+        nothing of it may survive; the caller re-bases the in-memory
+        state from the new primary's snapshot and re-journals from
+        there.  The epoch is persisted first so a crash mid-reset leaves
+        a directory that still refuses the old lineage."""
+        self.set_epoch(max(epoch, self.epoch))
+        old = self._wal
+        with self._ship_cond:
+            self.generation = 0
+            self._wal = None
+        if old is not None:
+            old.close()
+        checkpoints, wals = self._scan_dir()
+        for generation in checkpoints:
+            os.unlink(self._checkpoint_path(generation))
+        for generation in wals:
+            os.unlink(self._wal_path(generation))
+        _fsync_dir(self.data_dir)
+        with self._ship_cond:
+            self._wal = _WalWriter(
+                self._wal_path(0), self.sync_mode, self._crash_hook
+            )
+        self.last_checkpoint_time = None
+        self.recovered_batches = 0
+        self.truncated_bytes = 0
+        self._ship_notify()
 
     # -- paths ----------------------------------------------------------
 
@@ -612,19 +691,26 @@ class DurabilityManager:
 
     # -- commit path ----------------------------------------------------
 
-    def log_commit(self, changes: List[Any]) -> Tuple[_WalWriter, int]:
+    def log_commit(self, changes: List[Any]) -> Tuple[_WalWriter, int, int]:
         """Append one commit batch; engine writer lock held.  Returns an
         opaque token for :meth:`wait_durable` — it pins the *segment*
         the record landed in, so a concurrent checkpoint rotation can
-        never strand the waiter against the wrong file's offsets."""
+        never strand the waiter against the wrong file's offsets.  The
+        token also carries the generation, giving the engine's commit
+        hooks (the semi-sync replication barrier) the commit's log
+        position without re-deriving it under the lock."""
         assert self._wal is not None
-        token = (self._wal, self._wal.append(encode_payload(changes)))
+        token = (
+            self._wal,
+            self._wal.append(encode_payload(changes)),
+            self.generation,
+        )
         self._ship_notify()
         return token
 
-    def wait_durable(self, token: Tuple[_WalWriter, int]) -> None:
+    def wait_durable(self, token: Tuple[_WalWriter, int, int]) -> None:
         """Group-commit durability wait; called outside the writer lock."""
-        writer, offset = token
+        writer, offset = token[0], token[1]
         writer.sync_to(offset)
 
     # -- checkpoints ----------------------------------------------------
@@ -797,6 +883,7 @@ class DurabilityManager:
             "wal_refusing": self.wal_refusing,
             "wal_bytes": self.wal_size(),
             "generation": self.generation,
+            "epoch": self.epoch,
             "last_checkpoint_age_s": None if age is None else round(age, 3),
         }
 

@@ -62,6 +62,7 @@ from ..errors import (
     CatalogError,
     DatabaseError,
     DurabilityError,
+    ReadOnlyDatabaseError,
     TransactionError,
 )
 from ..sql import ast
@@ -184,6 +185,23 @@ class Database:
         #: replays the log through the normal execution paths.
         self._durability: Optional[DurabilityManager] = None
         self._recovering = False
+        #: Failover (ISSUE 9): a replica or a fenced (deposed) primary
+        #: refuses client writes; replication/recovery internals bypass
+        #: the gate via ``_applying``.
+        self.read_only = False
+        self._applying = False
+        #: Post-durability commit hooks, called with the commit's WAL
+        #: position after the local fsync wait — the semi-sync
+        #: replication barrier hangs off this.  A hook that raises makes
+        #: the commit surface as failed to the caller even though it is
+        #: locally durable (documented semi-sync semantics).
+        self._commit_hooks: List[Any] = []
+        #: Replica-side provenance: the highest shipped position/epoch
+        #: applied into this store.  On a *durable* replica both are
+        #: journaled (change kind ``"p"``) and checkpointed, so a
+        #: restart resumes the stream exactly where it left off.
+        self.replicated_position: Optional[tuple] = None
+        self.replicated_epoch = 0
         if data_dir is not None:
             self._durability = DurabilityManager(data_dir, sync_mode)
             self._recover()
@@ -232,6 +250,10 @@ class Database:
                 table_data._autoincrement_next[column_name] = max(
                     table_data._autoincrement_next.get(column_name, 1), value
                 )
+        repl = body.get("repl")
+        if repl:
+            self.replicated_epoch = max(self.replicated_epoch, repl[0])
+            self.replicated_position = (repl[1][0], repl[1][1])
         self.data_version += 1
 
     def _apply_wal_changes(self, changes: List[Any]) -> None:
@@ -260,6 +282,12 @@ class Database:
                 self.table_data(change[1]).update(change[2], change[3])
             elif kind == "d":
                 self.table_data(change[1]).delete(change[2])
+            elif kind == "p":
+                # Replication provenance note (durable replica): the
+                # shipped position this batch brought the store up to.
+                _, epoch, generation, offset = change
+                self.replicated_epoch = max(self.replicated_epoch, epoch)
+                self.replicated_position = (generation, offset)
             else:
                 raise DurabilityError(
                     f"corrupt WAL record: unknown change kind {kind!r}"
@@ -277,10 +305,38 @@ class Database:
     def _wait_durable(self, token: Optional[Any]) -> None:
         """Block until the batch behind ``token`` is durable.  Runs
         WITHOUT the writer lock, so concurrent committers share one
-        fsync (group commit) instead of serializing device flushes."""
+        fsync (group commit) instead of serializing device flushes.
+        Commit hooks run after the local wait, still outside the lock,
+        with the commit's ``(generation, offset)`` WAL position."""
         if token is not None:
             assert self._durability is not None
             self._durability.wait_durable(token)
+            if self._commit_hooks:
+                position = (token[2], token[1])
+                for hook in list(self._commit_hooks):
+                    hook(position)
+
+    def add_commit_hook(self, hook: Any) -> None:
+        """Register ``hook(position)`` to run after each commit's local
+        durability wait (outside the writer lock).  A raising hook fails
+        the commit call — the semi-sync replication barrier uses this to
+        refuse acknowledging writes no replica has confirmed."""
+        self._commit_hooks.append(hook)
+
+    def remove_commit_hook(self, hook: Any) -> None:
+        if hook in self._commit_hooks:
+            self._commit_hooks.remove(hook)
+
+    def _check_writable_db(self) -> None:
+        """Refuse client writes on a read-only database (replica mode or
+        a fenced, deposed primary).  Callers hold the writer lock, so
+        the flag cannot flip mid-statement; replication apply and
+        recovery replay set ``_applying``/``_recovering`` to bypass."""
+        if self.read_only and not self._applying and not self._recovering:
+            raise ReadOnlyDatabaseError(
+                "database is read-only (replica or deposed primary); "
+                "route writes to the current primary"
+            )
 
     def _log_enabled(self) -> bool:
         return self._durability is not None and not self._recovering
@@ -319,6 +375,10 @@ class Database:
                 for name, table_data in snap.tables.items()
             },
         }
+        if self.replicated_position is not None:
+            body["repl"] = [
+                self.replicated_epoch, list(self.replicated_position)
+            ]
         return self._durability.write_checkpoint(generation, body)
 
     def durability_status(self) -> Dict[str, Any]:
@@ -328,6 +388,44 @@ class Database:
         if self._durability is None:
             return {"durable": False}
         return self._durability.status()
+
+    @property
+    def epoch(self) -> int:
+        """The replication epoch this database lives in: the persisted
+        data_dir epoch when durable, else the highest epoch observed
+        from a primary (in-memory replicas)."""
+        if self._durability is not None:
+            return self._durability.epoch
+        return self.replicated_epoch
+
+    def enable_durability(
+        self, data_dir: str, sync_mode: str = SYNC_FSYNC
+    ) -> DurabilityManager:
+        """Attach a WAL + checkpoint owner to a database created
+        in-memory — the promotion path for a memory-only replica that
+        must start journaling (and shipping) as the new primary.  The
+        directory must be empty of prior state: adopting someone else's
+        lineage silently would corrupt both."""
+        if self._durability is not None:
+            raise DurabilityError("database already has a data_dir")
+        with self._write_lock:
+            if self._txn is not None:
+                raise TransactionError(
+                    "cannot enable durability inside an open transaction"
+                )
+            manager = DurabilityManager(data_dir, sync_mode)
+            body, batches = manager.recover()
+            if body is not None or batches:
+                manager.close()
+                raise DurabilityError(
+                    f"refusing to enable durability onto non-empty "
+                    f"data_dir {data_dir!r}"
+                )
+            self._durability = manager
+            # Checkpoint immediately: the current in-memory state becomes
+            # the durable base the fresh WAL appends onto.
+            self.checkpoint()
+        return manager
 
     def close(self) -> None:
         """Flush and close the WAL (no-op for in-memory databases).  The
@@ -339,7 +437,12 @@ class Database:
     # replication (replica-side apply)
     # ------------------------------------------------------------------
 
-    def apply_replicated(self, changes: List[Any]) -> None:
+    def apply_replicated(
+        self,
+        changes: List[Any],
+        position: Optional[tuple] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
         """Apply one shipped commit batch to this (replica) database.
 
         Unlike :meth:`_apply_wal_changes` — which runs single-threaded at
@@ -347,45 +450,85 @@ class Database:
         reads, so row changes go through the :meth:`_writable` COW gate
         and the batch publishes like a local commit: readers either see
         the whole batch or none of it.
+
+        On a *durable* replica the whole batch is re-journaled to the
+        local WAL with a ``("p", epoch, generation, offset)`` provenance
+        note appended, so a restarted replica recovers both the data and
+        the exact stream position to resume from — and a promoted one
+        already owns a self-consistent lineage to ship onward.
         """
+        token = None
         with self._write_lock:
             if self._txn is not None:
                 raise TransactionError(
                     "cannot apply replicated changes inside an open "
                     "transaction"
                 )
-            for change in changes:
-                kind = change[0]
-                if kind == "x":
-                    # Rendered DDL replays through the normal path (plan
-                    # cache invalidation, publication); the replica has no
-                    # WAL, so nothing is re-logged.
-                    self.execute(change[1])
-                elif kind == "i":
-                    _, name, rowid, row = change
-                    table_data = self._writable(name)
-                    table_data.restore(rowid, row)
-                    if rowid >= table_data._next_rowid:
-                        table_data._next_rowid = rowid + 1
-                    table = self.schema.table(name)
-                    for column in table.columns.values():
-                        if column.autoincrement and row.get(column.name) is not None:
-                            table_data.note_autoincrement_value(
-                                column.name, row[column.name]
-                            )
-                elif kind == "u":
-                    self._writable(change[1]).update(change[2], change[3])
-                elif kind == "d":
-                    self._writable(change[1]).delete(change[2])
-                else:
-                    raise DurabilityError(
-                        f"corrupt replicated batch: unknown change kind "
-                        f"{kind!r}"
-                    )
+            was_applying = self._applying
+            was_recovering = self._recovering
+            # _recovering suppresses per-statement DDL logging: the whole
+            # batch is journaled in one record below, like the primary's.
+            self._applying = True
+            self._recovering = True
+            try:
+                for change in changes:
+                    kind = change[0]
+                    if kind == "x":
+                        # Rendered DDL replays through the normal path
+                        # (plan cache invalidation, publication).
+                        self.execute(change[1])
+                    elif kind == "i":
+                        _, name, rowid, row = change
+                        table_data = self._writable(name)
+                        table_data.restore(rowid, row)
+                        if rowid >= table_data._next_rowid:
+                            table_data._next_rowid = rowid + 1
+                        table = self.schema.table(name)
+                        for column in table.columns.values():
+                            if column.autoincrement and row.get(column.name) is not None:
+                                table_data.note_autoincrement_value(
+                                    column.name, row[column.name]
+                                )
+                    elif kind == "u":
+                        self._writable(change[1]).update(change[2], change[3])
+                    elif kind == "d":
+                        self._writable(change[1]).delete(change[2])
+                    elif kind == "p":
+                        # Provenance note from an upstream replica's own
+                        # journal (chained replication): superseded by the
+                        # note this apply writes for itself.
+                        pass
+                    else:
+                        raise DurabilityError(
+                            f"corrupt replicated batch: unknown change "
+                            f"kind {kind!r}"
+                        )
+            finally:
+                self._applying = was_applying
+                self._recovering = was_recovering
+            if position is not None:
+                self.replicated_epoch = max(
+                    self.replicated_epoch, int(epoch or 0)
+                )
+                self.replicated_position = (
+                    int(position[0]), int(position[1]),
+                )
+                if self._durability is not None:
+                    record = [c for c in changes if c[0] != "p"]
+                    record.append((
+                        "p", self.replicated_epoch, *self.replicated_position,
+                    ))
+                    token = self._durability.log_commit(record)
             self.data_version += 1
             self._mark_committed()
+        self._wait_durable(token)
 
-    def reset_for_snapshot(self, body: Optional[Dict[str, Any]]) -> None:
+    def reset_for_snapshot(
+        self,
+        body: Optional[Dict[str, Any]],
+        position: Optional[tuple] = None,
+        epoch: Optional[int] = None,
+    ) -> None:
         """Replace this (replica) database's entire state with a shipped
         checkpoint body (None = the primary is fresh: just empty out).
 
@@ -394,30 +537,57 @@ class Database:
         children-first (the catalog refuses to drop a referenced table);
         readers racing the reset may observe intermediate states, which is
         why the serving layer gates queries on the replica's readiness.
+
+        On a durable store this is also the *demotion* path: the local
+        lineage (WAL + checkpoints) is discarded wholesale first — a
+        fenced old primary's un-shipped tail diverged from the new
+        primary's history and must not survive — and the adopted state is
+        immediately re-checkpointed under the new epoch.
         """
         with self._write_lock:
             if self._txn is not None:
                 raise TransactionError(
                     "cannot reset for a snapshot inside an open transaction"
                 )
-            remaining = set(self.schema.table_names())
-            while remaining:
-                referenced = set()
-                for name in remaining:
-                    for parent in self.schema.table(name).referenced_tables():
-                        if parent != name:
-                            referenced.add(parent)
-                droppable = sorted(remaining - referenced)
-                if not droppable:  # FK cycle: force an order
-                    droppable = sorted(remaining)
-                for name in droppable:
-                    self.execute(ast.DropTable(name=name, if_exists=True))
-                    remaining.discard(name)
-            self._ddl_history.clear()
-            if body is not None:
-                self._load_checkpoint_body(body)
+            if self._durability is not None:
+                self._durability.reset_storage(
+                    max(self.epoch, int(epoch or 0))
+                )
+            was_applying = self._applying
+            was_recovering = self._recovering
+            self._applying = True
+            self._recovering = True
+            try:
+                remaining = set(self.schema.table_names())
+                while remaining:
+                    referenced = set()
+                    for name in remaining:
+                        for parent in self.schema.table(name).referenced_tables():
+                            if parent != name:
+                                referenced.add(parent)
+                    droppable = sorted(remaining - referenced)
+                    if not droppable:  # FK cycle: force an order
+                        droppable = sorted(remaining)
+                    for name in droppable:
+                        self.execute(ast.DropTable(name=name, if_exists=True))
+                        remaining.discard(name)
+                self._ddl_history.clear()
+                if body is not None:
+                    self._load_checkpoint_body(body)
+            finally:
+                self._applying = was_applying
+                self._recovering = was_recovering
+            if position is not None:
+                self.replicated_epoch = max(
+                    self.replicated_epoch, int(epoch or 0)
+                )
+                self.replicated_position = (
+                    int(position[0]), int(position[1]),
+                )
             self.data_version += 1
             self._mark_committed()
+            if self._durability is not None:
+                self.checkpoint()
 
     # ------------------------------------------------------------------
     # transaction control
@@ -437,6 +607,11 @@ class Database:
         if self._txn is not None:
             self._write_lock.release()
             raise TransactionError("a transaction is already open")
+        try:
+            self._check_writable_db()
+        except ReadOnlyDatabaseError:
+            self._write_lock.release()
+            raise
         # Make sure a fresh pre-transaction snapshot is published before
         # any mutation, so a reader arriving mid-transaction — even the
         # first reader this database ever sees — finds committed state
@@ -765,6 +940,7 @@ class Database:
             # Autocommit: exclusive writer for the span of one statement.
             # (Blocks here while another thread's transaction is open.)
             with self._write_lock:
+                self._check_writable_db()
                 txn = Transaction(
                     mode=self.constraint_mode, log_changes=self._log_enabled()
                 )
@@ -819,6 +995,7 @@ class Database:
         in_txn = txn is not None and txn.owner == threading.get_ident()
         token = None
         with self._write_lock:
+            self._check_writable_db()
             before = self.schema_version
             with self.planner.lock:
                 if isinstance(stmt, ast.CreateTable):

@@ -9,7 +9,7 @@ serving snapshot reads with a bounded, measured staleness.  See
 :mod:`repro.replication.wire` for the protocol.
 """
 
-from .replica import Replica
+from .replica import PrimaryLossDetector, Replica
 from .shipper import LogShipper
 
-__all__ = ["LogShipper", "Replica"]
+__all__ = ["LogShipper", "PrimaryLossDetector", "Replica"]

@@ -1,14 +1,16 @@
 """Wire protocol for WAL shipping (primary → replica, one TCP stream).
 
-Five message kinds flow over a replication connection, each framed as a
+Six message kinds flow over a replication connection, each framed as a
 fixed header plus an optional CRC32-checksummed payload::
 
-    header  := u8 kind | u32 generation | u64 offset | f64 sent_at
-             | u32 payload_length | u32 crc32(payload)
+    header  := u8 kind | u32 epoch | u32 generation | u64 offset
+             | f64 sent_at | u32 payload_length | u32 crc32(payload)
 
-* ``HELLO`` (replica → primary): the only upstream message.  Carries the
-  replica's applied position; the primary decides whether it can resume
-  streaming from there or must re-bootstrap the replica.
+* ``HELLO`` (replica → primary): opens the stream.  Carries the
+  replica's applied position and the highest epoch it has observed; the
+  primary decides whether it can resume streaming from there or must
+  re-bootstrap the replica — and a primary that sees a *higher* epoch
+  than its own knows it has been deposed.
 * ``SNAPSHOT``: an encoded checkpoint body (empty payload = the primary
   is fresh, start empty).  ``(generation, offset)`` is the base position
   the snapshot covers — streaming resumes there.
@@ -20,12 +22,27 @@ fixed header plus an optional CRC32-checksummed payload::
   WAL_HEADER_SIZE)`` with nothing to apply.
 * ``HEARTBEAT``: the primary's current end-of-log watermark.  Replicas
   compute lag from it and from ``sent_at``; it also proves liveness
-  while the log is quiet.
+  while the log is quiet — it is the primary's lease renewal.
+* ``ACK`` (replica → primary): the replica's applied position after
+  replaying a frame (and on each heartbeat).  Feeds the primary's
+  semi-sync commit barrier (``min_sync_replicas``).
+
+**Epoch fencing**: every message is stamped with the sender's
+replication epoch.  Receivers reject anything stamped below the highest
+epoch they have seen (:class:`~repro.errors.StaleEpochError`), which is
+what makes split-brain writes structurally impossible after a failover:
+a deposed primary's frames carry a stale epoch and are never applied.
 
 Positions are ``(generation, byte_offset)`` pairs ordered
-lexicographically.  Corruption anywhere (bad CRC, unknown kind) raises
-:class:`~repro.errors.ReplicationError`; a clean EOF raises
-``ConnectionError``.  Both are connection-scoped: drop and reconnect.
+lexicographically — but only *within* one epoch.  After a promotion the
+new primary's generations restart, so a position is only resumable when
+the epochs match; otherwise the replica re-bases from a ``SNAPSHOT``.
+
+Corruption anywhere (bad CRC, unknown kind, an oversized length field,
+a header or payload truncated mid-read) raises
+:class:`~repro.errors.ReplicationError`; a clean EOF between messages
+raises ``ConnectionError``.  Both are connection-scoped: drop and
+reconnect.
 """
 
 from __future__ import annotations
@@ -44,7 +61,9 @@ __all__ = [
     "FRAME",
     "ROTATE",
     "HEARTBEAT",
+    "ACK",
     "KIND_NAMES",
+    "MAX_PAYLOAD",
     "Message",
     "send_message",
     "recv_message",
@@ -55,6 +74,7 @@ SNAPSHOT = 2
 FRAME = 3
 ROTATE = 4
 HEARTBEAT = 5
+ACK = 6
 
 KIND_NAMES = {
     HELLO: "hello",
@@ -62,10 +82,17 @@ KIND_NAMES = {
     FRAME: "frame",
     ROTATE: "rotate",
     HEARTBEAT: "heartbeat",
+    ACK: "ack",
 }
 
-# kind, generation, offset, sent_at, payload_length, crc32(payload)
-_HEADER = struct.Struct("<BIQdII")
+# kind, epoch, generation, offset, sent_at, payload_length, crc32(payload)
+_HEADER = struct.Struct("<BIIQdII")
+
+#: Upper bound on a single payload.  A frame is one commit batch and a
+#: snapshot is one checkpoint body; anything claiming more than this is
+#: a corrupt or hostile length field, and honoring it would make the
+#: receiver allocate unbounded memory before the CRC check can run.
+MAX_PAYLOAD = 64 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -73,6 +100,7 @@ class Message:
     """One decoded replication message."""
 
     kind: int
+    epoch: int
     generation: int
     offset: int
     sent_at: float
@@ -90,42 +118,62 @@ def send_message(
     offset: int,
     payload: bytes = b"",
     *,
+    epoch: int,
     sent_at: float,
     mangle: Optional[Callable[[bytes], bytes]] = None,
 ) -> None:
-    """Send one message.  ``mangle`` is a test seam: it corrupts the
-    payload *after* the CRC is computed, producing a receiver-side CRC
-    mismatch exactly like a torn frame on the wire."""
+    """Send one message stamped with the sender's ``epoch``.  ``mangle``
+    is a test seam: it corrupts the payload *after* the CRC is computed,
+    producing a receiver-side CRC mismatch exactly like a torn frame on
+    the wire."""
     header = _HEADER.pack(
-        kind, generation, offset, sent_at, len(payload), zlib.crc32(payload)
+        kind, epoch, generation, offset, sent_at,
+        len(payload), zlib.crc32(payload),
     )
     if mangle is not None:
         payload = mangle(payload)
     sock.sendall(header + payload)
 
 
-def _recv_exact(sock: socket.socket, size: int) -> bytes:
+def _recv_exact(sock: socket.socket, size: int, what: str) -> bytes:
     chunks = []
     remaining = size
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            raise ConnectionError("replication peer closed the connection")
+            if remaining == size:
+                # Clean EOF on a message boundary: an orderly close.
+                raise ConnectionError(
+                    "replication peer closed the connection"
+                )
+            raise ReplicationError(
+                f"truncated {what}: peer closed mid-message with "
+                f"{remaining} of {size} bytes missing"
+            )
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
 
 
 def recv_message(sock: socket.socket) -> Message:
-    """Receive one message, verifying the payload CRC."""
-    kind, generation, offset, sent_at, length, crc = _HEADER.unpack(
-        _recv_exact(sock, _HEADER.size)
+    """Receive one message, validating the header before trusting its
+    length field and verifying the payload CRC."""
+    kind, epoch, generation, offset, sent_at, length, crc = _HEADER.unpack(
+        _recv_exact(sock, _HEADER.size, "header")
     )
-    payload = _recv_exact(sock, length) if length else b""
     if kind not in KIND_NAMES:
         raise ReplicationError(f"unknown replication message kind {kind}")
+    if length > MAX_PAYLOAD:
+        raise ReplicationError(
+            f"oversized {KIND_NAMES[kind]} payload: {length} bytes "
+            f"claimed (limit {MAX_PAYLOAD})"
+        )
+    payload = (
+        _recv_exact(sock, length, f"{KIND_NAMES[kind]} payload")
+        if length else b""
+    )
     if zlib.crc32(payload) != crc:
         raise ReplicationError(
             f"torn {KIND_NAMES[kind]} message: payload checksum mismatch"
         )
-    return Message(kind, generation, offset, sent_at, payload)
+    return Message(kind, epoch, generation, offset, sent_at, payload)

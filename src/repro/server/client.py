@@ -22,19 +22,38 @@ Resilience (ISSUE 6):
   / ``/admin/checkpoint`` are **never** auto-retried: the first attempt
   may have committed before the connection died.
 
+Write failover (ISSUE 9) — :class:`ReplicatedClient` re-routes writes
+when the primary dies and a replica is promoted.  The rules are strict
+about what may be retried:
+
+* a **403 read-only refusal** provably executed nothing, so *any* write
+  (idempotent or not) is re-routed to the freshly discovered primary;
+* a **transport failure** is re-routed only when the request provably
+  never reached a server (connection refused / host unreachable / DNS
+  failure) **and** the caller declared the write ``idempotent=True`` —
+  a write that may have committed before the connection died is never
+  blindly resent.
+
+The current primary is discovered by probing every known endpoint's
+``/health`` for ``role == "primary"``, preferring the highest ``epoch``
+(the fencing token: a deposed primary advertises a lower epoch, or
+``role: fenced``).
+
 A client instance is not thread-safe (it owns one connection); create
 one per thread.
 """
 
 from __future__ import annotations
 
+import errno
 import http.client
 import json
 import random
+import socket
 import time
 import urllib.parse
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import EndpointTransportError, ReproError
 from ..rdf.graph import Graph
@@ -161,6 +180,15 @@ class OntoAccessClient:
         status, body = self._post(protocol.CHECKPOINT_PATH, "", protocol.CONTENT_JSON)
         if status != 200:
             raise ReproError(f"checkpoint failed (HTTP {status}): {body.strip()}")
+        return json.loads(body)
+
+    def promote(self) -> dict:
+        """POST /admin/promote: promote the endpoint's replica to
+        primary (ISSUE 9).  Returns the promotion record (``epoch``,
+        ``drained``, ``applied``); raises on a non-200 answer."""
+        status, body = self._post(protocol.PROMOTE_PATH, "", protocol.CONTENT_JSON)
+        if status != 200:
+            raise ReproError(f"promote failed (HTTP {status}): {body.strip()}")
         return json.loads(body)
 
     # -- read path (idempotent: retried with backoff) -------------------
@@ -345,6 +373,14 @@ class ReplicatedClient:
     backoff loop.  ``last_replica_lag`` records the ``X-Replica-Lag``
     header of the most recent replica-served read.  Like
     :class:`OntoAccessClient`, not thread-safe — one per thread.
+
+    Write failover (ISSUE 9): when a write is refused with 403
+    ``read-only`` (it provably did not execute) the client probes every
+    known endpoint for the current primary — ``role == "primary"`` with
+    the highest fencing ``epoch`` — re-points, and resends.  A transport
+    failure is only re-routed when it provably never reached a server
+    *and* the caller passed ``idempotent=True``; otherwise it is raised,
+    because the write may already be durable on the dead primary.
     """
 
     def __init__(
@@ -354,7 +390,11 @@ class ReplicatedClient:
         timeout: float = 10.0,
         retry: Optional[RetryPolicy] = None,
         sleep: Callable[[float], None] = time.sleep,
+        failover_retry: Optional[RetryPolicy] = None,
     ) -> None:
+        self._timeout = timeout
+        self._retry = retry
+        self._sleep = sleep
         self.primary = OntoAccessClient(
             primary_url, timeout=timeout, retry=retry, sleep=sleep
         )
@@ -367,6 +407,16 @@ class ReplicatedClient:
             )
             for url in replica_urls
         ]
+        #: every endpoint this client knows about — the candidate set for
+        #: primary discovery after a failover
+        self.endpoint_urls: List[str] = [self.primary.base_url] + [
+            r.base_url for r in self.replicas
+        ]
+        #: backoff between write-failover rounds (full jitter, like the
+        #: read retry policy — a herd of failed-over writers decorrelates)
+        self.failover_retry = failover_retry or RetryPolicy(
+            max_attempts=4, base_delay=0.1, max_delay=2.0
+        )
         self._next_replica = 0
         #: seconds of staleness reported by the last replica-served read
         self.last_replica_lag: Optional[float] = None
@@ -374,20 +424,124 @@ class ReplicatedClient:
         self.replica_reads = 0
         self.primary_reads = 0
         self.primary_fallbacks = 0
+        #: failover diagnostics (ISSUE 9)
+        self.write_failovers = 0
+        self.primary_rediscoveries = 0
 
-    # -- write path: always the primary ---------------------------------
+    # -- write path: the primary, re-routed on failover ------------------
 
-    def update(self, sparql_update: str) -> Feedback:
-        return self.primary.update(sparql_update)
+    def update(self, sparql_update: str, idempotent: bool = False) -> Feedback:
+        """POST a SPARQL/Update request, re-routing to a newly promoted
+        primary when safe (see class docstring for what "safe" means).
+        Pass ``idempotent=True`` to allow re-sending after transport
+        failures where the request provably never reached a server."""
+        status, body = self._write(
+            protocol.UPDATE_PATH,
+            sparql_update,
+            protocol.CONTENT_SPARQL_UPDATE,
+            idempotent,
+        )
+        return _feedback_from_body(status, body)
 
-    def batch(self, updates: Union[str, Sequence[str]]) -> Feedback:
-        return self.primary.batch(updates)
+    def batch(
+        self, updates: Union[str, Sequence[str]], idempotent: bool = False
+    ) -> Feedback:
+        if isinstance(updates, str):
+            payload, content_type = updates, protocol.CONTENT_SPARQL_UPDATE
+        else:
+            payload, content_type = (
+                json.dumps(list(updates)),
+                protocol.CONTENT_JSON,
+            )
+        status, body = self._write(
+            protocol.BATCH_PATH, payload, content_type, idempotent
+        )
+        return _feedback_from_body(status, body)
 
     def checkpoint(self) -> dict:
         return self.primary.checkpoint()
 
     def health(self) -> dict:
         return self.primary.health()
+
+    # -- failover plumbing (ISSUE 9) -------------------------------------
+
+    def discover_primary(self) -> Optional[str]:
+        """Probe every known endpoint's ``/health`` (one attempt each,
+        no backoff) and return the URL advertising ``role: primary``
+        with the highest epoch, or None when no primary is reachable."""
+        self.primary_rediscoveries += 1
+        best_url: Optional[str] = None
+        best_epoch = -1
+        for url in self.endpoint_urls:
+            probe = OntoAccessClient(
+                url,
+                timeout=self._timeout,
+                retry=RetryPolicy(max_attempts=1),
+                sleep=self._sleep,
+            )
+            try:
+                doc = probe.health()
+            except ReproError:
+                continue
+            finally:
+                probe.close()
+            if doc.get("role") != "primary":
+                continue
+            try:
+                epoch = int(doc.get("epoch") or 0)
+            except (TypeError, ValueError):
+                epoch = 0
+            if epoch > best_epoch:
+                best_url, best_epoch = url, epoch
+        return best_url
+
+    def _repoint(self, url: str) -> None:
+        """Aim the write path at a different endpoint."""
+        old = self.primary
+        self.primary = OntoAccessClient(
+            url, timeout=self._timeout, retry=self._retry, sleep=self._sleep
+        )
+        self.write_failovers += 1
+        old.close()
+
+    def _write(
+        self, path: str, payload: str, content_type: str, idempotent: bool
+    ) -> Tuple[int, str]:
+        """One write with failover re-routing.  Retry classification:
+
+        * 403 read-only → the write provably did not execute; always
+          safe to re-route (even non-idempotent writes);
+        * transport error that provably never reached a server
+          (connection refused, host/network unreachable, DNS failure)
+          → re-routed only with ``idempotent=True``;
+        * anything else (including a connection that died mid-request)
+          → raised/returned as-is: the write may have executed.
+        """
+        last_exc: Optional[EndpointTransportError] = None
+        last_answer: Optional[Tuple[int, str]] = None
+        for attempt in range(self.failover_retry.max_attempts):
+            if attempt:
+                self._sleep(self.failover_retry.delay(attempt - 1))
+                url = self.discover_primary()
+                if url is not None and url != self.primary.base_url:
+                    self._repoint(url)
+            try:
+                status, body = self.primary._post(path, payload, content_type)
+            except EndpointTransportError as exc:
+                if not idempotent or not _never_delivered(exc):
+                    raise
+                last_exc, last_answer = exc, None
+                continue
+            if status == 403 and _is_read_only_refusal(body):
+                # Provably unexecuted: keep hunting for the primary.
+                last_exc, last_answer = None, (status, body)
+                continue
+            return status, body
+        if last_exc is not None:
+            raise last_exc
+        assert last_answer is not None
+        return last_answer
 
     # -- read path: replica first, primary on failure -------------------
 
@@ -476,6 +630,48 @@ class ReplicatedClient:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+#: errnos that guarantee the TCP connection was never established, so
+#: the request bytes provably never reached a server process
+_NEVER_DELIVERED_ERRNOS = frozenset(
+    {errno.ECONNREFUSED, errno.EHOSTUNREACH, errno.ENETUNREACH}
+)
+
+
+def _never_delivered(exc: EndpointTransportError) -> bool:
+    """True when the failed request provably never reached a server:
+    the connection was refused or never routed, so not a single byte of
+    the write was delivered.  A connection that died *mid-request*
+    (reset, timeout, EOF) does NOT qualify — the server may have
+    executed the write before the failure."""
+    cause = exc.cause
+    seen = 0
+    while cause is not None and seen < 8:  # defensive: no cycle walks
+        if isinstance(cause, (ConnectionRefusedError, socket.gaierror)):
+            return True
+        if (
+            isinstance(cause, OSError)
+            and cause.errno in _NEVER_DELIVERED_ERRNOS
+        ):
+            return True
+        cause = cause.__cause__
+        seen += 1
+    return False
+
+
+def _is_read_only_refusal(body: str) -> bool:
+    """True for the endpoint's 403 JSON refusal of a write on a replica
+    or fenced primary (error codes ``read-only-replica`` /
+    ``read-only``) — the refusal guarantees nothing executed."""
+    try:
+        doc = json.loads(body)
+    except (json.JSONDecodeError, ValueError):
+        return False
+    return isinstance(doc, dict) and doc.get("error") in (
+        "read-only",
+        "read-only-replica",
+    )
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:

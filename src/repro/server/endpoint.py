@@ -68,6 +68,8 @@ from ..errors import (
     DurabilityError,
     FaultError,
     QueryTimeout,
+    ReadOnlyDatabaseError,
+    ReplicationError,
     ReproError,
     SPARQLParseError,
     TranslationError,
@@ -285,11 +287,18 @@ class OntoAccessEndpoint:
         retry_after: float = 1.0,
         replica: Optional[Any] = None,
         max_replica_lag: Optional[float] = None,
+        promoter: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.mediator = mediator
         #: replication (ISSUE 8): serving the read side of a replica
         self.replica = replica
         self.max_replica_lag = max_replica_lag
+        #: failover (ISSUE 9): callable that promotes this replica to
+        #: primary (``POST /admin/promote``); None on endpoints that
+        #: cannot be promoted (true primaries, or replicas launched
+        #: without a promotion path).
+        self.promoter = promoter
+        self._promote_lock = threading.Lock()
         #: One session shared by all handler threads: writes serialize on
         #: its write-tier lock, reads run against committed snapshots, and
         #: its prepared cache amortizes repeated texts across threads.
@@ -373,11 +382,24 @@ class OntoAccessEndpoint:
     # replica staleness gate (ISSUE 8)
     # ------------------------------------------------------------------
 
+    def _serving_replica(self) -> Optional[Any]:
+        """The replica this endpoint is serving reads for, or None when
+        the endpoint serves a primary.  A promoted replica (its ``role``
+        flipped to ``"primary"``) stops counting: write refusals and
+        staleness gates lift the moment :meth:`handle_promote` returns,
+        with no endpoint reconfiguration."""
+        replica = self.replica
+        if replica is None:
+            return None
+        if getattr(replica, "role", "replica") == "primary":
+            return None
+        return replica
+
     def _replica_gate(self) -> Optional[Response]:
         """None when a read may be served here; a 503 when this endpoint
         is a replica that is still syncing or too stale (``max_replica_
         lag`` exceeded) — the client retries against the primary."""
-        replica = self.replica
+        replica = self._serving_replica()
         if replica is None:
             return None
         if not replica.ready:
@@ -406,7 +428,7 @@ class OntoAccessEndpoint:
 
     def _tag_replica(self, response: Response) -> Response:
         """Attach the staleness measurement to a replica-served read."""
-        replica = self.replica
+        replica = self._serving_replica()
         if replica is not None:
             lag = replica.lag()
             if math.isfinite(lag):
@@ -432,7 +454,7 @@ class OntoAccessEndpoint:
         Placeholders are rejected at parse time (the wire protocol has no
         bindings), preserving the submission's concreteness rule.
         """
-        if self.replica is not None:
+        if self._serving_replica() is not None:
             return self._refuse_write("updates")
         try:
             result = self.session.prepare_update(
@@ -449,6 +471,19 @@ class OntoAccessEndpoint:
             return protocol.error_json(
                 "timeout", str(exc), 408, retry_after=self.retry_after
             )
+        except ReadOnlyDatabaseError as exc:
+            # Fenced/deposed primary: the write provably did not execute,
+            # so the client may safely re-route it (ISSUE 9).
+            self._count(error=True)
+            return protocol.error_json("read-only", str(exc), 403)
+        except ReplicationError as exc:
+            # Semi-sync barrier timed out: durable here, unacknowledged
+            # by the replica quorum.  NOT safe to blindly retry.
+            self._count(error=True)
+            return protocol.error_json(
+                "replication-degraded", str(exc), 503,
+                retry_after=self.retry_after,
+            )
         except DurabilityError as exc:
             self._count(error=True)
             return protocol.error_json("storage-degraded", str(exc), 503)
@@ -462,7 +497,7 @@ class OntoAccessEndpoint:
         request strings; anything else is one (possibly multi-operation)
         SPARQL/Update request.  On error nothing is persisted.
         """
-        if self.replica is not None:
+        if self._serving_replica() is not None:
             return self._refuse_write("batches")
         try:
             if (
@@ -496,6 +531,15 @@ class OntoAccessEndpoint:
             self._count(error=True)
             return protocol.error_json(
                 "timeout", str(exc), 408, retry_after=self.retry_after
+            )
+        except ReadOnlyDatabaseError as exc:
+            self._count(error=True)
+            return protocol.error_json("read-only", str(exc), 403)
+        except ReplicationError as exc:
+            self._count(error=True)
+            return protocol.error_json(
+                "replication-degraded", str(exc), 503,
+                retry_after=self.retry_after,
             )
         except DurabilityError as exc:
             self._count(error=True)
@@ -593,7 +637,7 @@ class OntoAccessEndpoint:
         """POST /admin/checkpoint: serialize the committed state and
         truncate the write-ahead log (no-op answer when the endpoint
         serves an in-memory database)."""
-        if self.replica is not None:
+        if self._serving_replica() is not None:
             return self._refuse_write("checkpoints")
         try:
             path = self.session.checkpoint()
@@ -608,6 +652,34 @@ class OntoAccessEndpoint:
             )
         self._count()
         return Response.json({"checkpoint": path})
+
+    def handle_promote(self) -> Response:
+        """POST /admin/promote: promote this replica to primary (ISSUE 9).
+
+        Answers 200 with the promotion record (new epoch, drained flag,
+        applied position) — idempotently on repeat calls, since
+        :meth:`Replica.promote` is.  409 ``not-promotable`` when the
+        endpoint has no promotion path (it already serves a primary, or
+        was launched without one); 500 ``promotion-failed`` when the
+        promotion itself errored (the replica is stopped but writable
+        state was not reached — operator attention required)."""
+        promoter = self.promoter
+        if promoter is None:
+            self._count(error=True)
+            return protocol.error_json(
+                "not-promotable",
+                "this endpoint has no promotion path; it either already "
+                "serves a primary or was started without one",
+                409,
+            )
+        with self._promote_lock:
+            try:
+                record = promoter()
+            except ReproError as exc:
+                self._count(error=True)
+                return protocol.error_json("promotion-failed", str(exc), 500)
+        self._count()
+        return Response.json({"promoted": True, **record})
 
     def handle_mapping(self) -> Response:
         self._count()
@@ -633,8 +705,21 @@ class OntoAccessEndpoint:
                 "errors": self.errors_returned,
             },
         }
-        if self.replica is not None:
-            doc["replication"] = self.replica.status()
+        # Failover discovery (ISSUE 9): clients pick a new primary by
+        # probing /health for role == "primary" with the highest epoch.
+        replica = self.replica
+        if replica is not None:
+            doc["role"] = replica.role
+            doc["epoch"] = replica.epoch
+            doc["replication"] = replica.status()
+        else:
+            db = self.mediator.db
+            # A deposed primary (fenced by a higher epoch, flipped
+            # read-only) must not advertise itself as primary, or
+            # clients would keep routing writes into 403s.
+            fenced = bool(getattr(db, "read_only", False))
+            doc["role"] = "fenced" if fenced else "primary"
+            doc["epoch"] = getattr(db, "epoch", 0)
         return Response.json(doc)
 
     def handle_ready(self) -> Response:
@@ -642,7 +727,7 @@ class OntoAccessEndpoint:
         replica, serve synced reads), 503 while degraded — durable store
         refusing commits, or replica bootstrap replay still running
         (load balancers drain on this)."""
-        if self.replica is not None and not self.replica.ready:
+        if self._serving_replica() is not None and not self.replica.ready:
             self._count(error=True)
             return protocol.error_json(
                 "replica-syncing",
@@ -843,6 +928,10 @@ class OntoAccessEndpoint:
                     )
                 elif split.path == protocol.CHECKPOINT_PATH:
                     self._send(endpoint.handle_checkpoint())
+                elif split.path == protocol.PROMOTE_PATH:
+                    # Promotion bypasses admission: it must run exactly
+                    # when the cluster is degraded and load is shedding.
+                    self._send(endpoint.handle_promote())
                 else:
                     self._send(Response.text("not found", status=404))
 

@@ -55,6 +55,7 @@ __all__ = [
     "DUMP_PATH",
     "MAPPING_PATH",
     "CHECKPOINT_PATH",
+    "PROMOTE_PATH",
     "HEALTH_PATH",
     "READY_PATH",
     "QUERY_RESULT_TYPES",
@@ -88,6 +89,7 @@ BATCH_PATH = "/batch"
 DUMP_PATH = "/dump"
 MAPPING_PATH = "/mapping"
 CHECKPOINT_PATH = "/admin/checkpoint"
+PROMOTE_PATH = "/admin/promote"
 HEALTH_PATH = "/health"
 READY_PATH = "/ready"
 

@@ -1,0 +1,547 @@
+"""Promotion & fenced failover chaos suite (ISSUE 9).
+
+The replication subsystem's take-over story, proven end to end:
+
+* **promotion** — ``Replica.promote()`` drains the applied tail, bumps
+  the fencing epoch, and flips the local database writable; idempotent,
+  and aborted cleanly by a fault at the ``repl:promote`` site;
+* **fencing** — a deposed primary's shipper is rejected *structurally*:
+  the first HELLO carrying a higher epoch fences it permanently (all
+  connections die, ``on_deposed`` fires, zero frames ship at the stale
+  epoch), so split-brain writes cannot propagate;
+* **rejoin** — a restarted old primary discovers the higher epoch,
+  truncates its divergent un-shipped WAL tail against the new primary's
+  snapshot, and converges to exact row equality as a replica;
+* **lease loss** — :class:`PrimaryLossDetector` treats heartbeats as
+  lease renewals and promotes only a once-synced replica after
+  ``loss_timeout`` of silence (``repl:lease`` is its chaos site);
+* **zero acknowledged loss** — the tentpole: SIGKILL a semi-sync
+  (``--sync-replicas 1``) primary *process* under concurrent write
+  load; after promotion every write acknowledged with HTTP 200 is
+  readable on the new primary.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultError, ReadOnlyDatabaseError, ReproError
+from repro.faults import INJECTOR
+from repro.rdb import Database
+from repro.replication import LogShipper, PrimaryLossDetector, Replica
+
+from tests.replication.test_repl_chaos import _quiesce, _rows, _wait
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+KV_DDL = "CREATE TABLE kv (id INTEGER PRIMARY KEY, v INTEGER)"
+
+
+@pytest.fixture(autouse=True)
+def clean_injector():
+    INJECTOR.clear()
+    yield
+    INJECTOR.clear()
+
+
+def _primary(tmp_path, name="primary", seed=10, **shipper_kwargs):
+    db = Database(data_dir=str(tmp_path / name), sync_mode="os")
+    db.execute(KV_DDL)
+    for i in range(seed):
+        db.execute(f"INSERT INTO kv (id, v) VALUES ({i}, {i})")
+    shipper = LogShipper(db, **shipper_kwargs).start()
+    return db, shipper
+
+
+# ---------------------------------------------------------------------------
+# promotion
+# ---------------------------------------------------------------------------
+
+
+def test_promote_flips_replica_writable_with_bumped_epoch(tmp_path):
+    db, shipper = _primary(tmp_path)
+    replica = Replica(
+        shipper.address,
+        db=Database(data_dir=str(tmp_path / "replica"), sync_mode="os"),
+    ).start()
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        _quiesce(db, [replica])
+        assert replica.role == "replica"
+        with pytest.raises(ReadOnlyDatabaseError):
+            replica.db.execute("INSERT INTO kv (id, v) VALUES (500, 500)")
+
+        shipper.stop()  # the primary goes away
+        record = replica.promote()
+        assert record["epoch"] == 2
+        assert record["drained"] is True
+        assert replica.role == "primary"
+        assert replica.epoch == 2
+        assert replica.lag() == 0.0  # a primary is not stale
+        # durably fenced: the epoch survives a restart of this node
+        assert replica.db._durability.epoch == 2
+
+        replica.db.execute("INSERT INTO kv (id, v) VALUES (500, 500)")
+        assert (500, 500) in _rows(replica.db)
+
+        # idempotent: a second promote is the same promotion
+        again = replica.promote()
+        assert again["epoch"] == record["epoch"]
+    finally:
+        replica.close()
+        shipper.stop()
+        db.close()
+
+
+def test_promotion_fault_aborts_cleanly_and_is_retryable(tmp_path):
+    """A fault at ``repl:promote`` fires before any state changes: the
+    replica stays a replica, and the next attempt succeeds."""
+    db, shipper = _primary(tmp_path)
+    replica = Replica(shipper.address).start()
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        INJECTOR.inject("repl:promote", fail=True, times=1)
+        with pytest.raises(FaultError):
+            replica.promote()
+        assert replica.role == "replica"
+        assert replica.db.read_only is True
+
+        record = replica.promote()
+        assert record["epoch"] == 2
+        assert replica.role == "primary"
+    finally:
+        replica.close()
+        shipper.stop()
+        db.close()
+
+
+def test_promoted_replica_ships_to_its_own_replicas(tmp_path):
+    """After promotion the new primary starts its own shipper; a fresh
+    replica bootstraps from it and follows new writes at epoch 2."""
+    db, shipper = _primary(tmp_path)
+    replica = Replica(
+        shipper.address,
+        db=Database(data_dir=str(tmp_path / "replica"), sync_mode="os"),
+    ).start()
+    new_shipper = follower = None
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        _quiesce(db, [replica])
+        shipper.stop()
+        replica.promote()
+
+        new_shipper = LogShipper(replica.db).start()
+        assert new_shipper.epoch == 2
+        follower = Replica(new_shipper.address).start()
+        assert follower.wait_ready(10.0), follower.status()
+        replica.db.execute("INSERT INTO kv (id, v) VALUES (600, 600)")
+        _quiesce(replica.db, [follower])
+        assert _rows(follower.db) == _rows(replica.db)
+        assert follower.epoch == 2
+    finally:
+        if follower is not None:
+            follower.close()
+        if new_shipper is not None:
+            new_shipper.stop()
+        replica.close()
+        shipper.stop()
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# fencing
+# ---------------------------------------------------------------------------
+
+
+def test_fenced_old_primary_ships_zero_frames_at_stale_epoch(tmp_path):
+    """The split-brain kill shot: once any peer presents a higher epoch,
+    the old primary's shipper is permanently fenced — not one frame
+    leaves it at the stale epoch, and ``on_deposed`` flips it read-only."""
+    deposed = []
+    db, shipper = _primary(
+        tmp_path, on_deposed=lambda epoch: deposed.append(epoch)
+    )
+    replica = Replica(
+        shipper.address,
+        db=Database(data_dir=str(tmp_path / "replica"), sync_mode="os"),
+    ).start()
+    probe = None
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        _quiesce(db, [replica])
+        replica.stop()  # network partition: the replica stops following
+        # ...and wait until the shipper has torn the dead connection
+        # down: a still-running serving thread could otherwise push the
+        # divergent frame below into the dead socket's buffer, counting
+        # it as shipped.
+        _wait(lambda: not shipper._conns, message="partition never noticed")
+        promoted_epoch = replica.promote()["epoch"]
+
+        # The old primary, unaware, keeps committing a divergent tail.
+        db.execute("INSERT INTO kv (id, v) VALUES (700, 700)")
+
+        frames_before = shipper.frames_shipped
+        # A peer from the new lineage dials the old shipper and presents
+        # the higher epoch in its HELLO.
+        probe = Replica(shipper.address, min_epoch=promoted_epoch).start()
+        _wait(lambda: shipper.fenced, message="shipper never fenced")
+        assert shipper.fenced_by == promoted_epoch
+        assert deposed == [promoted_epoch]
+
+        # Zero frames shipped at the stale epoch: the fence pre-empts
+        # serving, and stays closed for later connection attempts too.
+        time.sleep(0.3)  # give a would-be stream time to (not) happen
+        assert shipper.frames_shipped == frames_before
+        assert probe.snapshots_loaded == 0
+        assert (700, 700) not in _rows(replica.db)
+    finally:
+        if probe is not None:
+            probe.close()
+        replica.close()
+        shipper.stop()
+        db.close()
+
+
+def test_replica_refuses_messages_below_its_epoch():
+    """Epoch observation on the applier side: a fake primary from a
+    stale lineage answers the replica's HELLO with messages stamped
+    below the replica's epoch floor — every one is counted and refused
+    (``fenced_messages``), and nothing is ever applied."""
+    import socket as socketlib
+    import time as timelib
+
+    from repro.replication import wire
+
+    listener = socketlib.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(4)
+    stop = threading.Event()
+
+    def stale_primary():
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            try:
+                hello = wire.recv_message(conn)
+                assert hello.kind == wire.HELLO
+                # answer from a *lower* epoch than the replica declared
+                wire.send_message(
+                    conn,
+                    wire.HEARTBEAT,
+                    0,
+                    0,
+                    epoch=max(0, hello.epoch - 1),
+                    sent_at=timelib.time(),
+                )
+                conn.settimeout(1.0)
+                conn.recv(1)  # wait for the replica to hang up
+            except (OSError, Exception):
+                pass
+            finally:
+                conn.close()
+
+    server = threading.Thread(target=stale_primary, daemon=True)
+    server.start()
+    replica = Replica(listener.getsockname(), min_epoch=7).start()
+    try:
+        _wait(
+            lambda: replica.fenced_messages >= 1,
+            message="stale messages never counted",
+        )
+        assert replica.snapshots_loaded == 0
+        assert not replica.synced_once
+        assert replica.epoch == 7  # the floor never regressed
+    finally:
+        stop.set()
+        listener.close()
+        replica.close()
+        server.join(5)
+
+
+# ---------------------------------------------------------------------------
+# rejoin (demotion of the old primary)
+# ---------------------------------------------------------------------------
+
+
+def test_deposed_primary_rejoins_and_truncates_divergent_tail(tmp_path):
+    """The restarted old primary finds a higher epoch, re-bases from the
+    new primary's snapshot (dropping its divergent un-shipped tail), and
+    converges to exact row equality as a replica."""
+    db, shipper = _primary(tmp_path)
+    replica = Replica(
+        shipper.address,
+        db=Database(data_dir=str(tmp_path / "replica"), sync_mode="os"),
+    ).start()
+    new_shipper = rejoined = None
+    rejoined_db = None
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        _quiesce(db, [replica])
+        replica.stop()  # partition
+
+        # Divergence: the old primary commits rows that never ship...
+        db.execute("INSERT INTO kv (id, v) VALUES (800, 800)")
+        db.execute("INSERT INTO kv (id, v) VALUES (801, 801)")
+        db.close()  # ...then "crashes"
+
+        # ...while the promoted replica takes writes of its own.
+        replica.promote()
+        replica.db.execute("INSERT INTO kv (id, v) VALUES (900, 900)")
+        new_shipper = LogShipper(replica.db).start()
+
+        # Restart the old primary from its data_dir and point it at the
+        # new primary: HELLO carries epoch 1, the shipper re-bases it.
+        rejoined_db = Database(data_dir=str(tmp_path / "primary"), sync_mode="os")
+        assert (800, 800) in _rows(rejoined_db)  # the divergent tail...
+        rejoined = Replica(new_shipper.address, db=rejoined_db).start()
+        assert rejoined.wait_ready(10.0), rejoined.status()
+        _quiesce(replica.db, [rejoined])
+
+        assert _rows(rejoined_db) == _rows(replica.db)  # exact equality
+        assert (800, 800) not in _rows(rejoined_db)  # ...was truncated
+        assert (900, 900) in _rows(rejoined_db)
+        assert rejoined.epoch == 2
+        # the new lineage is durable: epoch 2 survives in the data_dir
+        assert rejoined_db._durability.epoch == 2
+        assert rejoined.snapshots_loaded >= 1  # re-based, not resumed
+    finally:
+        if rejoined is not None:
+            rejoined.close()
+        if new_shipper is not None:
+            new_shipper.stop()
+        replica.close()
+        shipper.stop()
+
+
+# ---------------------------------------------------------------------------
+# lease-loss detection
+# ---------------------------------------------------------------------------
+
+
+def test_detector_promotes_after_heartbeat_silence(tmp_path):
+    db, shipper = _primary(tmp_path, heartbeat_interval=0.05)
+    replica = Replica(shipper.address, heartbeat_grace=0.2).start()
+    detector = None
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        detector = PrimaryLossDetector(
+            replica, loss_timeout=0.4, on_loss=replica.promote
+        ).start()
+        time.sleep(0.5)  # heartbeats flowing: the lease keeps renewing
+        assert not detector.triggered
+        assert INJECTOR.fired("repl:lease") == 0  # site exists, disarmed
+
+        shipper.stop()  # primary death: heartbeats stop
+        _wait(lambda: detector.triggered, message="loss never detected")
+        _wait(lambda: replica.role == "primary", message="never promoted")
+        assert replica.epoch == 2
+    finally:
+        if detector is not None:
+            detector.stop()
+        replica.close()
+        shipper.stop()
+        db.close()
+
+
+def test_detector_never_promotes_a_never_synced_replica(tmp_path):
+    """A replica that has not completed one sync has no data to serve;
+    silence alone must not promote it (it may simply be misconfigured)."""
+    fired = []
+    replica = Replica(("127.0.0.1", 1)).start()  # nothing listens there
+    detector = PrimaryLossDetector(
+        replica, loss_timeout=0.1, on_loss=lambda: fired.append(True)
+    ).start()
+    try:
+        time.sleep(0.5)
+        assert not detector.triggered
+        assert fired == []
+    finally:
+        detector.stop()
+        replica.close()
+
+
+def test_lease_site_faults_do_not_kill_the_detector(tmp_path):
+    """Chaos at ``repl:lease``: injected faults at the lease check are
+    absorbed (diagnosed via ``last_error``), and detection still fires
+    once the fault budget is spent."""
+    db, shipper = _primary(tmp_path, heartbeat_interval=0.05)
+    replica = Replica(shipper.address, heartbeat_grace=0.2).start()
+    detector = None
+    try:
+        assert replica.wait_ready(10.0), replica.status()
+        INJECTOR.inject("repl:lease", fail=True, times=5)
+        detector = PrimaryLossDetector(
+            replica, loss_timeout=0.3, on_loss=replica.promote
+        ).start()
+        shipper.stop()
+        _wait(lambda: detector.triggered, message="loss never detected")
+        assert INJECTOR.fired("repl:lease") == 5
+        assert detector.last_error is not None
+        _wait(lambda: replica.role == "primary", message="never promoted")
+    finally:
+        if detector is not None:
+            detector.stop()
+        replica.close()
+        shipper.stop()
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# the tentpole: SIGKILL the primary under load, promote, lose nothing
+# ---------------------------------------------------------------------------
+
+
+def _spawn_primary(tmp_path):
+    """A semi-sync CLI primary process (kv schema, durable, shipper)."""
+    schema = tmp_path / "kv.sql"
+    schema.write_text(KV_DDL + ";\n")
+    env = dict(os.environ, PYTHONPATH=_SRC)
+    child = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--schema", str(schema),
+            "--data-dir", str(tmp_path / "primary"),
+            "--sync-mode", "os",
+            "--replication-port", "0",
+            "--sync-replicas", "1",
+            "--ack-timeout", "10",
+            "--heartbeat-interval", "0.05",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    url = ship_port = None
+    for _ in range(8):
+        line = child.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"endpoint at (http://\S+)", line)
+        if match:
+            url = match.group(1)
+        match = re.search(r"log shipper at [^:]+:(\d+)", line)
+        if match:
+            ship_port = int(match.group(1))
+        if line.startswith("POST"):
+            break
+    assert url and ship_port, "primary never announced endpoint + shipper"
+    return child, url, ship_port
+
+
+def _kv_update(key):
+    return (
+        "PREFIX v: <http://example.org/vocab#> "
+        "PREFIX ex: <http://example.org/db/> "
+        f'INSERT DATA {{ ex:kv{key} a v:Kv ; v:kv_v {key} . }}'
+    )
+
+
+def test_sigkill_primary_under_load_promote_without_acked_loss(tmp_path):
+    """SIGKILL a semi-sync primary process mid write-load; promote the
+    replica; every write the primary *acknowledged* (HTTP 200) must be
+    readable on the new primary.  Then the old primary's lineage is
+    proven fenced (zero frames shipped at the stale epoch) and rejoins
+    as a replica, converging to exact row equality."""
+    from repro.server.client import OntoAccessClient, RetryPolicy
+
+    child, url, ship_port = _spawn_primary(tmp_path)
+    replica = old_shipper = new_shipper = rejoined = None
+    try:
+        replica = Replica(
+            ("127.0.0.1", ship_port),
+            db=Database(data_dir=str(tmp_path / "replica"), sync_mode="os"),
+            heartbeat_grace=0.5,
+        ).start()
+        assert replica.wait_ready(15.0), replica.status()
+
+        acked = []
+        failed = threading.Event()
+        client = OntoAccessClient(url, retry=RetryPolicy(max_attempts=1))
+
+        def load():
+            key = 1000
+            while not failed.is_set():
+                try:
+                    feedback = client.update(_kv_update(key))
+                except ReproError:
+                    failed.set()
+                    return
+                if feedback.ok:
+                    # semi-sync: a 200 means the replica acknowledged
+                    # the frame — this key must survive the crash
+                    acked.append(key)
+                key += 1
+
+        writer = threading.Thread(target=load, daemon=True)
+        writer.start()
+        _wait(lambda: len(acked) >= 20, message="load never ramped")
+
+        child.kill()  # SIGKILL, mid-load
+        child.wait(10)
+        writer.join(15)
+        assert failed.is_set()
+        assert len(acked) >= 20
+
+        record = replica.promote()
+        assert record["epoch"] == 2
+        survivors = {row[0] for row in _rows(replica.db)}
+        lost = [k for k in acked if k not in survivors]
+        assert not lost, f"acknowledged writes lost in failover: {lost}"
+
+        # -- fencing: the old lineage cannot ship a single frame -------
+        old_db = Database(data_dir=str(tmp_path / "primary"), sync_mode="os")
+        old_shipper = LogShipper(old_db).start()
+        assert old_shipper.epoch == 1
+        probe = Replica(old_shipper.address, min_epoch=2).start()
+        _wait(lambda: old_shipper.fenced, message="old shipper never fenced")
+        assert old_shipper.frames_shipped == 0
+        probe.close()
+        old_shipper.stop()
+
+        # -- rejoin: the old primary converges as a replica ------------
+        new_shipper = LogShipper(replica.db).start()
+        replica.db.execute("INSERT INTO kv (id, v) VALUES (9999, 9999)")
+        rejoined = Replica(new_shipper.address, db=old_db).start()
+        assert rejoined.wait_ready(15.0), rejoined.status()
+        _quiesce(replica.db, [rejoined])
+        assert _rows(old_db) == _rows(replica.db)
+        assert rejoined.epoch == 2
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait(10)
+        for closer in (rejoined, replica):
+            if closer is not None:
+                closer.close()
+        for stopper in (new_shipper, old_shipper):
+            if stopper is not None:
+                stopper.stop()
+
+
+def test_wait_replicated_surfaces_barrier_timeouts(tmp_path):
+    """Semi-sync accounting: with no replica connected, a min_sync=1
+    commit raises (durable locally, reported unacknowledged) and the
+    barrier-timeout diagnostic increments."""
+    from repro.errors import ReplicationError
+
+    db = Database(data_dir=str(tmp_path / "primary"), sync_mode="os")
+    shipper = LogShipper(db, min_sync_replicas=1, ack_timeout=0.2).start()
+    try:
+        db.execute(KV_DDL)  # DDL before any replica: must time out
+        pytest.fail("commit should have raised without a sync replica")
+    except ReplicationError:
+        pass
+    finally:
+        assert shipper.barrier_timeouts >= 1
+        shipper.stop()
+        db.close()

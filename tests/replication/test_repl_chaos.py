@@ -20,7 +20,9 @@ primary commit ever lost on a replica**:
 """
 
 import os
+import random
 import re
+import socket
 import subprocess
 import sys
 import threading
@@ -31,9 +33,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.errors import ReplicationError
 from repro.faults import INJECTOR
 from repro.rdb import Database
-from repro.replication import LogShipper, Replica
+from repro.replication import LogShipper, Replica, wire
 
 _SRC = str(Path(__file__).resolve().parents[2] / "src")
 
@@ -289,3 +292,133 @@ def test_sigkill_replica_then_clean_rejoin(tmp_path):
                 proc.wait(10)
         shipper.stop()
         db.close()
+
+
+# ---------------------------------------------------------------------------
+# wire-protocol fuzz (ISSUE 9): malformed bytes become typed errors
+# ---------------------------------------------------------------------------
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)   # a wrong implementation blocks; fail instead
+    right.settimeout(5.0)
+    return left, right
+
+
+def test_wire_truncated_header_is_a_typed_error():
+    left, right = _pair()
+    try:
+        left.sendall(b"\x03\x01\x00")  # 3 of the 33 header bytes
+        left.close()
+        with pytest.raises(ReplicationError, match="truncated header"):
+            wire.recv_message(right)
+    finally:
+        right.close()
+
+
+def test_wire_clean_eof_between_messages_is_connection_scoped():
+    """Zero bytes at a message boundary is an orderly close — a
+    ConnectionError (reconnect), not a corruption report."""
+    left, right = _pair()
+    try:
+        left.close()
+        with pytest.raises(ConnectionError):
+            wire.recv_message(right)
+    finally:
+        right.close()
+
+
+def test_wire_unknown_kind_rejected_before_payload_read():
+    left, right = _pair()
+    try:
+        header = wire._HEADER.pack(42, 1, 0, 0, 0.0, 10, 0)
+        left.sendall(header)  # note: the claimed 10-byte payload never comes
+        with pytest.raises(ReplicationError, match="unknown replication"):
+            wire.recv_message(right)  # must not block waiting for payload
+    finally:
+        left.close()
+        right.close()
+
+
+def test_wire_oversized_payload_len_rejected_before_allocation():
+    """A corrupt length field claiming 4 GiB must be rejected from the
+    header alone — before the receiver tries to read (or allocate) it."""
+    left, right = _pair()
+    try:
+        header = wire._HEADER.pack(
+            wire.FRAME, 1, 0, 0, 0.0, wire.MAX_PAYLOAD + 1, 0
+        )
+        left.sendall(header)
+        with pytest.raises(ReplicationError, match="oversized frame"):
+            wire.recv_message(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_wire_truncated_payload_is_a_typed_error():
+    left, right = _pair()
+    try:
+        header = wire._HEADER.pack(wire.FRAME, 1, 0, 0, 0.0, 100, 0)
+        left.sendall(header + b"x" * 10)  # 10 of 100 payload bytes
+        left.close()
+        with pytest.raises(ReplicationError, match="truncated frame payload"):
+            wire.recv_message(right)
+    finally:
+        right.close()
+
+
+def test_wire_garbage_after_valid_message_is_contained():
+    """A valid message followed by garbage: the first decodes cleanly,
+    the garbage raises a typed error on the *next* read — the valid
+    message is never poisoned retroactively."""
+    left, right = _pair()
+    try:
+        wire.send_message(
+            right, wire.HEARTBEAT, 3, 1024, epoch=2, sent_at=123.0
+        )
+        right.sendall(b"\xde\xad\xbe\xef" * 16)
+        message = wire.recv_message(left)
+        assert message.kind == wire.HEARTBEAT
+        assert message.epoch == 2
+        assert message.position == (3, 1024)
+        with pytest.raises(ReplicationError):
+            wire.recv_message(left)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_wire_random_garbage_never_escapes_the_typed_contract():
+    """Seeded fuzz: arbitrary byte blobs must always surface as
+    ReplicationError or ConnectionError — never struct.error, a huge
+    allocation, or a hang."""
+    rng = random.Random(0xEB0C)
+    for _ in range(100):
+        blob = bytes(rng.randrange(256) for _ in range(rng.randrange(0, 80)))
+        left, right = _pair()
+        try:
+            left.sendall(blob)
+            left.close()
+            with pytest.raises((ReplicationError, ConnectionError)):
+                wire.recv_message(right)
+        finally:
+            right.close()
+
+
+def test_garbage_hello_does_not_poison_the_shipper(topo):
+    """A client speaking garbage at the shipper's listener is dropped
+    connection-scoped: the real replica keeps streaming untouched."""
+    raw = socket.create_connection(topo.shipper.address, timeout=5.0)
+    try:
+        # ≥ one full header of garbage, so the kind check fires (fewer
+        # bytes would legitimately leave the server waiting for more)
+        raw.sendall(b"GET / HTTP/1.1\r\n\r\n".ljust(64, b"\xaa"))
+        raw.settimeout(5.0)
+        assert raw.recv(1024) == b""  # server side hangs up
+    finally:
+        raw.close()
+    topo.db.execute("INSERT INTO kv (id, v) VALUES (400, 400)")
+    _quiesce(topo.db, [topo.replica])
+    assert _rows(topo.replica.db) == _rows(topo.db)
