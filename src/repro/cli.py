@@ -149,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
         "up before giving up (default: 60)",
     )
     serve.add_argument(
+        "--slow-query-threshold", type=float, default=1.0, metavar="SECONDS",
+        help="requests slower than this land in the ring-buffered "
+        "slow-query log served at GET /admin/slow-queries; 0 records "
+        "everything (default: 1)",
+    )
+    serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one JSON line per work request (id, op, status, "
+        "phase timings) to this file; '-' = stderr (default: off)",
+    )
+    serve.add_argument(
         "--service-latency", type=float, default=None, metavar="SECONDS",
         help="inject this much latency into every row scan (benchmark "
         "aid: pins per-process capacity so replica fan-out is measurable "
@@ -347,6 +358,7 @@ def _cmd_serve(args, out) -> int:
     detector = None
     promoter = None
     promoted_shippers: list = []  # at most one; a cell the closure can fill
+    endpoint_cell: list = []  # filled once the endpoint exists (below)
     if args.replica_of:
         from .replication import PrimaryLossDetector, Replica
 
@@ -394,6 +406,10 @@ def _cmd_serve(args, out) -> int:
                     ack_timeout=args.ack_timeout,
                 ).start()
                 promoted_shippers.append(promoted)
+                if endpoint_cell:
+                    # /metrics follows the role change: the promoted
+                    # shipper's counters replace the (absent) old ones.
+                    endpoint_cell[0].shipper = promoted
                 ship_host, ship_port = promoted.address
                 print(
                     f"replication log shipper at {ship_host}:{ship_port}",
@@ -433,6 +449,15 @@ def _cmd_serve(args, out) -> int:
                 on_deposed=_deposed,
             ).start()
 
+    access_log_file = None
+    if args.access_log == "-":
+        access_log = sys.stderr
+    elif args.access_log:
+        access_log_file = open(args.access_log, "a", encoding="utf-8")
+        access_log = access_log_file
+    else:
+        access_log = None
+
     endpoint = OntoAccessEndpoint(
         mediator,
         host=args.host,
@@ -447,7 +472,15 @@ def _cmd_serve(args, out) -> int:
         replica=replica,
         max_replica_lag=args.max_replica_lag if replica is not None else None,
         promoter=promoter,
+        shipper=shipper,
+        slow_query_threshold=args.slow_query_threshold,
+        access_log=access_log,
     )
+    endpoint_cell.append(endpoint)
+    if promoted_shippers:
+        # Promotion raced endpoint construction (primary-loss detector
+        # fired during bootstrap): attach the shipper now.
+        endpoint.shipper = promoted_shippers[0]
     endpoint.start()
     print(f"OntoAccess endpoint at {endpoint.url}", file=out)
     if shipper is not None:
@@ -466,7 +499,8 @@ def _cmd_serve(args, out) -> int:
                 file=out,
             )
     print(
-        "POST /update, POST /query, GET /dump, GET /mapping, GET /health",
+        "POST /update, POST /query, GET /dump, GET /mapping, GET /health, "
+        "GET /metrics",
         file=out,
     )
     out.flush()  # a parent process may be parsing the announced ports
@@ -488,6 +522,8 @@ def _cmd_serve(args, out) -> int:
             replica.close()
         else:
             mediator.db.close()
+        if access_log_file is not None:
+            access_log_file.close()
     return 0
 
 

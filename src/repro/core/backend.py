@@ -36,6 +36,7 @@ from ..errors import (
     TransactionError,
     TranslationError,
 )
+from ..observability.tracing import annotate
 from ..rdb.engine import Database
 from ..rdf.graph import Graph
 from ..rdf.namespace import PrefixMap
@@ -375,13 +376,15 @@ class RelationalBackend(Backend):
     def query_outcome(
         self, q: Union[str, Query], prefixes: Optional[PrefixMap] = None
     ) -> QueryOutcome:
-        return execute_query(
+        outcome = execute_query(
             self.mapping,
             self.db,
             q,
             prefixes=prefixes,
             force_fallback=self.force_query_fallback,
         )
+        annotate(backend=self.name, used_sql=outcome.used_sql)
+        return outcome
 
     def prepare_query(self, q: Query) -> PreparedQueryPlan:
         return _PreparedRdbQuery(self, q)
@@ -524,11 +527,13 @@ class _PreparedRdbQuery(PreparedQueryPlan):
             from .dump import dump_database
 
             graph = dump_database(backend.mapping, backend.db)
+            annotate(backend=backend.name, used_sql=False)
             return outcome_from_solutions(
                 self.query,
                 evaluate_pattern(graph, self.query.where),
                 used_sql=False,
             )
+        annotate(backend=backend.name, used_sql=True)
         return outcome_from_solutions(
             self.query,
             translated.execute(),
@@ -678,6 +683,7 @@ class TripleStoreBackend(Backend):
             from ..sparql.engine import query as native_query
 
             result = native_query(self._committed_graph(), q, prefixes=prefixes)
+        annotate(backend=self.name, used_sql=False)
         return QueryOutcome(result=result, used_sql=False)
 
     def dump(self) -> Graph:

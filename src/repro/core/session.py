@@ -45,6 +45,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..deadline import deadline_scope
 from ..errors import SPARQLParseError, TranslationError
+from ..observability.metrics import SESSION_OPS
 from ..rdf.graph import Graph
 from ..rdf.namespace import PrefixMap
 from ..rdf.terms import Literal, Term, Triple, Variable
@@ -88,6 +89,12 @@ _OPAQUE_TOKEN = re.compile(r"<[^>]*>|\"[^\"]*\"|'[^']*'")
 _COMMENT = re.compile(r"#[^\n]*")
 
 _PREPARED_CACHE_SIZE = 128
+
+# Label children resolved once: the hot paths pay a sharded add, not a
+# dict lookup under the registry lock.
+_OPS_QUERY = SESSION_OPS.labels("query")
+_OPS_UPDATE = SESSION_OPS.labels("update")
+_OPS_BATCH = SESSION_OPS.labels("batch")
 _BINDING_CACHE_SIZE = 64
 
 
@@ -489,6 +496,7 @@ class Session:
         in its own database transaction (the paper's atomicity rule);
         inside one, all operations join the open transaction.
         """
+        _OPS_UPDATE.inc()
         with self._lock:
             if isinstance(request, str):
                 request = parse_update(request, prefixes=prefixes)
@@ -508,6 +516,7 @@ class Session:
         Either every operation of every request commits, or — on the
         first error — everything rolls back and the error propagates.
         """
+        _OPS_BATCH.inc()
         with self._lock:
             operations: List[UpdateOperation] = []
             for request in requests:
@@ -547,6 +556,7 @@ class Session:
         # Read tier: no session lock.  The backend evaluates against the
         # committed snapshot current at the query's start (the thread
         # owning an open transaction sees its own writes instead).
+        _OPS_QUERY.inc()
         if timeout is not None:
             with deadline_scope(timeout):
                 if isinstance(q, str):

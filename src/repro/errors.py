@@ -133,7 +133,10 @@ class EndpointTransportError(ReproError):
     raw ``socket.timeout`` / ``URLError`` leaking out of the client.
 
     ``attempts`` counts how many tries were made before giving up (>1
-    when the retry policy re-sent an idempotent request).
+    when the retry policy re-sent an idempotent request).  ``request_id``
+    is the ``X-Request-Id`` the client sent (constant across retries of
+    one logical request), so a client-side failure is joinable against
+    the server's access-log and slow-query entries.
     """
 
     def __init__(
@@ -143,11 +146,13 @@ class EndpointTransportError(ReproError):
         url: str = "",
         attempts: int = 1,
         cause: BaseException | None = None,
+        request_id: str | None = None,
     ) -> None:
         self.method = method
         self.url = url
         self.attempts = attempts
         self.cause = cause
+        self.request_id = request_id
         super().__init__(message)
 
 

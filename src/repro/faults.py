@@ -24,6 +24,7 @@ Known sites:
 * ``repl:apply``   — replica applier, before applying a snapshot/frame
 * ``repl:lease``   — primary-loss detector, at each lease check
 * ``repl:promote`` — replica promotion, before any state changes
+* ``obs:export``   — metrics exposition, before rendering ``/metrics``
 
 Rules are consumed-per-fire with an optional ``times`` budget, and the
 ``armed`` flag keeps the disarmed fast path to one attribute read.

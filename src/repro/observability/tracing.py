@@ -1,0 +1,213 @@
+"""Request tracing and operator-level plan instrumentation (ISSUE 10).
+
+Three thread-local contexts, all following the :mod:`repro.deadline`
+pattern — installed by a context manager at the serving boundary, read
+by cheap accessor functions deep in the stack, and costing one
+``getattr`` on a thread-local when inactive:
+
+* **Request id** — :func:`request_scope` carries the ``X-Request-Id``
+  (caller-supplied or :func:`new_request_id`) through
+  Session → executor → error responses, so one id joins the client's
+  retries, the server's access-log line, and the slow-query entry.
+* **Trace record** — :func:`trace_scope` opens a mutable dict that any
+  layer may :func:`annotate` (rows, used_sql, backend); the endpoint
+  turns it into the structured JSON access-log line.  ``annotate`` is a
+  no-op (one thread-local read) when no trace is active.
+* **Analyze probe** — :func:`analyze_scope` arms per-operator
+  timing/row/loop collection inside the planner's compiled plans (the
+  EXPLAIN ANALYZE machinery).  Disarmed, plans pay a single
+  :func:`current_probe` check per *statement*, never per row.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "AnalyzeProbe",
+    "OperatorStats",
+    "analyze_scope",
+    "annotate",
+    "current_probe",
+    "current_request_id",
+    "current_trace",
+    "new_request_id",
+    "request_scope",
+    "trace_scope",
+]
+
+_local = threading.local()
+
+
+# ---------------------------------------------------------------------------
+# request ids
+# ---------------------------------------------------------------------------
+
+def new_request_id() -> str:
+    """A fresh 16-hex-char request id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_request_id() -> Optional[str]:
+    """The request id governing the current thread, or None."""
+    return getattr(_local, "request_id", None)
+
+
+def sanitize_request_id(raw: Optional[str]) -> Optional[str]:
+    """A header-safe version of a caller-supplied id, or None.
+
+    Ids are echoed into response headers and log lines, so control
+    characters are stripped and length is capped.
+    """
+    if not raw:
+        return None
+    cleaned = "".join(ch for ch in raw if 32 <= ord(ch) < 127)[:128].strip()
+    return cleaned or None
+
+
+@contextmanager
+def request_scope(request_id: Optional[str] = None) -> Iterator[str]:
+    """Install a request id for the ``with`` block (generated if None).
+
+    Nested scopes keep the outer id: a client helper that opens a scope
+    around a logical operation keeps one id across retries and failover.
+    """
+    outer = current_request_id()
+    inner = outer or request_id or new_request_id()
+    _local.request_id = inner
+    try:
+        yield inner
+    finally:
+        _local.request_id = outer
+
+
+# ---------------------------------------------------------------------------
+# per-request trace records
+# ---------------------------------------------------------------------------
+
+def current_trace() -> Optional[Dict[str, Any]]:
+    return getattr(_local, "trace", None)
+
+
+def annotate(**fields: Any) -> None:
+    """Merge fields into the active trace record (no-op without one)."""
+    trace = getattr(_local, "trace", None)
+    if trace is not None:
+        trace.update(fields)
+
+
+@contextmanager
+def trace_scope(**initial: Any) -> Iterator[Dict[str, Any]]:
+    """Open a mutable trace record for the ``with`` block."""
+    outer = current_trace()
+    trace: Dict[str, Any] = dict(initial)
+    _local.trace = trace
+    try:
+        yield trace
+    finally:
+        _local.trace = outer
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE probe
+# ---------------------------------------------------------------------------
+
+class OperatorStats:
+    """Timing and cardinality for one plan operator.
+
+    ``elapsed_s`` is *inclusive* pipeline time: how long callers spent
+    pulling rows out of this operator, including everything beneath it —
+    the same convention EXPLAIN ANALYZE uses elsewhere.  ``loops``
+    counts how many times the operator was (re)opened.
+    """
+
+    __slots__ = ("describe", "elapsed_s", "rows", "loops")
+
+    def __init__(self, describe: str) -> None:
+        self.describe = describe
+        self.elapsed_s = 0.0
+        self.rows = 0
+        self.loops = 0
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "operator": self.describe,
+            "elapsed_us": round(self.elapsed_s * 1e6, 3),
+            "rows": self.rows,
+            "loops": self.loops,
+        }
+
+
+class AnalyzeProbe:
+    """Collects per-operator stats for the statements run under it."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[Any, OperatorStats] = {}
+        self._order: List[OperatorStats] = []
+        self._plans_seen: Dict[int, bool] = {}
+        self.plan: List[str] = []
+        self.elapsed_s = 0.0
+        self.rows = 0
+
+    def operator(self, key: Any, describe: str) -> OperatorStats:
+        """The stats cell for one operator, keyed by identity, so a
+        re-executed plan accumulates loops instead of duplicating."""
+        stats = self._stats.get(key)
+        if stats is None:
+            stats = OperatorStats(describe)
+            self._stats[key] = stats
+            self._order.append(stats)
+        return stats
+
+    def note_plan(self, plan: Any, lines: List[str]) -> None:
+        """Record a plan's EXPLAIN tree once, even when re-executed."""
+        if id(plan) not in self._plans_seen:
+            self._plans_seen[id(plan)] = True
+            self.plan.extend(lines)
+
+    def timed(self, iterator: Iterator, stats: OperatorStats) -> Iterator:
+        """Wrap an operator's output iterator with timing/row counting."""
+        stats.loops += 1
+        clock = time.perf_counter
+        while True:
+            start = clock()
+            try:
+                item = next(iterator)
+            except StopIteration:
+                stats.elapsed_s += clock() - start
+                return
+            stats.elapsed_s += clock() - start
+            stats.rows += 1
+            yield item
+
+    def operators(self) -> List[Dict[str, Any]]:
+        return [stats.report() for stats in self._order]
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "plan": list(self.plan),
+            "operators": self.operators(),
+            "rows": self.rows,
+            "elapsed_us": round(self.elapsed_s * 1e6, 3),
+        }
+
+
+def current_probe() -> Optional[AnalyzeProbe]:
+    """The analyze probe armed for this thread, or None (the fast path)."""
+    return getattr(_local, "probe", None)
+
+
+@contextmanager
+def analyze_scope() -> Iterator[AnalyzeProbe]:
+    """Arm operator-level instrumentation for the ``with`` block."""
+    outer = current_probe()
+    probe = AnalyzeProbe()
+    _local.probe = probe
+    try:
+        yield probe
+    finally:
+        _local.probe = outer

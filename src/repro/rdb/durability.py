@@ -246,9 +246,12 @@ class _WalWriter:
         #: the tear would be acknowledged and then silently truncated
         #: away by the next recovery.
         self._failed = False
-        #: diagnostics: device flushes performed / commits that waited
+        #: diagnostics: device flushes performed / commits that waited /
+        #: records appended.  commit_count - sync_count is how many
+        #: commits rode a group flush instead of paying their own.
         self.sync_count = 0
         self.commit_count = 0
+        self.append_count = 0
 
     def _fail(self, action: str, exc: OSError) -> DurabilityError:
         self._failed = True
@@ -279,6 +282,7 @@ class _WalWriter:
                 self._file.write(frame + payload)
         except OSError as exc:  # e.g. ENOSPC with a partial frame out
             raise self._fail("append", exc) from exc
+        self.append_count += 1
         with self._cond:
             self._appended += len(frame) + len(payload)
             return self._appended
@@ -473,6 +477,10 @@ class DurabilityManager:
         #: wall-clock time of the newest checkpoint (None before the
         #: first one); /health reports its age
         self.last_checkpoint_time: Optional[float] = None
+        #: cumulative WAL counters from segments already closed by a
+        #: rotation, so /metrics sees process totals, not per-segment
+        #: ones: (appends, commits, syncs)
+        self._wal_counter_base = [0, 0, 0]
         #: replication: shipper threads block on this condition until the
         #: log grows; the sequence number only ever increases.  It also
         #: guards the (generation, writer) pair so :meth:`position` never
@@ -731,6 +739,10 @@ class DurabilityManager:
             self._wal = _WalWriter(
                 self._wal_path(self.generation), self.sync_mode, self._crash_hook
             )
+        base = self._wal_counter_base
+        base[0] += old.append_count
+        base[1] += old.commit_count
+        base[2] += old.sync_count
         old.close()
         self._ship_notify()
         return self.generation
@@ -874,6 +886,23 @@ class DurabilityManager:
             return None
         return max(0.0, time.time() - self.last_checkpoint_time)
 
+    def wal_counters(self) -> Dict[str, int]:
+        """Cumulative WAL work across segment rotations (ISSUE 10):
+        records appended, commits that waited for durability, and device
+        flushes performed.  ``commits - syncs`` is how many commits rode
+        a shared group-commit flush."""
+        appends, commits, syncs = self._wal_counter_base
+        wal = self._wal
+        if wal is not None:
+            appends += wal.append_count
+            commits += wal.commit_count
+            syncs += wal.sync_count
+        return {
+            "wal_appends": appends,
+            "wal_commits": commits,
+            "wal_syncs": syncs,
+        }
+
     def status(self) -> Dict[str, Any]:
         """Machine-readable durability state for /health (ISSUE 6)."""
         age = self.last_checkpoint_age()
@@ -885,6 +914,7 @@ class DurabilityManager:
             "generation": self.generation,
             "epoch": self.epoch,
             "last_checkpoint_age_s": None if age is None else round(age, 3),
+            **self.wal_counters(),
         }
 
 

@@ -65,6 +65,7 @@ from ..errors import (
     ReadOnlyDatabaseError,
     TransactionError,
 )
+from ..observability.tracing import analyze_scope
 from ..sql import ast
 from ..sql.parser import parse_statements
 from ..sql.render import render
@@ -898,6 +899,42 @@ class Database:
         raise DatabaseError(
             f"cannot explain {type(statement).__name__}"
         )
+
+    def explain_analyze(
+        self,
+        statement: Union[str, ast.Select],
+        parameters: Sequence[Any] = (),
+    ) -> Dict[str, Any]:
+        """EXPLAIN ANALYZE: execute a SELECT with operator instrumentation.
+
+        Returns the plan tree plus per-operator elapsed/rows/loops
+        measured on a real execution (an optional leading ``EXPLAIN
+        [ANALYZE]`` in a string statement is accepted and ignored).
+        Only SELECT is supported — analyzing DML would execute it.
+        """
+        if isinstance(statement, str):
+            text = statement.lstrip()
+            upper = text.upper()
+            if upper.startswith("EXPLAIN"):
+                text = text[len("EXPLAIN"):].lstrip()
+                if text[:7].upper() == "ANALYZE":
+                    text = text[7:]
+            parsed = parse_statements(text)
+            if len(parsed) != 1:
+                raise DatabaseError(
+                    "EXPLAIN ANALYZE takes exactly one statement"
+                )
+            statement = parsed[0]
+        if not isinstance(statement, ast.Select):
+            raise DatabaseError(
+                "EXPLAIN ANALYZE executes its statement, so only SELECT "
+                f"is supported, not {type(statement).__name__}"
+            )
+        with analyze_scope() as probe:
+            result = self.execute(statement, parameters)
+        report = probe.report()
+        report["columns"] = result.columns
+        return report
 
     def _execute_one(
         self, stmt: ast.Statement, parameters: Sequence[Any] = ()

@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..deadline import tick
 from ..errors import CatalogError, DatabaseError, IntegrityError
+from ..observability.metrics import EXECUTOR_ROWS
 from ..sql import ast
 from ..sql.render import render_expression
 from .catalog import ForeignKey, Schema, Table
@@ -32,6 +33,12 @@ from .transactions import DEFERRED, Transaction
 __all__ = ["Result", "Executor"]
 
 Row = Dict[str, Any]
+
+# Label children resolved once: per-statement cost is one sharded add.
+_ROWS_SELECT = EXECUTOR_ROWS.labels("select")
+_ROWS_INSERT = EXECUTOR_ROWS.labels("insert")
+_ROWS_UPDATE = EXECUTOR_ROWS.labels("update")
+_ROWS_DELETE = EXECUTOR_ROWS.labels("delete")
 
 
 @dataclass
@@ -86,6 +93,8 @@ class Executor:
     def select(self, stmt: ast.Select, parameters: Sequence[Any] = ()) -> Result:
         plan = self.planner.plan_select(stmt)
         columns, rows = plan.execute(self.data, parameters)
+        if rows:
+            _ROWS_SELECT.inc(len(rows))
         return Result(columns=columns, rows=rows, rowcount=len(rows))
 
     # ==================================================================
@@ -116,6 +125,8 @@ class Executor:
             }
             self.insert_row(table, table_data, values, txn)
             count += 1
+        if count:
+            _ROWS_INSERT.inc(count)
         return Result(columns=[], rows=[], rowcount=count)
 
     def insert_row(
@@ -185,6 +196,8 @@ class Executor:
                 )
             self.update_row(table, table_data, rowid, changes, txn)
             count += 1
+        if count:
+            _ROWS_UPDATE.inc(count)
         return Result(columns=[], rows=[], rowcount=count)
 
     def update_row(
@@ -229,6 +242,8 @@ class Executor:
             )
             txn.record_change(("d", table.name, rowid))
             count += 1
+        if count:
+            _ROWS_DELETE.inc(count)
         return Result(columns=[], rows=[], rowcount=count)
 
     # ==================================================================

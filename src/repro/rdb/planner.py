@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from collections import OrderedDict
 from itertools import islice
 from typing import (
@@ -68,6 +69,8 @@ from typing import (
 
 from ..deadline import cooperative
 from ..errors import DatabaseError
+from ..observability.metrics import ROWS_SCANNED
+from ..observability.tracing import current_probe
 from ..sql import ast
 from ..sql.render import render_expression
 from .catalog import Schema
@@ -368,13 +371,21 @@ class _BaseAccess:
         else:
             pairs = table_data.scan()
         residual = self.residual
-        for rowid, row in pairs:
-            scope = (row,)
-            for fn in residual:
-                if fn(scope, parameters) is not True:
-                    break
-            else:
-                yield rowid, scope
+        scanned = 0
+        try:
+            for rowid, row in pairs:
+                scanned += 1
+                scope = (row,)
+                for fn in residual:
+                    if fn(scope, parameters) is not True:
+                        break
+                else:
+                    yield rowid, scope
+        finally:
+            # One sharded-counter add per statement, not per row: the
+            # local integer is the only per-row cost.
+            if scanned:
+                ROWS_SCANNED.inc(scanned)
 
     def describe(self) -> str:
         suffix = f" + {len(self.residual)} filter(s)" if self.residual else ""
@@ -1400,14 +1411,28 @@ class CompiledSelect:
     def scopes(
         self, data: Dict[str, TableData], parameters: Sequence[Any]
     ) -> Iterator[Rows]:
+        # EXPLAIN ANALYZE: one thread-local read per statement when
+        # disarmed; armed, every operator's output is wrapped with a
+        # timing/row-counting iterator.  Plans are cached and shared
+        # across threads, so the probe is never stored on the plan.
+        probe = current_probe()
         if self.base is None:
             produced: Iterator[Rows] = iter([()])
             if self.constant_predicates:
                 produced = _filtered(produced, self.constant_predicates, parameters)
+            if probe is not None:
+                produced = probe.timed(
+                    produced,
+                    probe.operator(self, "no FROM clause: single empty scope"),
+                )
         else:
             produced = (
                 scope for _, scope in self.base.rowid_scopes(data, parameters)
             )
+            if probe is not None:
+                produced = probe.timed(
+                    produced, probe.operator(self.base, self.base.describe())
+                )
         # Cooperative cancellation on the base scan: filters/joins pull
         # through this wrapper, so even a pipeline that emits no rows
         # checks the request deadline every few hundred scanned rows.
@@ -1415,9 +1440,26 @@ class CompiledSelect:
         produced = cooperative(produced, "executor:scan")
         for step in self.steps:
             produced = step.apply(produced, data, parameters)
+            if probe is not None:
+                produced = probe.timed(
+                    produced, probe.operator(step, step.describe())
+                )
         return produced
 
     def execute(
+        self, data: Dict[str, TableData], parameters: Sequence[Any]
+    ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        probe = current_probe()
+        if probe is None:
+            return self._execute(data, parameters)
+        start = time.perf_counter()
+        columns, rows = self._execute(data, parameters)
+        probe.elapsed_s += time.perf_counter() - start
+        probe.rows += len(rows)
+        probe.note_plan(self, self.describe())
+        return columns, rows
+
+    def _execute(
         self, data: Dict[str, TableData], parameters: Sequence[Any]
     ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
         stmt = self.stmt
@@ -1669,12 +1711,16 @@ class CompiledMutation:
         self, data: Dict[str, TableData], parameters: Sequence[Any]
     ) -> List[int]:
         """Materialized list: callers mutate the table while applying."""
-        return [
-            rowid
-            for rowid, _ in cooperative(
-                self.base.rowid_scopes(data, parameters), "executor:scan"
+        pairs = cooperative(
+            self.base.rowid_scopes(data, parameters), "executor:scan"
+        )
+        probe = current_probe()
+        if probe is not None:
+            pairs = probe.timed(
+                pairs, probe.operator(self.base, self.base.describe())
             )
-        ]
+            probe.note_plan(self, self.describe())
+        return [rowid for rowid, _ in pairs]
 
     def describe(self) -> List[str]:
         return [self.base.describe()]

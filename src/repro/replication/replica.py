@@ -442,6 +442,29 @@ class Replica:
             "fenced_messages": self.fenced_messages,
         }
 
+    def metrics(self) -> Dict[str, float]:
+        """Numeric samples for the /metrics exposition.
+
+        Unlike :meth:`status` every value is a float and ``inf`` is kept
+        as ``inf`` (Prometheus renders ``+Inf``) rather than ``None``, so
+        a never-synced replica scrapes as unbounded lag instead of a
+        missing series.
+        """
+        return {
+            "role_primary": 1.0 if self._role == "primary" else 0.0,
+            "epoch": float(self._epoch),
+            "connected": 1.0 if self._connected else 0.0,
+            "ready": 1.0 if self.ready else 0.0,
+            "lag_seconds": self.lag(),
+            "silence_seconds": self.silence(),
+            "connects": float(self.connects),
+            "frames_applied": float(self.frames_applied),
+            "snapshots_loaded": float(self.snapshots_loaded),
+            "wire_errors": float(self.wire_errors),
+            "fenced_messages": float(self.fenced_messages),
+            "acks_sent": float(self.acks_sent),
+        }
+
 
 class PrimaryLossDetector:
     """Lease watcher: promotes (or calls back) on primary silence.

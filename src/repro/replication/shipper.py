@@ -140,6 +140,20 @@ class LogShipper:
     def epoch(self) -> int:
         return self.manager.epoch
 
+    def metrics(self) -> Dict[str, float]:
+        """Numeric samples for the /metrics exposition."""
+        with self._lock:
+            live = len(self._conns)
+        return {
+            "epoch": float(self.epoch),
+            "fenced": 1.0 if self.fenced else 0.0,
+            "replicas_connected": float(live),
+            "connections_served": float(self.connections_served),
+            "snapshots_sent": float(self.snapshots_sent),
+            "frames_shipped": float(self.frames_shipped),
+            "barrier_timeouts": float(self.barrier_timeouts),
+        }
+
     # -- lifecycle ------------------------------------------------------
 
     def start(self) -> "LogShipper":

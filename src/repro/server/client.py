@@ -22,6 +22,14 @@ Resilience (ISSUE 6):
   / ``/admin/checkpoint`` are **never** auto-retried: the first attempt
   may have committed before the connection died.
 
+Request ids (ISSUE 10) — every request carries an ``X-Request-Id``,
+taken from the caller's :func:`~repro.observability.tracing.
+request_scope` when one is open, else generated per logical request.
+The id is constant across retries and failover re-routing, is echoed by
+the server, and rides on :class:`~repro.errors.EndpointTransportError`
+as ``request_id`` — one handle joins the client's error, the server's
+access-log line, and its slow-query entry.
+
 Write failover (ISSUE 9) — :class:`ReplicatedClient` re-routes writes
 when the primary dies and a replica is promoted.  The rules are strict
 about what may be retried:
@@ -56,6 +64,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import EndpointTransportError, ReproError
+from ..observability.tracing import request_scope
 from ..rdf.graph import Graph
 from ..rdf.namespace import OA, RDF
 from ..rdf.terms import Literal
@@ -313,52 +322,65 @@ class OntoAccessClient:
     ) -> Tuple[int, str]:
         """One request over the persistent connection, with retry for
         idempotent operations (transport errors and 503/408 responses).
-        Returns ``(status, decoded body)``."""
+        Returns ``(status, decoded body)``.
+
+        Every request carries an ``X-Request-Id`` (ISSUE 10): the id of
+        the enclosing :func:`~repro.observability.tracing.request_scope`
+        when the caller opened one, else one generated here.  The scope
+        spans the retry loop, so every retry of one logical request —
+        and a transport error it ends in — shares one id, joinable with
+        the server's access log.
+        """
         url = self.base_url + path
-        attempt = 0
-        while True:
-            try:
-                conn = self._connection()
-                conn.request(
-                    method,
-                    self._base_path + path,
-                    body=body.encode("utf-8") if body is not None else None,
-                    headers=headers or {},
-                )
-                response = conn.getresponse()
-                payload = response.read().decode("utf-8")
-                status = response.status
-                self.last_response_headers = dict(response.getheaders())
-                retry_after = _parse_retry_after(
-                    response.getheader("Retry-After")
-                )
-                if response.will_close:
+        with request_scope() as request_id:
+            send_headers = dict(headers or {})
+            send_headers.setdefault("X-Request-Id", request_id)
+            attempt = 0
+            while True:
+                try:
+                    conn = self._connection()
+                    conn.request(
+                        method,
+                        self._base_path + path,
+                        body=body.encode("utf-8") if body is not None else None,
+                        headers=send_headers,
+                    )
+                    response = conn.getresponse()
+                    payload = response.read().decode("utf-8")
+                    status = response.status
+                    self.last_response_headers = dict(response.getheaders())
+                    retry_after = _parse_retry_after(
+                        response.getheader("Retry-After")
+                    )
+                    if response.will_close:
+                        self.close()
+                except (http.client.HTTPException, OSError) as exc:
+                    # The connection is in an unknown state: drop it so the
+                    # next attempt starts clean.
                     self.close()
-            except (http.client.HTTPException, OSError) as exc:
-                # The connection is in an unknown state: drop it so the
-                # next attempt starts clean.
-                self.close()
-                if idempotent and attempt + 1 < self.retry.max_attempts:
-                    self._sleep(self.retry.delay(attempt))
+                    if idempotent and attempt + 1 < self.retry.max_attempts:
+                        self._sleep(self.retry.delay(attempt))
+                        attempt += 1
+                        continue
+                    raise EndpointTransportError(
+                        f"{method} {url} failed after {attempt + 1} "
+                        f"attempt(s): {type(exc).__name__}: {exc} "
+                        f"[request {request_id}]",
+                        method=method,
+                        url=url,
+                        attempts=attempt + 1,
+                        cause=exc,
+                        request_id=request_id,
+                    ) from exc
+                if (
+                    idempotent
+                    and status in self.retry.statuses
+                    and attempt + 1 < self.retry.max_attempts
+                ):
+                    self._sleep(self.retry.delay(attempt, retry_after))
                     attempt += 1
                     continue
-                raise EndpointTransportError(
-                    f"{method} {url} failed after {attempt + 1} attempt(s): "
-                    f"{type(exc).__name__}: {exc}",
-                    method=method,
-                    url=url,
-                    attempts=attempt + 1,
-                    cause=exc,
-                ) from exc
-            if (
-                idempotent
-                and status in self.retry.statuses
-                and attempt + 1 < self.retry.max_attempts
-            ):
-                self._sleep(self.retry.delay(attempt, retry_after))
-                attempt += 1
-                continue
-            return status, payload
+                return status, payload
 
 
 class ReplicatedClient:
@@ -517,7 +539,16 @@ class ReplicatedClient:
           → re-routed only with ``idempotent=True``;
         * anything else (including a connection that died mid-request)
           → raised/returned as-is: the write may have executed.
+
+        The whole failover sequence runs in one request scope, so every
+        endpoint that saw this write logged the same ``X-Request-Id``.
         """
+        with request_scope():
+            return self._write_routed(path, payload, content_type, idempotent)
+
+    def _write_routed(
+        self, path: str, payload: str, content_type: str, idempotent: bool
+    ) -> Tuple[int, str]:
         last_exc: Optional[EndpointTransportError] = None
         last_answer: Optional[Tuple[int, str]] = None
         for attempt in range(self.failover_retry.max_attempts):
@@ -565,20 +596,29 @@ class ReplicatedClient:
     def query_json(
         self, sparql_query: str, request_timeout: Optional[float] = None
     ) -> dict:
-        replica = self._pick()
-        if replica is not None:
-            try:
-                result = replica.query_json(sparql_query, request_timeout)
-            except ReproError:
-                self.primary_fallbacks += 1
-            else:
-                self.replica_reads += 1
-                self._note_lag(replica)
-                return result
-        self.primary_reads += 1
-        return self.primary.query_json(sparql_query, request_timeout)
+        # One request scope per logical read: a replica attempt and its
+        # primary fallback carry the same X-Request-Id.
+        with request_scope():
+            replica = self._pick()
+            if replica is not None:
+                try:
+                    result = replica.query_json(sparql_query, request_timeout)
+                except ReproError:
+                    self.primary_fallbacks += 1
+                else:
+                    self.replica_reads += 1
+                    self._note_lag(replica)
+                    return result
+            self.primary_reads += 1
+            return self.primary.query_json(sparql_query, request_timeout)
 
     def query_text(
+        self, sparql_query: str, request_timeout: Optional[float] = None
+    ) -> str:
+        with request_scope():
+            return self._query_text_routed(sparql_query, request_timeout)
+
+    def _query_text_routed(
         self, sparql_query: str, request_timeout: Optional[float] = None
     ) -> str:
         replica = self._pick()
@@ -605,18 +645,19 @@ class ReplicatedClient:
         return self.primary.query_text(sparql_query, request_timeout)
 
     def dump(self) -> Graph:
-        replica = self._pick()
-        if replica is not None:
-            try:
-                result = replica.dump()
-            except ReproError:
-                self.primary_fallbacks += 1
-            else:
-                self.replica_reads += 1
-                self._note_lag(replica)
-                return result
-        self.primary_reads += 1
-        return self.primary.dump()
+        with request_scope():
+            replica = self._pick()
+            if replica is not None:
+                try:
+                    result = replica.dump()
+                except ReproError:
+                    self.primary_fallbacks += 1
+                else:
+                    self.replica_reads += 1
+                    self._note_lag(replica)
+                    return result
+            self.primary_reads += 1
+            return self.primary.dump()
 
     # -- lifecycle ------------------------------------------------------
 

@@ -51,6 +51,25 @@ read side of WAL-shipping replication:
   primary;
 * ``/ready`` is 503 until bootstrap replay has caught up to the
   primary's watermark, so load balancers only route to synced replicas.
+
+Observability (ISSUE 10) — the serving tier is inspectable end to end:
+
+* ``GET /metrics`` renders the process-wide metric registry plus a
+  scrape-time snapshot of the endpoint's own state (gate, planner
+  cache, WAL/checkpoint, replication) in the Prometheus text format.
+  Like the probes it bypasses admission, and a failing exposition
+  (chaos site ``obs:export``) maps to a 503 without touching serving.
+* Every request carries an ``X-Request-Id`` (caller-supplied or
+  generated) that is installed thread-local for the whole dispatch, so
+  it appears in the access-log line, the slow-query entry, and the
+  response header — including error responses.
+* Work requests emit one structured JSON access-log line (op, status,
+  queue wait, execute, serialize, rows, shed/timeout cause) and are
+  teed into a ring-buffered slow-query log served at
+  ``GET /admin/slow-queries``.
+* ``GET /query?…&explain=analyze`` (and POST with the same parameter)
+  answers the EXPLAIN tree with per-operator elapsed/rows/loops
+  instead of the result rows.
 """
 
 from __future__ import annotations
@@ -77,6 +96,24 @@ from ..errors import (
 from ..faults import INJECTOR
 from ..core.feedback import error_graph
 from ..core.mediator import OntoAccess
+from ..observability.metrics import (
+    QUEUE_WAIT_SECONDS,
+    REGISTRY,
+    REQUEST_SECONDS,
+    REQUESTS,
+    MetricsRegistry,
+    render_exposition,
+)
+from ..observability.querylog import QueryLog
+from ..observability.tracing import (
+    analyze_scope,
+    annotate,
+    current_request_id,
+    new_request_id,
+    request_scope,
+    sanitize_request_id,
+    trace_scope,
+)
 from ..rdf.graph import Graph
 from ..r3m.serialize import mapping_to_turtle
 from . import protocol
@@ -288,6 +325,10 @@ class OntoAccessEndpoint:
         replica: Optional[Any] = None,
         max_replica_lag: Optional[float] = None,
         promoter: Optional[Callable[[], Dict[str, Any]]] = None,
+        shipper: Optional[Any] = None,
+        slow_query_threshold: Optional[float] = 1.0,
+        slow_query_capacity: int = 128,
+        access_log: Optional[Any] = None,
     ) -> None:
         self.mediator = mediator
         #: replication (ISSUE 8): serving the read side of a replica
@@ -321,6 +362,18 @@ class OntoAccessEndpoint:
         #: responses whose streaming was cut short (client disconnect or
         #: deadline expiry mid-stream)
         self.stream_aborts = 0
+        # -- observability (ISSUE 10) ----------------------------------
+        #: the primary's log shipper, when this endpoint fronts one; a
+        #: promoted replica's runner assigns the new shipper here so the
+        #: /metrics replication families follow the role change.
+        self.shipper = shipper
+        #: ring-buffered log of requests over the slow threshold
+        self.query_log = QueryLog(
+            capacity=slow_query_capacity, threshold=slow_query_threshold
+        )
+        #: writable text stream for JSON access-log lines (None = off)
+        self.access_log = access_log
+        self._access_log_lock = threading.Lock()
 
     @property
     def requests_served(self) -> int:
@@ -348,6 +401,236 @@ class OntoAccessEndpoint:
             stats["rejected_connections"] = server.rejected_connections
             stats["max_connections"] = server._max_connections
         return stats
+
+    # ------------------------------------------------------------------
+    # observability (ISSUE 10)
+    # ------------------------------------------------------------------
+
+    def _scrape_registry(self) -> MetricsRegistry:
+        """A scrape-time snapshot of instance state as gauge samples.
+
+        The hot paths only ever touch the process-wide counters in
+        :data:`~repro.observability.metrics.REGISTRY`; everything that
+        lives on *this* endpoint (gate depths, planner cache, WAL and
+        checkpoint state, replication counters) is read here, once per
+        scrape, so serving pays nothing for it between scrapes.
+        """
+        reg = MetricsRegistry()
+
+        def gauge(name: str, help_text: str, value: Any) -> None:
+            try:
+                number = float(value)
+            except (TypeError, ValueError):
+                return  # non-numeric status field: not a sample
+            reg.gauge(f"repro_{name}", help_text).set(number)
+
+        serving = self.serving_stats()
+        for key in (
+            "in_flight", "waiting", "max_in_flight", "max_queue",
+            "admitted_total", "shed_total", "stream_aborts",
+            "live_connections", "rejected_connections", "max_connections",
+        ):
+            if key in serving:
+                gauge(
+                    f"serving_{key}",
+                    f"Serving-gate statistic {key!r} (see /admin/stats).",
+                    serving[key],
+                )
+        gauge(
+            "endpoint_requests_served",
+            "Requests answered by this endpoint since start.",
+            self.requests_served,
+        )
+        gauge(
+            "endpoint_request_errors",
+            "Error responses returned by this endpoint since start.",
+            self.errors_returned,
+        )
+        db = getattr(self.mediator, "db", None)
+        planner = getattr(db, "planner", None)
+        if planner is not None:
+            for key, value in planner.stats.items():
+                gauge(
+                    f"plan_cache_{key}",
+                    f"Plan-cache {key} since process start.",
+                    value,
+                )
+        backend = self.session.health()
+        gauge(
+            "storage_durable",
+            "1 when the store runs with a write-ahead log attached.",
+            1.0 if backend.get("durable") else 0.0,
+        )
+        for key, help_text in (
+            ("wal_refusing", "1 while the WAL refuses commits (degraded)."),
+            ("wal_bytes", "Bytes in the live write-ahead log segment."),
+            ("generation", "Checkpoint generation of the store."),
+            ("last_checkpoint_age_s", "Seconds since the last checkpoint."),
+            ("wal_appends", "WAL records appended (across rotations)."),
+            ("wal_commits", "Commit barriers reaching the WAL."),
+            ("wal_syncs", "Physical WAL flushes (group commit folds "
+                          "several commits into one)."),
+        ):
+            if backend.get(key) is not None:
+                name = key[:-2] + "_seconds" if key.endswith("_s") else key
+                gauge(name, help_text, backend[key])
+        if (
+            backend.get("wal_commits") is not None
+            and backend.get("wal_syncs") is not None
+        ):
+            gauge(
+                "wal_group_commit_riders",
+                "Commits that rode another commit's flush.",
+                backend["wal_commits"] - backend["wal_syncs"],
+            )
+        replica = self.replica
+        if replica is not None and hasattr(replica, "metrics"):
+            for key, value in replica.metrics().items():
+                gauge(
+                    f"replica_{key}",
+                    f"Replica statistic {key!r} (see /health).",
+                    value,
+                )
+        else:
+            # A primary advertises role/epoch too, so dashboards track
+            # failover from either side of the pair.
+            fenced = bool(getattr(db, "read_only", False))
+            gauge(
+                "replica_role_primary",
+                "1 when this endpoint serves the primary.",
+                0.0 if fenced else 1.0,
+            )
+            gauge(
+                "replica_epoch",
+                "Failover epoch of the served store.",
+                getattr(db, "epoch", 0),
+            )
+        shipper = self.shipper
+        if shipper is not None and hasattr(shipper, "metrics"):
+            for key, value in shipper.metrics().items():
+                gauge(
+                    f"shipper_{key}",
+                    f"Log-shipper statistic {key!r}.",
+                    value,
+                )
+        log = self.query_log.status()
+        gauge(
+            "slow_query_log_entries",
+            "Entries currently held in the slow-query ring buffer.",
+            log["count"],
+        )
+        if log["threshold_s"] is not None:
+            gauge(
+                "slow_query_threshold_seconds",
+                "Threshold above which a request is logged as slow.",
+                log["threshold_s"],
+            )
+        return reg
+
+    def handle_metrics(self) -> Response:
+        """GET /metrics: Prometheus text exposition, admission-exempt.
+
+        The chaos site ``obs:export`` fires inside the renderer; an
+        injected failure maps to a 503 here — a broken or slow scrape
+        can degrade monitoring, never serving.
+        """
+        try:
+            text = render_exposition([REGISTRY, self._scrape_registry()])
+        except FaultError as exc:
+            self._count(error=True)
+            return protocol.error_json("metrics-unavailable", str(exc), 503)
+        except ReproError as exc:
+            self._count(error=True)
+            return protocol.error_json("metrics-unavailable", str(exc), 503)
+        self._count()
+        return Response(
+            status=200, body=text, content_type=protocol.CONTENT_PROMETHEUS
+        )
+
+    def handle_stats(self) -> Response:
+        """GET /admin/stats: serving statistics as JSON (admission-exempt,
+        like /health — saturation is exactly when you need it)."""
+        self._count()
+        return Response.json(
+            {
+                "serving": self.serving_stats(),
+                "requests": {
+                    "served": self.requests_served,
+                    "errors": self.errors_returned,
+                },
+                "slow_queries": self.query_log.status(),
+            }
+        )
+
+    def handle_slow_queries(self) -> Response:
+        """GET /admin/slow-queries: the slow-query ring, newest first."""
+        self._count()
+        return Response.json(
+            {**self.query_log.status(), "entries": self.query_log.snapshot()}
+        )
+
+    def handle_query_analyze(self, body: str) -> Response:
+        """``/query`` with ``explain=analyze``: execute the query with the
+        operator probe armed and answer the instrumented plan instead of
+        the result rows."""
+        blocked = self._replica_gate()
+        if blocked is not None:
+            return blocked
+        try:
+            with analyze_scope() as probe:
+                result = self.session.query(body)
+        except QueryTimeout as exc:
+            self._count(error=True)
+            return protocol.error_json(
+                "timeout", str(exc), 408, retry_after=self.retry_after
+            )
+        except ReproError as exc:
+            self._count(error=True)
+            return Response.text(f"error: {exc}", status=400)
+        self._count()
+        report = probe.report()
+        if isinstance(result, bool):
+            report["result"] = result
+        elif not isinstance(result, Graph):
+            report["result_rows"] = len(result.solutions)
+            annotate(rows=len(result.solutions))
+        return self._tag_replica(Response.json(report))
+
+    def _finish_request(
+        self, op: str, status: int, trace: Dict[str, Any], total_s: float
+    ) -> None:
+        """Metrics + access log + slow-query tee for one work request."""
+        REQUESTS.labels(op, str(status)).inc()
+        REQUEST_SECONDS.labels(op).observe(total_s)
+        queue_wait = trace.get("queue_wait_s")
+        if queue_wait is not None:
+            QUEUE_WAIT_SECONDS.observe(queue_wait)
+        entry: Dict[str, Any] = {
+            "request_id": trace.get("request_id"),
+            "op": op,
+            "status": status,
+            "total_s": round(total_s, 6),
+        }
+        for key in ("queue_wait_s", "execute_s", "serialize_s"):
+            if trace.get(key) is not None:
+                entry[key] = round(trace[key], 6)
+        for key, value in trace.items():
+            if key not in entry and not key.endswith("_s"):
+                entry[key] = value
+        self._log_access(entry)
+        self.query_log.record(entry)
+
+    def _log_access(self, entry: Dict[str, Any]) -> None:
+        stream = self.access_log
+        if stream is None:
+            return
+        line = json.dumps(entry, default=str, sort_keys=False)
+        try:
+            with self._access_log_lock:
+                stream.write(line + "\n")
+                stream.flush()
+        except (OSError, ValueError):
+            pass  # a broken log sink must never fail the request
 
     # ------------------------------------------------------------------
     # deadlines
@@ -584,6 +867,8 @@ class OntoAccessEndpoint:
             self._count(error=True)
             return Response.text(f"error: {exc}", status=400)
         self._count()
+        if not isinstance(result, (bool, Graph)):
+            annotate(rows=len(result.solutions))
         wants_json = protocol.accepts(accept, protocol.CONTENT_SPARQL_JSON)
         wants_xml = protocol.accepts(accept, protocol.CONTENT_SPARQL_XML)
         if isinstance(result, bool):
@@ -778,6 +1063,17 @@ class OntoAccessEndpoint:
             def log_message(self, *args) -> None:  # keep tests quiet
                 pass
 
+            def _request_headers(self, response: Response) -> None:
+                for name, value in response.headers.items():
+                    self.send_header(name, value)
+                # Echo the request id on every response — errors too —
+                # so one id joins client retries, server logs, and the
+                # slow-query entry.
+                if "X-Request-Id" not in response.headers:
+                    rid = current_request_id()
+                    if rid:
+                        self.send_header("X-Request-Id", rid)
+
             def _send(
                 self, response: Response, deadline: Optional[Deadline] = None
             ) -> None:
@@ -793,8 +1089,7 @@ class OntoAccessEndpoint:
                 payload = response.body.encode("utf-8")
                 self.send_response(response.status)
                 self.send_header("Content-Type", response.content_type)
-                for name, value in response.headers.items():
-                    self.send_header(name, value)
+                self._request_headers(response)
                 self.send_header("Content-Length", str(len(payload)))
                 self.end_headers()
                 try:
@@ -810,8 +1105,7 @@ class OntoAccessEndpoint:
             ) -> None:
                 self.send_response(response.status)
                 self.send_header("Content-Type", response.content_type)
-                for name, value in response.headers.items():
-                    self.send_header(name, value)
+                self._request_headers(response)
                 self.send_header("Transfer-Encoding", "chunked")
                 self.end_headers()
                 write = self.wfile.write
@@ -835,37 +1129,97 @@ class OntoAccessEndpoint:
                     endpoint._note_stream_abort()
                     self.close_connection = True
 
-            def _admitted(self, split, work: Callable[[], Response]) -> None:
+            def _admitted(
+                self,
+                split,
+                work: Callable[[], Response],
+                op: str = "request",
+            ) -> None:
                 """Run one work request under admission control and its
-                deadline; sends the response (or the 400/503 shed)."""
+                deadline; sends the response (or the 400/503 shed).
+
+                The whole dispatch runs inside a trace scope: the phase
+                timings (queue wait, execute, serialize) and any
+                annotations from deeper layers feed one access-log line,
+                the request counters, and the slow-query tee."""
+                started = time.perf_counter()
+                with trace_scope(
+                    request_id=current_request_id(), op=op
+                ) as trace:
+                    self._admitted_traced(split, work, op, trace, started)
+
+            def _admitted_traced(
+                self, split, work, op, trace, started
+            ) -> None:
                 try:
                     deadline = endpoint._request_deadline(
                         split.query, self.headers
                     )
                 except ValueError as exc:
                     endpoint._count(error=True)
-                    self._send(protocol.error_json("bad-timeout", str(exc), 400))
+                    trace["cause"] = "bad-timeout"
+                    self._send_traced(
+                        protocol.error_json("bad-timeout", str(exc), 400),
+                        None, op, trace, started,
+                    )
                     return
-                if not endpoint._gate.admit(deadline):
+                admit_start = time.perf_counter()
+                admitted = endpoint._gate.admit(deadline)
+                trace["queue_wait_s"] = time.perf_counter() - admit_start
+                if not admitted:
                     endpoint._count(error=True)
-                    self._send(
+                    trace["cause"] = "shed"
+                    self._send_traced(
                         protocol.error_json(
                             "overloaded",
                             "server is at capacity; retry after backoff",
                             503,
                             retry_after=endpoint.retry_after,
-                        )
+                        ),
+                        None, op, trace, started,
                     )
                     return
                 try:
                     with deadline_scope(deadline):
                         # Streaming happens inside both the scope and the
                         # admission slot: serialization is request work.
-                        self._send(work(), deadline)
+                        exec_start = time.perf_counter()
+                        response = work()
+                        trace["execute_s"] = (
+                            time.perf_counter() - exec_start
+                        )
+                        if response.status == 408:
+                            trace["cause"] = "timeout"
+                        self._send_traced(
+                            response, deadline, op, trace, started
+                        )
                 finally:
                     endpoint._gate.release()
 
+            def _send_traced(
+                self, response, deadline, op, trace, started
+            ) -> None:
+                serialize_start = time.perf_counter()
+                self._send(response, deadline)
+                trace["serialize_s"] = time.perf_counter() - serialize_start
+                endpoint._finish_request(
+                    op, response.status, trace,
+                    time.perf_counter() - started,
+                )
+
             def do_POST(self) -> None:
+                with request_scope(
+                    sanitize_request_id(self.headers.get("X-Request-Id"))
+                ):
+                    self._route_post()
+
+            def do_GET(self) -> None:
+                with request_scope(
+                    sanitize_request_id(self.headers.get("X-Request-Id"))
+                ):
+                    self._route_get()
+
+            def _route_post(self) -> None:
                 if "chunked" in (
                     self.headers.get("Transfer-Encoding") or ""
                 ).lower():
@@ -913,11 +1267,24 @@ class OntoAccessEndpoint:
                 accept = self.headers.get("Accept")
                 content_type = self.headers.get("Content-Type")
                 if split.path == protocol.UPDATE_PATH:
-                    self._admitted(split, lambda: endpoint.handle_update(body))
+                    self._admitted(
+                        split,
+                        lambda: endpoint.handle_update(body),
+                        op="update",
+                    )
                 elif split.path == protocol.QUERY_PATH:
+                    params = urllib.parse.parse_qs(split.query)
+                    if params.get("explain") == ["analyze"]:
+                        self._admitted(
+                            split,
+                            lambda: endpoint.handle_query_analyze(body),
+                            op="query",
+                        )
+                        return
                     self._admitted(
                         split,
                         lambda: endpoint.handle_query(body, accept=accept),
+                        op="query",
                     )
                 elif split.path == protocol.BATCH_PATH:
                     self._admitted(
@@ -925,6 +1292,7 @@ class OntoAccessEndpoint:
                         lambda: endpoint.handle_batch(
                             body, content_type=content_type
                         ),
+                        op="batch",
                     )
                 elif split.path == protocol.CHECKPOINT_PATH:
                     self._send(endpoint.handle_checkpoint())
@@ -935,7 +1303,7 @@ class OntoAccessEndpoint:
                 else:
                     self._send(Response.text("not found", status=404))
 
-            def do_GET(self) -> None:
+            def _route_get(self) -> None:
                 split = urllib.parse.urlsplit(self.path)
                 if split.path == protocol.HEALTH_PATH:
                     # Health/readiness bypass admission: a probe must
@@ -943,8 +1311,16 @@ class OntoAccessEndpoint:
                     self._send(endpoint.handle_health())
                 elif split.path == protocol.READY_PATH:
                     self._send(endpoint.handle_ready())
+                elif split.path == protocol.METRICS_PATH:
+                    # /metrics bypasses admission like the probes — a
+                    # saturated (or degraded) server must still scrape.
+                    self._send(endpoint.handle_metrics())
+                elif split.path == protocol.STATS_PATH:
+                    self._send(endpoint.handle_stats())
+                elif split.path == protocol.SLOW_QUERIES_PATH:
+                    self._send(endpoint.handle_slow_queries())
                 elif split.path == protocol.DUMP_PATH:
-                    self._admitted(split, endpoint.handle_dump)
+                    self._admitted(split, endpoint.handle_dump, op="dump")
                 elif split.path == protocol.MAPPING_PATH:
                     self._send(endpoint.handle_mapping())
                 elif split.path == protocol.QUERY_PATH:
@@ -957,12 +1333,20 @@ class OntoAccessEndpoint:
                             Response.text("missing query parameter", status=400)
                         )
                         return
+                    if params.get("explain") == ["analyze"]:
+                        self._admitted(
+                            split,
+                            lambda: endpoint.handle_query_analyze(queries[0]),
+                            op="query",
+                        )
+                        return
                     accept = self.headers.get("Accept")
                     self._admitted(
                         split,
                         lambda: endpoint.handle_query(
                             queries[0], accept=accept
                         ),
+                        op="query",
                     )
                 else:
                     self._send(Response.text("not found", status=404))

@@ -31,6 +31,13 @@ Endpoints:
   serialize the committed state and truncate the write-ahead log.
   Answers JSON ``{"checkpoint": <path>}`` (HTTP 200) or a 409 when the
   endpoint serves an in-memory database.
+* ``GET /metrics`` — Prometheus text exposition of the serving gate,
+  executor, WAL, and replication counters (ISSUE 10).  Like ``/health``
+  it bypasses admission control, so a saturated server still scrapes.
+* ``GET /admin/stats`` — the serving-gate statistics as JSON (also
+  admission-exempt).
+* ``GET /admin/slow-queries`` — the ring-buffered slow-query log as
+  JSON, newest first.
 
 Query responses are negotiated via ``Accept`` among the SPARQL 1.1
 result formats: JSON (``application/sparql-results+json``), XML
@@ -58,6 +65,10 @@ __all__ = [
     "PROMOTE_PATH",
     "HEALTH_PATH",
     "READY_PATH",
+    "METRICS_PATH",
+    "STATS_PATH",
+    "SLOW_QUERIES_PATH",
+    "CONTENT_PROMETHEUS",
     "QUERY_RESULT_TYPES",
     "acceptable",
     "error_json",
@@ -92,6 +103,9 @@ CHECKPOINT_PATH = "/admin/checkpoint"
 PROMOTE_PATH = "/admin/promote"
 HEALTH_PATH = "/health"
 READY_PATH = "/ready"
+METRICS_PATH = "/metrics"
+STATS_PATH = "/admin/stats"
+SLOW_QUERIES_PATH = "/admin/slow-queries"
 
 CONTENT_TURTLE = "text/turtle; charset=utf-8"
 CONTENT_SPARQL_UPDATE = "application/sparql-update"
@@ -102,6 +116,8 @@ CONTENT_JSON = "application/json"
 CONTENT_TEXT = "text/plain; charset=utf-8"
 CONTENT_CSV = "text/csv; charset=utf-8"
 CONTENT_TSV = "text/tab-separated-values; charset=utf-8"
+#: Prometheus text exposition format 0.0.4 (what ``GET /metrics`` serves).
+CONTENT_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class Response:
